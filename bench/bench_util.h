@@ -1,0 +1,29 @@
+#ifndef LAAR_BENCH_BENCH_UTIL_H_
+#define LAAR_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+
+#include "laar/common/flags.h"
+#include "laar/common/stats.h"
+
+namespace laar::bench {
+
+using laar::Flags;
+
+/// Prints one box-plot row in a fixed-width table.
+inline void PrintBoxRow(const char* label, const SampleStats& stats) {
+  const BoxPlot box = stats.Summarize();
+  std::printf("%-8s n=%3zu mean=%8.3f min=%8.3f p25=%8.3f med=%8.3f p75=%8.3f max=%8.3f\n",
+              label, box.count, box.mean, box.min, box.p25, box.median, box.p75, box.max);
+}
+
+inline void PrintHeader(const char* figure, const char* what, const char* expectation) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, what);
+  std::printf("paper shape: %s\n", expectation);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace laar::bench
+
+#endif  // LAAR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,115 @@
+// Extension: where passive (checkpointing) fault tolerance sits in LAAR's
+// trade-off space.
+//
+// The paper's §2 surveys the replication/checkpointing spectrum ([11],
+// [18], the hybrid [34]); IBM Streams natively offers checkpointing only.
+// This bench places a checkpointing deployment — one replica per PE paying
+// a steady-state CPU overhead, with a recovery gap on failure — next to
+// NR, SR, and LAAR on the two axes the paper cares about: best-case CPU
+// cost and completeness under a host crash with recovery.
+//
+// Expectation: CKPT costs barely more than NR in the best case, but its
+// crash completeness is NR-like (everything on the crashed host is lost
+// until recovery), while SR/LAAR ride through failures — the classic
+// best-case-cost vs recovery-cost trade-off.
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "bench/experiment_corpus.h"
+#include "laar/common/stats.h"
+#include "laar/model/transform.h"
+#include "laar/runtime/experiment.h"
+#include "laar/runtime/variants.h"
+
+int main(int argc, char** argv) {
+  laar::bench::Flags flags(argc, argv);
+  const int num_apps = flags.GetInt("apps", 6);
+  const uint64_t seed_base = flags.GetUint64("seed", 63000);
+  /// Steady-state checkpointing overhead as a CPU fraction ([18] reports
+  /// single-digit percentages for language-level checkpointing).
+  const double overhead = flags.GetDouble("overhead", 0.05);
+
+  laar::bench::PrintHeader("Extension", "checkpointing vs active replication vs LAAR",
+                           "CKPT ~ NR cost but NR-like crash completeness; SR/LAAR "
+                           "ride through failures at higher cost");
+
+  auto options = laar::bench::HarnessFromFlags(flags);
+  std::map<std::string, laar::SampleStats> cost_vs_nr;
+  std::map<std::string, laar::SampleStats> crash_ic;
+
+  uint64_t seed = seed_base;
+  int done = 0;
+  while (done < num_apps) {
+    ++seed;
+    auto app = laar::appgen::GenerateApplication(options.generator, seed);
+    if (!app.ok()) continue;
+    auto variants = laar::runtime::BuildVariants(*app, options.variants);
+    if (!variants.ok()) continue;
+    auto trace = laar::runtime::MakeExperimentTrace(
+        app->descriptor.input_space, options.trace_seconds, options.high_fraction,
+        options.trace_cycles);
+    if (!trace.ok()) continue;
+    ++done;
+    std::fprintf(stderr, "  [corpus] app %d/%d (seed %llu)\n", done, num_apps,
+                 static_cast<unsigned long long>(seed));
+
+    // The CKPT deployment: the NR activation pattern on a descriptor whose
+    // CPU costs carry the checkpointing overhead.
+    auto ckpt_descriptor = laar::model::ScaleCpuCosts(app->descriptor, 1.0 + overhead);
+    ckpt_descriptor.status().CheckOK();
+    laar::appgen::GeneratedApplication ckpt_app = *app;
+    ckpt_app.descriptor = std::move(*ckpt_descriptor);
+
+    const laar::runtime::NamedVariant* nr = nullptr;
+    for (const auto& v : *variants) {
+      if (v.name == "NR") nr = &v;
+    }
+
+    // Reference: failure-free NR.
+    laar::runtime::ScenarioOptions none;
+    auto reference =
+        laar::runtime::RunScenario(*app, nr->strategy, *trace, options.runtime, none);
+    if (!reference.ok() || reference->TotalProcessed() == 0) continue;
+    const double nr_cycles = reference->TotalCpuCycles();
+    const double denominator = static_cast<double>(reference->TotalProcessed());
+
+    laar::runtime::ScenarioOptions crash;
+    crash.scenario = laar::runtime::FailureScenario::kHostCrash;
+    crash.seed = seed;
+
+    for (const auto& variant : *variants) {
+      auto best = laar::runtime::RunScenario(*app, variant.strategy, *trace,
+                                             options.runtime, none);
+      auto crashed = laar::runtime::RunScenario(*app, variant.strategy, *trace,
+                                                options.runtime, crash);
+      if (!best.ok() || !crashed.ok()) continue;
+      cost_vs_nr[variant.name].Add(best->TotalCpuCycles() / nr_cycles);
+      crash_ic[variant.name].Add(static_cast<double>(crashed->TotalProcessed()) /
+                                 denominator);
+    }
+    // CKPT runs against the overhead-inflated descriptor.
+    auto ckpt_best = laar::runtime::RunScenario(ckpt_app, nr->strategy, *trace,
+                                                options.runtime, none);
+    auto ckpt_crash = laar::runtime::RunScenario(ckpt_app, nr->strategy, *trace,
+                                                 options.runtime, crash);
+    if (ckpt_best.ok() && ckpt_crash.ok()) {
+      cost_vs_nr["CKPT"].Add(ckpt_best->TotalCpuCycles() / nr_cycles);
+      crash_ic["CKPT"].Add(static_cast<double>(ckpt_crash->TotalProcessed()) /
+                           denominator);
+    }
+  }
+
+  std::printf("\nmeans over %d applications (checkpoint overhead %.0f%%):\n", num_apps,
+              overhead * 100.0);
+  std::printf("%-8s %12s %16s\n", "variant", "cost/NR", "crash IC");
+  std::vector<const char*> order = {"NR", "CKPT", "SR", "GRD", "L.5", "L.6", "L.7"};
+  for (const char* name : order) {
+    if (cost_vs_nr.count(name) == 0) continue;
+    std::printf("%-8s %12.3f %16.3f\n", name, cost_vs_nr[name].mean(),
+                crash_ic[name].mean());
+  }
+  return 0;
+}

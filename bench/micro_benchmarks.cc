@@ -1,0 +1,183 @@
+// Google-benchmark microbenchmarks of the library hot paths: expected-rate
+// propagation, IC evaluation, FT-Search, configuration-index lookups, the
+// event engine, and strategy JSON round-trips.
+
+#include <benchmark/benchmark.h>
+
+#include "laar/appgen/app_generator.h"
+#include "laar/configindex/config_index.h"
+#include "laar/dsps/stream_simulation.h"
+#include "laar/ftsearch/ft_search.h"
+#include "laar/json/json.h"
+#include "laar/metrics/failure_model.h"
+#include "laar/metrics/ic.h"
+#include "laar/model/rates.h"
+#include "laar/fusion/fusion.h"
+#include "laar/model/discretize.h"
+#include "laar/sim/simulator.h"
+#include "laar/spl/spl_parser.h"
+#include "laar/strategy/baselines.h"
+
+namespace {
+
+laar::appgen::GeneratedApplication MakeApp(int num_pes, int num_hosts) {
+  laar::appgen::GeneratorOptions options;
+  options.num_pes = num_pes;
+  options.num_hosts = num_hosts;
+  for (uint64_t seed = 1;; ++seed) {
+    auto app = laar::appgen::GenerateApplication(options, seed);
+    if (app.ok()) return std::move(*app);
+  }
+}
+
+void BM_ExpectedRatesCompute(benchmark::State& state) {
+  const auto app = MakeApp(static_cast<int>(state.range(0)), 8);
+  for (auto _ : state) {
+    auto rates = laar::model::ExpectedRates::Compute(app.descriptor.graph,
+                                                     app.descriptor.input_space);
+    benchmark::DoNotOptimize(rates);
+  }
+}
+BENCHMARK(BM_ExpectedRatesCompute)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_IcEvaluation(benchmark::State& state) {
+  const auto app = MakeApp(static_cast<int>(state.range(0)), 8);
+  const auto rates = *laar::model::ExpectedRates::Compute(app.descriptor.graph,
+                                                          app.descriptor.input_space);
+  const laar::metrics::IcCalculator calc(app.descriptor.graph, app.descriptor.input_space,
+                                         rates);
+  const auto strategy = laar::strategy::MakeStaticReplication(
+      app.descriptor.graph, app.descriptor.input_space, 2);
+  const laar::metrics::PessimisticFailureModel model;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(calc.InternalCompleteness(strategy, model));
+  }
+}
+BENCHMARK(BM_IcEvaluation)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_FtSearchSolve(benchmark::State& state) {
+  const auto app = MakeApp(static_cast<int>(state.range(0)), 6);
+  const auto rates = *laar::model::ExpectedRates::Compute(app.descriptor.graph,
+                                                          app.descriptor.input_space);
+  laar::ftsearch::FtSearchOptions options;
+  options.ic_requirement = 0.6;
+  options.time_limit_seconds = 30.0;
+  for (auto _ : state) {
+    auto result = laar::ftsearch::RunFtSearch(app.descriptor.graph,
+                                              app.descriptor.input_space, rates,
+                                              app.placement, app.cluster, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FtSearchSolve)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void BM_ConfigIndexLookup(benchmark::State& state) {
+  laar::model::InputSpace space;
+  const int levels = static_cast<int>(state.range(0));
+  for (int s = 0; s < 4; ++s) {
+    laar::model::SourceRateSet rates;
+    rates.source = s;
+    for (int l = 0; l < levels; ++l) {
+      rates.rates.push_back(static_cast<double>(l + 1));
+      rates.probabilities.push_back(1.0 / levels);
+    }
+    rates.probabilities.back() += 1.0 - levels * (1.0 / levels);
+    space.AddSource(rates).CheckOK();
+  }
+  const auto index = *laar::configindex::ConfigIndex::Build(space);
+  std::vector<double> query = {1.4, 2.3, 0.5, 3.1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Lookup(query));
+  }
+}
+BENCHMARK(BM_ConfigIndexLookup)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    laar::sim::Simulator simulator;
+    int remaining = 100000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) simulator.ScheduleAfter(0.001, tick);
+    };
+    simulator.ScheduleAfter(0.001, tick);
+    simulator.Run();
+    benchmark::DoNotOptimize(simulator.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_SimulatorEventThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_StrategyJsonRoundTrip(benchmark::State& state) {
+  laar::strategy::ActivationStrategy strategy(64, 2, 4);
+  for (int pe = 0; pe < 64; pe += 2) strategy.SetActive(pe, 1, 1, false);
+  for (auto _ : state) {
+    auto doc = strategy.ToJson();
+    auto text = doc.Dump();
+    auto parsed = laar::json::Parse(text);
+    auto loaded = laar::strategy::ActivationStrategy::FromJson(*parsed);
+    benchmark::DoNotOptimize(loaded);
+  }
+}
+BENCHMARK(BM_StrategyJsonRoundTrip);
+
+void BM_EndToEndSimulation(benchmark::State& state) {
+  const auto app = MakeApp(12, 6);
+  const auto strategy = laar::strategy::MakeStaticReplication(
+      app.descriptor.graph, app.descriptor.input_space, 2);
+  const auto trace = *laar::dsps::InputTrace::Alternating(
+      0, 20.0, app.descriptor.input_space.PeakConfig(), 10.0, 1);
+  const laar::dsps::RuntimeOptions options;
+  for (auto _ : state) {
+    laar::dsps::StreamSimulation simulation(app.descriptor, app.cluster, app.placement,
+                                            strategy, trace, options);
+    simulation.Run().CheckOK();
+    benchmark::DoNotOptimize(simulation.metrics().TotalProcessed());
+  }
+}
+BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
+
+void BM_SplParse(benchmark::State& state) {
+  const char* program = R"(
+application p {
+  source s { rate Low = 4 @ 0.8; rate High = 8 @ 0.2; }
+  pe a; pe b; pe c; pe d;
+  sink k;
+  stream s -> a [selectivity = 0.5, cost = 2ms];
+  stream a -> b [selectivity = 1.5, cost = 3ms];
+  stream b -> c [cost = 1ms];
+  stream c -> d [cost = 4ms];
+  stream d -> k;
+})";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(laar::spl::ParseApplication(program));
+  }
+}
+BENCHMARK(BM_SplParse);
+
+void BM_FuseLinearChains(benchmark::State& state) {
+  const auto app = MakeApp(static_cast<int>(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        laar::fusion::FuseLinearChains(app.descriptor, laar::fusion::FusionOptions{}));
+  }
+}
+BENCHMARK(BM_FuseLinearChains)->Arg(16)->Arg(32);
+
+void BM_DiscretizeEqualFrequency(benchmark::State& state) {
+  std::vector<double> samples;
+  uint64_t x = 88172645463325252ULL;  // xorshift stream, allocation-free
+  for (int i = 0; i < 10000; ++i) {
+    x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+    samples.push_back(static_cast<double>(x % 1000) / 10.0);
+  }
+  laar::model::DiscretizeOptions options;
+  options.num_levels = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(laar::model::DiscretizeEqualFrequency(0, samples, options));
+  }
+}
+BENCHMARK(BM_DiscretizeEqualFrequency)->Arg(2)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

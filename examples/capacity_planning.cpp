@@ -1,0 +1,114 @@
+// Capacity planning / SLA negotiation with LAAR.
+//
+// A provider is quoting a contract: the customer wants to know how the
+// internal-completeness guarantee trades against the runtime cost (§5.3,
+// Fig. 9/12 — "cost is proportional to the IC value requested"), and how
+// many hosts the deployment needs at each level.
+//
+// The example sweeps the IC requirement over a generated application,
+// prints the cost of the optimal strategy at each level, and finds the
+// smallest cluster that can carry a 0.7 guarantee.
+
+#include <cstdio>
+
+#include "laar/appgen/app_generator.h"
+#include "laar/ftsearch/ft_search.h"
+#include "laar/metrics/cost.h"
+#include "laar/placement/placement_algorithms.h"
+#include "laar/strategy/baselines.h"
+
+namespace {
+
+laar::Result<laar::ftsearch::FtSearchResult> Solve(
+    const laar::appgen::GeneratedApplication& app, const laar::model::ExpectedRates& rates,
+    double ic) {
+  laar::ftsearch::FtSearchOptions options;
+  options.ic_requirement = ic;
+  options.time_limit_seconds = 20.0;
+  return laar::ftsearch::RunFtSearch(app.descriptor.graph, app.descriptor.input_space,
+                                     rates, app.placement, app.cluster, options);
+}
+
+}  // namespace
+
+int main() {
+  // A mid-size contract: 16 PEs on 8 hosts.
+  laar::appgen::GeneratorOptions generator;
+  generator.num_pes = 16;
+  generator.num_hosts = 8;
+  generator.high_overload_max = 1.25;
+  laar::appgen::GeneratedApplication app = [&] {
+    for (uint64_t seed = 1;; ++seed) {
+      auto candidate = laar::appgen::GenerateApplication(generator, seed);
+      if (!candidate.ok()) continue;
+      auto rates = laar::model::ExpectedRates::Compute(candidate->descriptor.graph,
+                                                       candidate->descriptor.input_space);
+      if (rates.ok() && Solve(*candidate, *rates, 0.7)->strategy.has_value()) {
+        std::printf("using generated application seed %llu\n\n",
+                    static_cast<unsigned long long>(seed));
+        return std::move(*candidate);
+      }
+    }
+  }();
+  auto rates = laar::model::ExpectedRates::Compute(app.descriptor.graph,
+                                                   app.descriptor.input_space);
+  rates.status().CheckOK();
+
+  // --- Sweep the IC requirement: the provider's price ladder. ---
+  const auto sr = laar::strategy::MakeStaticReplication(app.descriptor.graph,
+                                                        app.descriptor.input_space, 2);
+  const double sr_cost = laar::metrics::CostPerSecond(
+      app.descriptor.graph, app.descriptor.input_space, *rates, app.placement, sr);
+  std::printf("IC guarantee vs optimal cost (static replication = %.3g cycles/s):\n",
+              sr_cost);
+  std::printf("%-6s %12s %10s %10s %10s\n", "IC", "cost", "cost/SR", "IC bound",
+              "outcome");
+  double previous_cost = 0.0;
+  for (double ic = 0.0; ic <= 0.901; ic += 0.1) {
+    auto result = Solve(app, *rates, ic);
+    result.status().CheckOK();
+    if (result->strategy.has_value()) {
+      std::printf("%-6.1f %12.4g %10.3f %10.3f %10s\n", ic, result->best_cost,
+                  result->best_cost / sr_cost, result->best_ic,
+                  laar::ftsearch::SearchOutcomeName(result->outcome));
+      // Cost must be non-decreasing in the requirement (tested property).
+      if (result->best_cost + 1e-6 < previous_cost) {
+        std::printf("  !! cost decreased — should be impossible\n");
+      }
+      previous_cost = result->best_cost;
+    } else {
+      std::printf("%-6.1f %12s %10s %10s %10s\n", ic, "-", "-", "-",
+                  laar::ftsearch::SearchOutcomeName(result->outcome));
+    }
+  }
+
+  // --- How small can the cluster get at IC 0.7? ---
+  std::printf("\nshrinking the cluster at IC >= 0.7:\n");
+  for (int hosts = static_cast<int>(app.cluster.num_hosts()); hosts >= 2; --hosts) {
+    laar::model::Cluster cluster =
+        laar::model::Cluster::Homogeneous(hosts, generator.host_capacity);
+    auto placement = laar::placement::PlaceBalanced(
+        app.descriptor.graph, app.descriptor.input_space, *rates, cluster, 2);
+    if (!placement.ok()) {
+      std::printf("  %2d hosts: placement infeasible (%s)\n", hosts,
+                  placement.status().message().c_str());
+      break;
+    }
+    laar::ftsearch::FtSearchOptions options;
+    options.ic_requirement = 0.7;
+    options.time_limit_seconds = 20.0;
+    auto result = laar::ftsearch::RunFtSearch(app.descriptor.graph,
+                                              app.descriptor.input_space, *rates,
+                                              *placement, cluster, options);
+    result.status().CheckOK();
+    if (result->strategy.has_value()) {
+      std::printf("  %2d hosts: feasible, cost %.4g cycles/s (%s)\n", hosts,
+                  result->best_cost, laar::ftsearch::SearchOutcomeName(result->outcome));
+    } else {
+      std::printf("  %2d hosts: %s — stop here, quote %d hosts\n", hosts,
+                  laar::ftsearch::SearchOutcomeName(result->outcome), hosts + 1);
+      break;
+    }
+  }
+  return 0;
+}

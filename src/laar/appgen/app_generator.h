@@ -1,0 +1,74 @@
+#ifndef LAAR_APPGEN_APP_GENERATOR_H_
+#define LAAR_APPGEN_APP_GENERATOR_H_
+
+#include <cstdint>
+
+#include "laar/common/result.h"
+#include "laar/model/cluster.h"
+#include "laar/model/descriptor.h"
+#include "laar/model/placement.h"
+#include "laar/model/rates.h"
+
+namespace laar::appgen {
+
+/// Parameters of the synthetic application generator, defaulted to the
+/// experimental setup of §5.2: 24 PEs, average outgoing node degree in
+/// [1.5, 3], port selectivities U(0.5, 1.5), one external source with two
+/// rates ("Low", "High") drawn from U(1, 20) t/s, and per-tuple CPU costs
+/// calibrated so that the fully-replicated deployment is not overloaded
+/// under "Low" and is overloaded under "High".
+struct GeneratorOptions {
+  int num_pes = 24;
+  int num_sources = 1;
+  int num_sinks = 1;
+  int replication_factor = 2;
+
+  int num_hosts = 12;
+  /// Cycles/second per host. The absolute value only fixes the time unit;
+  /// the default mimics one dedicated core per PE replica at 1 GHz.
+  double host_capacity = 1e9;
+
+  double out_degree_min = 1.5;
+  double out_degree_max = 3.0;
+  double selectivity_min = 0.5;
+  double selectivity_max = 1.5;
+  double rate_min = 1.0;   // t/s, lower bound of both rate draws
+  double rate_max = 20.0;  // t/s, upper bound of both rate draws
+  /// P(Low); the trace has the High configuration active 1/3 of the time.
+  double low_probability = 2.0 / 3.0;
+
+  /// Calibration (§5.2 conditions i-ii). The CPU costs are uniformly
+  /// scaled so that, with all replicas active, the most-loaded host sits
+  /// at `overload` × capacity in the "High" configuration, where
+  /// `overload` is drawn per application from
+  /// [high_overload_min, high_overload_max] (> 1: condition ii). The
+  /// attempt is resampled unless the all-active "Low" load then lands
+  /// below `low_load_max` × capacity (condition i). Anchoring the scale on
+  /// the High side keeps the corpus mostly FT-Search-solvable at moderate
+  /// IC targets — a Low-side anchor would, for large High/Low rate ratios,
+  /// make even the single-replica deployment infeasible and every
+  /// instance trivially NUL, unlike the paper's corpus (Fig. 4).
+  double high_overload_min = 1.10;
+  double high_overload_max = 1.35;
+  double low_load_max = 0.85;
+
+  /// Resampling budget for the calibration constraints.
+  int max_attempts = 200;
+};
+
+/// A generated application bundled with the cluster it was calibrated for
+/// and its replicated placement.
+struct GeneratedApplication {
+  model::ApplicationDescriptor descriptor;
+  model::Cluster cluster;
+  model::ReplicaPlacement placement{0, 2};
+};
+
+/// Generates one application; the same (options, seed) pair always yields
+/// the same application.
+Result<GeneratedApplication> GenerateApplication(const GeneratorOptions& options,
+                                                 uint64_t seed);
+
+}  // namespace laar::appgen
+
+#endif  // LAAR_APPGEN_APP_GENERATOR_H_

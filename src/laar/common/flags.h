@@ -1,0 +1,58 @@
+#ifndef LAAR_COMMON_FLAGS_H_
+#define LAAR_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace laar {
+
+/// Minimal `--name=value` command-line parser used by the bench binaries
+/// and CLI tools. A bare `--name` is treated as `--name=1`.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      // string_view slicing sidesteps a GCC 12 -Wrestrict false positive
+      // on std::string::substr chains.
+      std::string_view raw = argv[i];
+      if (raw.size() < 2 || raw[0] != '-' || raw[1] != '-') continue;
+      raw.remove_prefix(2);
+      const size_t eq = raw.find('=');
+      if (eq == std::string_view::npos) {
+        values_.insert_or_assign(std::string(raw), std::string("1"));
+      } else {
+        values_.insert_or_assign(std::string(raw.substr(0, eq)),
+                                 std::string(raw.substr(eq + 1)));
+      }
+    }
+  }
+
+  int GetInt(const std::string& name, int fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  uint64_t GetUint64(const std::string& name, uint64_t fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback
+                               : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  std::string GetString(const std::string& name, const std::string& fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace laar
+
+#endif  // LAAR_COMMON_FLAGS_H_

@@ -1,0 +1,55 @@
+#ifndef LAAR_COMMON_LOGGING_H_
+#define LAAR_COMMON_LOGGING_H_
+
+#include <sstream>
+
+namespace laar {
+
+/// Severity levels for the library logger, lowest to highest.
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Process-wide minimum severity; messages below it are discarded.
+/// Defaults to `kWarning` so library internals stay quiet in tests/benches.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Accumulates one log line and emits it to stderr on destruction if the
+/// message severity passes the process-wide threshold.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Streams a log line at the given severity, e.g.
+/// `LAAR_LOG(Info) << "placed " << n << " replicas";`
+#define LAAR_LOG(level) \
+  ::laar::internal_logging::LogMessage(::laar::LogLevel::k##level, __FILE__, __LINE__)
+
+}  // namespace laar
+
+#endif  // LAAR_COMMON_LOGGING_H_

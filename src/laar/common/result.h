@@ -1,0 +1,86 @@
+#ifndef LAAR_COMMON_RESULT_H_
+#define LAAR_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "laar/common/status.h"
+
+namespace laar {
+
+/// Holds either a value of type `T` or a non-OK `Status` explaining why the
+/// value is absent.
+///
+/// Typical use:
+/// ```
+///   Result<Graph> r = ParseGraph(text);
+///   if (!r.ok()) return r.status();
+///   Graph g = std::move(r).value();
+/// ```
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status without a value");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Accessors. Valid only when `ok()`; aborts otherwise.
+  const T& value() const& {
+    EnsureOK();
+    return *value_;
+  }
+  T& value() & {
+    EnsureOK();
+    return *value_;
+  }
+  T&& value() && {
+    EnsureOK();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this result holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  void EnsureOK() const { status_.CheckOK(); }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a `Result<T>` expression to `lhs`, or returns its
+/// error status from the enclosing function.
+#define LAAR_ASSIGN_OR_RETURN(lhs, expr)                \
+  LAAR_ASSIGN_OR_RETURN_IMPL_(                          \
+      LAAR_STATUS_CONCAT_(_laar_result, __LINE__), lhs, expr)
+
+#define LAAR_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define LAAR_STATUS_CONCAT_(a, b) LAAR_STATUS_CONCAT_IMPL_(a, b)
+#define LAAR_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace laar
+
+#endif  // LAAR_COMMON_RESULT_H_

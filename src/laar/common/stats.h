@@ -1,0 +1,101 @@
+#ifndef LAAR_COMMON_STATS_H_
+#define LAAR_COMMON_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace laar {
+
+/// Box-plot summary of a sample, matching the convention used by the paper's
+/// figures (footnote 4): quartiles, whiskers at 1.5×IQR, and outliers.
+struct BoxPlot {
+  size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double whisker_low = 0.0;   ///< smallest sample >= p25 - 1.5*IQR
+  double whisker_high = 0.0;  ///< largest sample <= p75 + 1.5*IQR
+  std::vector<double> outliers;
+
+  /// One-line rendering: "n=.. mean=.. [min lo p25 med p75 hi max]".
+  std::string ToString() const;
+};
+
+/// Streaming accumulator for count/mean/variance/min/max plus retained
+/// samples for percentile queries.
+class SampleStats {
+ public:
+  SampleStats() = default;
+
+  void Add(double value);
+  void AddAll(const std::vector<double>& values);
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double sum() const { return sum_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  /// Linear-interpolation percentile, `q` in [0, 100].
+  double Percentile(double q) const;
+
+  /// Full box-plot summary (paper footnote 4 conventions).
+  BoxPlot Summarize() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi); used for the Fig. 5 ratio histograms.
+class Histogram {
+ public:
+  /// Requires `bins >= 1` and `lo < hi`. Samples outside the range are
+  /// counted in `underflow()` / `overflow()`.
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double value);
+
+  size_t bins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  size_t count(size_t bin) const { return counts_[bin]; }
+  size_t underflow() const { return underflow_; }
+  size_t overflow() const { return overflow_; }
+  size_t total() const { return total_; }
+
+  /// Inclusive-exclusive bounds [BinLo(i), BinHi(i)) of bin i.
+  double BinLo(size_t bin) const;
+  double BinHi(size_t bin) const;
+
+  /// Renders an ASCII histogram, one row per bin, for bench output.
+  std::string ToString(size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<size_t> counts_;
+  size_t underflow_ = 0;
+  size_t overflow_ = 0;
+  size_t total_ = 0;
+};
+
+}  // namespace laar
+
+#endif  // LAAR_COMMON_STATS_H_

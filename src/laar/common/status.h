@@ -1,0 +1,110 @@
+#ifndef LAAR_COMMON_STATUS_H_
+#define LAAR_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace laar {
+
+/// Canonical error codes used across the LAAR public API.
+///
+/// Mirrors the error taxonomy used by Arrow/RocksDB-style database libraries:
+/// errors are returned as values, never thrown across API boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kDeadlineExceeded = 6,
+  kUnimplemented = 7,
+  kInternal = 8,
+  kIoError = 9,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A success-or-error value describing the outcome of an operation.
+///
+/// `Status` is cheap to copy in the success case (no allocation) and carries
+/// a code plus a diagnostic message otherwise. Functions that can fail return
+/// `Status` (or `Result<T>` when they also produce a value).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. A `kOk` code with
+  /// a non-empty message is normalized to a plain OK status.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(code == StatusCode::kOk ? std::string() : std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per canonical code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+  static Status IoError(std::string msg) { return Status(StatusCode::kIoError, std::move(msg)); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Returns "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Prepends `context` to the message of a non-OK status; no-op on OK.
+  Status WithContext(std::string_view context) const;
+
+  /// Aborts the process if this status is not OK. Use only where an error
+  /// indicates a programming bug (e.g. in examples/tests).
+  void CheckOK() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates a non-OK status to the caller.
+#define LAAR_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::laar::Status _laar_status = (expr);          \
+    if (!_laar_status.ok()) return _laar_status;   \
+  } while (false)
+
+}  // namespace laar
+
+#endif  // LAAR_COMMON_STATUS_H_

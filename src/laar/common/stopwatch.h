@@ -1,0 +1,61 @@
+#ifndef LAAR_COMMON_STOPWATCH_H_
+#define LAAR_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace laar {
+
+/// Wall-clock stopwatch for measuring search/bench durations.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A wall-clock budget; FT-Search uses it to implement the paper's hard time
+/// limit (§4.5: 10 minutes, after which the best solution so far is returned).
+class Deadline {
+ public:
+  /// An effectively-infinite deadline.
+  Deadline() : has_limit_(false) {}
+
+  /// A deadline `seconds` from now. Non-positive values expire immediately.
+  static Deadline After(double seconds) {
+    Deadline d;
+    d.has_limit_ = true;
+    d.expiry_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  static Deadline Infinite() { return Deadline(); }
+
+  bool Expired() const { return has_limit_ && Clock::now() >= expiry_; }
+
+  double RemainingSeconds() const {
+    if (!has_limit_) return 1e18;
+    return std::chrono::duration<double>(expiry_ - Clock::now()).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool has_limit_ = false;
+  Clock::time_point expiry_{};
+};
+
+}  // namespace laar
+
+#endif  // LAAR_COMMON_STOPWATCH_H_

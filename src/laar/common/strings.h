@@ -1,0 +1,28 @@
+#ifndef LAAR_COMMON_STRINGS_H_
+#define LAAR_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace laar {
+
+/// printf-style formatting into a std::string.
+/// (libstdc++ 12 lacks std::format; this is the project-wide substitute.)
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+}  // namespace laar
+
+#endif  // LAAR_COMMON_STRINGS_H_

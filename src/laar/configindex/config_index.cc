@@ -1,0 +1,191 @@
+#include "laar/configindex/config_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "laar/common/strings.h"
+
+namespace laar::configindex {
+
+namespace {
+
+/// Recursive Sort-Tile-Recursive bulk load: sorts the index range by the
+/// current dimension, slices it into tiles, and recurses on the next
+/// dimension; at the bottom, consecutive runs become leaves.
+void StrSort(std::vector<int>* order, size_t begin, size_t end, size_t dim,
+             size_t dimensions, size_t leaf_capacity,
+             const std::vector<std::vector<double>>& coords) {
+  if (end - begin <= leaf_capacity || dim >= dimensions) return;
+  std::sort(order->begin() + static_cast<long>(begin),
+            order->begin() + static_cast<long>(end), [&](int a, int b) {
+              if (coords[static_cast<size_t>(a)][dim] != coords[static_cast<size_t>(b)][dim]) {
+                return coords[static_cast<size_t>(a)][dim] <
+                       coords[static_cast<size_t>(b)][dim];
+              }
+              return a < b;
+            });
+  const size_t count = end - begin;
+  const auto num_leaves =
+      static_cast<size_t>(std::ceil(static_cast<double>(count) /
+                                    static_cast<double>(leaf_capacity)));
+  const auto slices = static_cast<size_t>(std::ceil(
+      std::pow(static_cast<double>(num_leaves), 1.0 / static_cast<double>(dimensions - dim))));
+  const size_t slice_size = (count + slices - 1) / slices;
+  for (size_t s = begin; s < end; s += slice_size) {
+    StrSort(order, s, std::min(end, s + slice_size), dim + 1, dimensions, leaf_capacity,
+            coords);
+  }
+}
+
+}  // namespace
+
+Result<ConfigIndex> ConfigIndex::Build(const model::InputSpace& space) {
+  LAAR_RETURN_IF_ERROR(space.Validate());
+  ConfigIndex index;
+  index.dimensions_ = space.num_sources();
+  index.peak_config_ = space.PeakConfig();
+
+  const model::ConfigId num_configs = space.num_configs();
+  std::vector<std::vector<double>> coords;
+  coords.reserve(static_cast<size_t>(num_configs));
+  for (model::ConfigId c = 0; c < num_configs; ++c) {
+    std::vector<double> point(index.dimensions_);
+    for (size_t d = 0; d < index.dimensions_; ++d) point[d] = space.RateOf(d, c);
+    index.points_.push_back(Point{point, c});
+    coords.push_back(std::move(point));
+  }
+
+  // STR bulk load: compute a space-filling ordering, then build leaves over
+  // consecutive runs and stack internal levels until one root remains.
+  std::vector<int> order(index.points_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  StrSort(&order, 0, order.size(), 0, index.dimensions_, kMaxEntriesPerNode, coords);
+
+  std::vector<int> level;  // node indices of the level under construction
+  for (size_t i = 0; i < order.size(); i += kMaxEntriesPerNode) {
+    Node leaf;
+    leaf.leaf = true;
+    leaf.box_min.assign(index.dimensions_, std::numeric_limits<double>::infinity());
+    leaf.box_max.assign(index.dimensions_, -std::numeric_limits<double>::infinity());
+    for (size_t j = i; j < std::min(order.size(), i + kMaxEntriesPerNode); ++j) {
+      leaf.entries.push_back(order[j]);
+      const Point& p = index.points_[static_cast<size_t>(order[j])];
+      for (size_t d = 0; d < index.dimensions_; ++d) {
+        leaf.box_min[d] = std::min(leaf.box_min[d], p.coords[d]);
+        leaf.box_max[d] = std::max(leaf.box_max[d], p.coords[d]);
+      }
+    }
+    level.push_back(static_cast<int>(index.nodes_.size()));
+    index.nodes_.push_back(std::move(leaf));
+  }
+
+  while (level.size() > 1) {
+    std::vector<int> parent_level;
+    for (size_t i = 0; i < level.size(); i += kMaxEntriesPerNode) {
+      Node parent;
+      parent.leaf = false;
+      parent.box_min.assign(index.dimensions_, std::numeric_limits<double>::infinity());
+      parent.box_max.assign(index.dimensions_, -std::numeric_limits<double>::infinity());
+      for (size_t j = i; j < std::min(level.size(), i + kMaxEntriesPerNode); ++j) {
+        parent.entries.push_back(level[j]);
+        const Node& child = index.nodes_[static_cast<size_t>(level[j])];
+        for (size_t d = 0; d < index.dimensions_; ++d) {
+          parent.box_min[d] = std::min(parent.box_min[d], child.box_min[d]);
+          parent.box_max[d] = std::max(parent.box_max[d], child.box_max[d]);
+        }
+      }
+      parent_level.push_back(static_cast<int>(index.nodes_.size()));
+      index.nodes_.push_back(std::move(parent));
+    }
+    level = std::move(parent_level);
+  }
+  index.root_ = level.empty() ? -1 : level[0];
+  return index;
+}
+
+double ConfigIndex::MinDistSquared(const Node& node, const std::vector<double>& query) const {
+  double total = 0.0;
+  for (size_t d = 0; d < dimensions_; ++d) {
+    double gap = 0.0;
+    if (query[d] < node.box_min[d]) {
+      gap = node.box_min[d] - query[d];
+    } else if (query[d] > node.box_max[d]) {
+      gap = query[d] - node.box_max[d];
+    }
+    total += gap * gap;
+  }
+  return total;
+}
+
+bool ConfigIndex::BoxCanDominate(const Node& node, const std::vector<double>& query) const {
+  for (size_t d = 0; d < dimensions_; ++d) {
+    if (node.box_max[d] < query[d]) return false;
+  }
+  return true;
+}
+
+void ConfigIndex::Search(int node_index, const std::vector<double>& query, double* best_dist,
+                         model::ConfigId* best_config) const {
+  const Node& node = nodes_[static_cast<size_t>(node_index)];
+  if (!BoxCanDominate(node, query)) return;
+  if (MinDistSquared(node, query) >= *best_dist) return;
+  if (node.leaf) {
+    for (int point_index : node.entries) {
+      const Point& p = points_[static_cast<size_t>(point_index)];
+      bool dominates = true;
+      double dist = 0.0;
+      for (size_t d = 0; d < dimensions_; ++d) {
+        if (p.coords[d] < query[d]) {
+          dominates = false;
+          break;
+        }
+        const double gap = p.coords[d] - query[d];
+        dist += gap * gap;
+      }
+      if (dominates && dist < *best_dist) {
+        *best_dist = dist;
+        *best_config = p.config;
+      }
+    }
+    return;
+  }
+  // Visit children in MINDIST order so the best candidate tightens early.
+  std::vector<std::pair<double, int>> ranked;
+  ranked.reserve(node.entries.size());
+  for (int child : node.entries) {
+    ranked.emplace_back(MinDistSquared(nodes_[static_cast<size_t>(child)], query), child);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  for (const auto& [dist, child] : ranked) {
+    if (dist >= *best_dist) break;
+    Search(child, query, best_dist, best_config);
+  }
+}
+
+Result<model::ConfigId> ConfigIndex::Lookup(const std::vector<double>& measured_rates) const {
+  if (measured_rates.size() != dimensions_) {
+    return Status::InvalidArgument(
+        StrFormat("expected %zu measured rates, got %zu", dimensions_,
+                  measured_rates.size()));
+  }
+  if (root_ < 0) return Status::FailedPrecondition("empty configuration index");
+  double best_dist = std::numeric_limits<double>::infinity();
+  model::ConfigId best_config = model::ConfigId{-1};
+  Search(root_, measured_rates, &best_dist, &best_config);
+  if (best_config < 0) return peak_config_;  // nothing dominates: assume peak load
+  return best_config;
+}
+
+int ConfigIndex::Height() const {
+  if (root_ < 0) return 0;
+  int height = 1;
+  int node_index = root_;
+  while (!nodes_[static_cast<size_t>(node_index)].leaf) {
+    node_index = nodes_[static_cast<size_t>(node_index)].entries[0];
+    ++height;
+  }
+  return height;
+}
+
+}  // namespace laar::configindex

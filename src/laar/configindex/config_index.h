@@ -1,0 +1,72 @@
+#ifndef LAAR_CONFIGINDEX_CONFIG_INDEX_H_
+#define LAAR_CONFIGINDEX_CONFIG_INDEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "laar/common/result.h"
+#include "laar/model/input_space.h"
+
+namespace laar::configindex {
+
+/// The HAController's configuration lookup structure (§4.6): "an R-Tree-like
+/// data structure that selects the input configuration that is spatially
+/// closer to the current data rates and whose components are all greater
+/// than the corresponding actual rates", guaranteeing the chosen replica
+/// configuration never underestimates the actual system load.
+///
+/// Input configurations are points in the t-dimensional rate space (one
+/// axis per data source). The index is a bulk-loaded (Sort-Tile-Recursive)
+/// R-tree over those points; `Lookup` is a branch-and-bound nearest-
+/// dominating-point search: a subtree is visited only if its bounding box
+/// can contain a point with every coordinate >= the measured rate, and
+/// subtrees are explored in MINDIST order.
+class ConfigIndex {
+ public:
+  /// Builds the index over all configurations of `space` (must validate).
+  static Result<ConfigIndex> Build(const model::InputSpace& space);
+
+  /// Returns the closest configuration dominating `measured_rates`
+  /// (one entry per source, same order as `space.sources()`).
+  /// When no configuration dominates the measurement — the live rates
+  /// exceed everything in the contract — returns the configuration with the
+  /// largest rates (the peak), which is the least-underestimating choice.
+  Result<model::ConfigId> Lookup(const std::vector<double>& measured_rates) const;
+
+  size_t num_dimensions() const { return dimensions_; }
+  size_t num_points() const { return points_.size(); }
+
+  /// Depth of the tree (1 = single leaf); exposed for tests.
+  int Height() const;
+
+ private:
+  static constexpr size_t kMaxEntriesPerNode = 8;
+
+  struct Node {
+    bool leaf = true;
+    std::vector<double> box_min;  // per dimension
+    std::vector<double> box_max;
+    /// leaf: indices into points_/configs_; internal: indices into nodes_.
+    std::vector<int> entries;
+  };
+
+  struct Point {
+    std::vector<double> coords;
+    model::ConfigId config;
+  };
+
+  double MinDistSquared(const Node& node, const std::vector<double>& query) const;
+  bool BoxCanDominate(const Node& node, const std::vector<double>& query) const;
+  void Search(int node_index, const std::vector<double>& query, double* best_dist,
+              model::ConfigId* best_config) const;
+
+  size_t dimensions_ = 0;
+  std::vector<Point> points_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  model::ConfigId peak_config_ = 0;
+};
+
+}  // namespace laar::configindex
+
+#endif  // LAAR_CONFIGINDEX_CONFIG_INDEX_H_

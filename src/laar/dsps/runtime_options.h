@@ -1,0 +1,68 @@
+#ifndef LAAR_DSPS_RUNTIME_OPTIONS_H_
+#define LAAR_DSPS_RUNTIME_OPTIONS_H_
+
+#include <cstddef>
+
+namespace laar::dsps {
+
+/// Tunables of the simulated stream-processing runtime. Defaults mirror the
+/// paper's deployment (§5.2) and its LAAR middleware layer (§4.6, §5.1).
+struct RuntimeOptions {
+  /// Input queues hold this many seconds of tuples at the peak ("High")
+  /// arrival rate of their port (§5.2); overflowing tuples are dropped.
+  double queue_seconds = 2.0;
+
+  /// Queue capacity floor in tuples, so very slow ports still buffer.
+  size_t min_queue_capacity = 4;
+
+  /// Rate Monitor measurement window / reporting period (§4.6).
+  double monitor_period_seconds = 1.0;
+
+  /// Tuples subtracted from each window count before the dominating-config
+  /// lookup. Counting tuples over a finite window quantizes the measured
+  /// rate to ±1 tuple/window; without this allowance a source running
+  /// exactly at a configuration's rate intermittently measures one tuple
+  /// high and the controller flaps to the next configuration up.
+  double monitor_tolerance_tuples = 1.0;
+
+  /// Delay between the HAController deciding a replica-set change and the
+  /// activation/deactivation commands taking effect at the proxies.
+  double control_latency_seconds = 0.1;
+
+  /// Time for heartbeat-based failure detection and primary takeover by an
+  /// already-active secondary.
+  double failover_latency_seconds = 1.0;
+
+  /// State re-synchronization pause when a replica is (re)activated (§4.6).
+  double resync_latency_seconds = 0.5;
+
+  /// Whether the HAController reacts to Rate Monitor reports at runtime.
+  /// Off, the strategy of the initial configuration stays applied (static
+  /// variants behave identically either way).
+  bool dynamic_control = true;
+
+  /// Width of every recorded time series bucket.
+  double timeseries_bucket_seconds = 1.0;
+
+  /// Record per-replica CPU time series (Fig. 3-style plots); costs memory
+  /// proportional to replicas × buckets.
+  bool record_replica_series = false;
+
+  /// Track end-to-end tuple latency (source emission to sink arrival,
+  /// attributed through the tuple that triggered each emission). Costs one
+  /// sample per sink tuple.
+  bool record_latency = true;
+
+  /// Load shedding (§2's alternative to LAAR [25, 29, 30]): when a port's
+  /// queue exceeds `shed_threshold` of its capacity, incoming tuples are
+  /// shed at a rate that ramps linearly from 0 at the threshold to 1 at a
+  /// full queue. Shedding keeps queues (hence latency) short during
+  /// overload at the price of completeness; shed tuples are counted as
+  /// drops. The shedder is deterministic (credit-based, no randomness).
+  bool enable_load_shedding = false;
+  double shed_threshold = 0.5;
+};
+
+}  // namespace laar::dsps
+
+#endif  // LAAR_DSPS_RUNTIME_OPTIONS_H_

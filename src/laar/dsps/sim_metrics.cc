@@ -1,0 +1,34 @@
+#include "laar/dsps/sim_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace laar::dsps {
+
+double SimulationMetrics::TotalCpuCycles() const {
+  double total = 0.0;
+  for (const auto& per_pe : replicas) {
+    for (const ReplicaMetrics& r : per_pe) total += r.cpu_cycles;
+  }
+  return total;
+}
+
+uint64_t SimulationMetrics::TotalProcessed() const {
+  uint64_t total = 0;
+  for (uint64_t count : pe_processed) total += count;
+  return total;
+}
+
+double SimulationMetrics::MeanRate(const std::vector<double>& series, double bucket_seconds,
+                                   sim::SimTime from, sim::SimTime to) {
+  if (series.empty() || bucket_seconds <= 0.0 || to <= from) return 0.0;
+  const auto first = static_cast<size_t>(std::max(0.0, std::floor(from / bucket_seconds)));
+  const auto last = std::min(series.size(),
+                             static_cast<size_t>(std::ceil(to / bucket_seconds)));
+  if (first >= last) return 0.0;
+  double total = 0.0;
+  for (size_t i = first; i < last; ++i) total += series[i];
+  return total / (static_cast<double>(last - first) * bucket_seconds);
+}
+
+}  // namespace laar::dsps

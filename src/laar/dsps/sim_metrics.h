@@ -1,0 +1,68 @@
+#ifndef LAAR_DSPS_SIM_METRICS_H_
+#define LAAR_DSPS_SIM_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "laar/common/stats.h"
+#include "laar/model/component.h"
+#include "laar/sim/simulator.h"
+
+namespace laar::dsps {
+
+/// Counters of one PE replica over a simulation run.
+struct ReplicaMetrics {
+  double cpu_cycles = 0.0;        ///< cycles consumed processing tuples
+  uint64_t tuples_arrived = 0;    ///< tuples offered while alive & active
+  uint64_t tuples_processed = 0;  ///< tuples fully processed
+  uint64_t tuples_emitted = 0;    ///< tuples forwarded downstream (primary only)
+  uint64_t tuples_dropped = 0;    ///< queue-overflow drops
+  uint64_t tuples_ignored = 0;    ///< tuples discarded while inactive/dead
+};
+
+/// Everything measured during one `StreamSimulation` run. All time series
+/// share the bucket width from `RuntimeOptions`.
+struct SimulationMetrics {
+  sim::SimTime duration = 0.0;
+  double bucket_seconds = 1.0;
+
+  /// Indexed [component][replica]; non-PE components have empty vectors.
+  std::vector<std::vector<ReplicaMetrics>> replicas;
+
+  /// Per-PE logical tuples processed by the acting primary — the measured
+  /// counterpart of the "samples processed" metric in Fig. 11.
+  std::vector<uint64_t> pe_processed;
+
+  /// Per-host total cycles consumed.
+  std::vector<double> host_cycles;
+
+  uint64_t source_tuples = 0;  ///< tuples produced by all sources
+  uint64_t sink_tuples = 0;    ///< tuples delivered to all sinks
+  uint64_t dropped_tuples = 0; ///< total queue-overflow drops
+
+  /// Per-bucket source-emission and sink-arrival counts.
+  std::vector<double> source_series;
+  std::vector<double> sink_series;
+
+  /// End-to-end latency (seconds) of every sink tuple, when
+  /// `record_latency` is on. A tuple's latency is measured from the source
+  /// emission whose processing chain produced it (selectivity makes exact
+  /// lineage ambiguous; the triggering tuple's birth time is inherited).
+  SampleStats sink_latency;
+
+  /// Per-replica per-bucket cycles; filled when record_replica_series is
+  /// set. Indexed [component][replica][bucket].
+  std::vector<std::vector<std::vector<double>>> replica_series;
+
+  /// Totals.
+  double TotalCpuCycles() const;
+  uint64_t TotalProcessed() const;  ///< Σ pe_processed — the IC numerator
+
+  /// Mean rate over a window, from a bucketed series.
+  static double MeanRate(const std::vector<double>& series, double bucket_seconds,
+                         sim::SimTime from, sim::SimTime to);
+};
+
+}  // namespace laar::dsps
+
+#endif  // LAAR_DSPS_SIM_METRICS_H_

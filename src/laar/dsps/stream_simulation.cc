@@ -1,0 +1,664 @@
+#include "laar/dsps/stream_simulation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "laar/common/strings.h"
+
+namespace laar::dsps {
+
+namespace {
+
+/// Completion slack: a replica whose remaining work is below this fraction
+/// of a second of host capacity is considered done (absorbs FP drift in the
+/// processor-sharing integration).
+constexpr double kCompletionSlackSeconds = 1e-9;
+
+}  // namespace
+
+/// One bounded input queue of a replica, fed by a single upstream component
+/// (§5.2: "one queue for each input port").
+struct StreamSimulation::Port {
+  model::ComponentId from = model::kInvalidComponent;
+  double selectivity = 1.0;
+  double cpu_cost = 0.0;   // cycles per tuple on this port
+  size_t capacity = 0;     // tuples
+  size_t queued = 0;
+  double selectivity_acc = 0.0;  // §5.2 footnote 3 accumulator
+  double shed_credit = 0.0;      // deterministic load-shedding accumulator
+};
+
+/// Where a component's output goes: a sink, or a specific input port of a
+/// downstream PE (delivered to every replica of that PE).
+struct Output {
+  bool is_sink = false;
+  model::ComponentId to = model::kInvalidComponent;
+  int port_index = -1;
+};
+
+struct StreamSimulation::Replica {
+  model::ComponentId pe_id = model::kInvalidComponent;
+  int index = 0;
+  model::HostId host = model::kInvalidHost;
+
+  bool alive = true;
+  bool active = true;
+  bool resyncing = false;
+  uint64_t resync_epoch = 0;
+
+  bool processing = false;
+  int processing_port = -1;
+  double remaining_cycles = 0.0;
+  sim::SimTime processing_birth = 0.0;  // birth time of the in-flight tuple
+
+  /// One buffered tuple: its port and the source-emission time it traces
+  /// back to (for end-to-end latency).
+  struct QueuedTuple {
+    int port;
+    sim::SimTime birth;
+  };
+
+  std::vector<Port> ports;
+  std::deque<QueuedTuple> fifo;  // arrival order of queued tuples
+};
+
+struct StreamSimulation::PeState {
+  model::ComponentId id = model::kInvalidComponent;
+  std::vector<Replica> replicas;
+  int primary = -1;
+  std::vector<Output> outputs;
+};
+
+struct StreamSimulation::HostState {
+  model::HostId id = model::kInvalidHost;
+  double capacity = 0.0;  // cycles/sec
+  std::vector<Replica*> busy;
+  sim::SimTime last_advance = 0.0;
+  sim::EventId completion_event = sim::kInvalidEvent;
+};
+
+struct StreamSimulation::SourceState {
+  model::ComponentId id = model::kInvalidComponent;
+  size_t source_index = 0;
+  uint64_t emitted = 0;
+  uint64_t monitor_snapshot = 0;
+  std::vector<Output> outputs;
+};
+
+StreamSimulation::~StreamSimulation() = default;
+
+StreamSimulation::StreamSimulation(const model::ApplicationDescriptor& app,
+                                   const model::Cluster& cluster,
+                                   const model::ReplicaPlacement& placement,
+                                   const strategy::ActivationStrategy& strategy,
+                                   const InputTrace& trace, const RuntimeOptions& options)
+    : app_(app),
+      cluster_(cluster),
+      placement_(placement),
+      strategy_(strategy),
+      trace_(trace),
+      options_(options) {}
+
+Status StreamSimulation::Build() {
+  if (built_) return Status::OK();
+  if (!app_.graph.validated()) {
+    return Status::FailedPrecondition("application graph must be validated");
+  }
+  LAAR_RETURN_IF_ERROR(cluster_.Validate());
+  LAAR_RETURN_IF_ERROR(placement_.Validate(cluster_, /*require_anti_affinity=*/false));
+  if (trace_.segments().empty()) return Status::FailedPrecondition("empty input trace");
+
+  LAAR_ASSIGN_OR_RETURN(rates_, model::ExpectedRates::Compute(app_.graph, app_.input_space));
+  LAAR_ASSIGN_OR_RETURN(config_index_, configindex::ConfigIndex::Build(app_.input_space));
+
+  const model::ApplicationGraph& graph = app_.graph;
+  const int k = placement_.replication_factor();
+  const model::ConfigId peak = app_.input_space.PeakConfig();
+
+  metrics_ = SimulationMetrics{};
+  metrics_.bucket_seconds = options_.timeseries_bucket_seconds;
+  metrics_.duration = trace_.TotalDuration();
+  const size_t num_buckets =
+      static_cast<size_t>(std::ceil(metrics_.duration / metrics_.bucket_seconds)) + 1;
+  metrics_.replicas.resize(graph.num_components());
+  metrics_.pe_processed.assign(graph.num_components(), 0);
+  metrics_.host_cycles.assign(cluster_.num_hosts(), 0.0);
+  metrics_.source_series.assign(num_buckets, 0.0);
+  metrics_.sink_series.assign(num_buckets, 0.0);
+  if (options_.record_replica_series) {
+    metrics_.replica_series.resize(graph.num_components());
+  }
+
+  hosts_.clear();
+  for (const model::Host& host : cluster_.hosts()) {
+    auto state = std::make_unique<HostState>();
+    state->id = host.id;
+    state->capacity = host.capacity_cycles_per_sec;
+    hosts_.push_back(std::move(state));
+  }
+
+  // PEs with their replicas and ports.
+  pes_.clear();
+  pes_.resize(graph.num_components());
+  for (model::ComponentId pe : graph.Pes()) {
+    auto state = std::make_unique<PeState>();
+    state->id = pe;
+    state->replicas.resize(static_cast<size_t>(k));
+    metrics_.replicas[static_cast<size_t>(pe)].resize(static_cast<size_t>(k));
+    if (options_.record_replica_series) {
+      metrics_.replica_series[static_cast<size_t>(pe)].assign(
+          static_cast<size_t>(k), std::vector<double>(num_buckets, 0.0));
+    }
+    for (int r = 0; r < k; ++r) {
+      Replica& replica = state->replicas[static_cast<size_t>(r)];
+      replica.pe_id = pe;
+      replica.index = r;
+      replica.host = placement_.HostOf(pe, r);
+      if (replica.host == model::kInvalidHost) {
+        return Status::FailedPrecondition(StrFormat("PE %d replica %d is unplaced", pe, r));
+      }
+      for (size_t edge_index : graph.IncomingEdges(pe)) {
+        const model::Edge& e = graph.edges()[edge_index];
+        Port port;
+        port.from = e.from;
+        port.selectivity = e.selectivity;
+        port.cpu_cost = e.cpu_cost_cycles;
+        // Sized for `queue_seconds` of the port's peak-configuration
+        // arrival rate (§5.2).
+        const double peak_rate = rates_.Rate(e.from, peak);
+        port.capacity = std::max<size_t>(
+            options_.min_queue_capacity,
+            static_cast<size_t>(std::ceil(options_.queue_seconds * peak_rate)));
+        replica.ports.push_back(port);
+      }
+    }
+    pes_[static_cast<size_t>(pe)] = std::move(state);
+  }
+
+  // Output wiring: port index of edge (u, v) at v = position of that edge
+  // within v's incoming edge list.
+  auto port_index_at = [&graph](model::ComponentId from, model::ComponentId to) {
+    const auto& incoming = graph.IncomingEdges(to);
+    for (size_t i = 0; i < incoming.size(); ++i) {
+      if (graph.edges()[incoming[i]].from == from) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  auto outputs_of = [&](model::ComponentId id) {
+    std::vector<Output> outputs;
+    for (size_t edge_index : graph.OutgoingEdges(id)) {
+      const model::Edge& e = graph.edges()[edge_index];
+      Output output;
+      output.to = e.to;
+      output.is_sink = graph.IsSink(e.to);
+      output.port_index = output.is_sink ? -1 : port_index_at(id, e.to);
+      outputs.push_back(output);
+    }
+    return outputs;
+  };
+  for (model::ComponentId pe : graph.Pes()) {
+    pes_[static_cast<size_t>(pe)]->outputs = outputs_of(pe);
+  }
+
+  sources_.clear();
+  for (model::ComponentId source : graph.Sources()) {
+    auto state = std::make_unique<SourceState>();
+    state->id = source;
+    LAAR_ASSIGN_OR_RETURN(state->source_index, app_.input_space.SourceIndexOf(source));
+    state->outputs = outputs_of(source);
+    sources_.push_back(std::move(state));
+  }
+
+  // Initial activation state: the strategy entry of the configuration the
+  // trace starts in, applied instantaneously (deployment-time setup).
+  applied_config_ = trace_.ConfigAt(0.0);
+  for (model::ComponentId pe : graph.Pes()) {
+    PeState* state = pes_[static_cast<size_t>(pe)].get();
+    for (Replica& replica : state->replicas) {
+      replica.active = strategy_.IsActive(pe, replica.index, applied_config_);
+    }
+  }
+  built_ = true;
+  return Status::OK();
+}
+
+Status StreamSimulation::InjectPermanentReplicaFailure(model::ComponentId pe, int replica) {
+  LAAR_RETURN_IF_ERROR(Build());
+  if (pe < 0 || static_cast<size_t>(pe) >= pes_.size() || pes_[static_cast<size_t>(pe)] == nullptr) {
+    return Status::InvalidArgument(StrFormat("component %d is not a PE", pe));
+  }
+  PeState* state = pes_[static_cast<size_t>(pe)].get();
+  if (replica < 0 || static_cast<size_t>(replica) >= state->replicas.size()) {
+    return Status::InvalidArgument(StrFormat("PE %d has no replica %d", pe, replica));
+  }
+  state->replicas[static_cast<size_t>(replica)].alive = false;
+  return Status::OK();
+}
+
+Status StreamSimulation::ScheduleHostCrash(model::HostId host, sim::SimTime at,
+                                           sim::SimTime duration) {
+  LAAR_RETURN_IF_ERROR(Build());
+  if (host < 0 || static_cast<size_t>(host) >= hosts_.size()) {
+    return Status::InvalidArgument(StrFormat("unknown host %d", host));
+  }
+  if (at < 0.0 || duration <= 0.0) {
+    return Status::InvalidArgument("crash time must be >= 0 with positive duration");
+  }
+  simulator_.ScheduleAt(at, [this, host, duration] { CrashHost(host, duration); });
+  return Status::OK();
+}
+
+Status StreamSimulation::Run() {
+  if (ran_) return Status::FailedPrecondition("simulation already ran");
+  LAAR_RETURN_IF_ERROR(Build());
+  ran_ = true;
+
+  // Primaries after the initial activation state and injected failures.
+  for (auto& pe : pes_) {
+    if (pe != nullptr) ElectPrimary(pe.get());
+  }
+
+  // Source drivers: the first tuple of each source fires one inter-arrival
+  // interval into the trace.
+  for (auto& source : sources_) {
+    SourceState* state = source.get();
+    const double rate =
+        app_.input_space.RateOf(state->source_index, trace_.ConfigAt(0.0));
+    if (rate > 0.0) {
+      simulator_.ScheduleAt(1.0 / rate, [this, state] { SourceEmit(state); });
+    }
+  }
+
+  // The LAAR middleware loop (Rate Monitor -> HAController).
+  if (options_.dynamic_control) {
+    simulator_.ScheduleAt(options_.monitor_period_seconds, [this] { MonitorTick(); });
+  }
+
+  simulator_.RunUntil(trace_.TotalDuration());
+
+  // Flush processor-sharing accounting up to the horizon.
+  for (auto& host : hosts_) AdvanceHost(host.get());
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Processor sharing
+// ---------------------------------------------------------------------------
+
+void StreamSimulation::AdvanceHost(HostState* host) {
+  const sim::SimTime now = simulator_.now();
+  const double dt = now - host->last_advance;
+  host->last_advance = now;
+  if (dt <= 0.0 || host->busy.empty()) return;
+  const double share = host->capacity / static_cast<double>(host->busy.size());
+  const double work = share * dt;
+  for (Replica* replica : host->busy) {
+    replica->remaining_cycles -= work;
+    RecordReplicaCycles(replica, work);
+  }
+}
+
+void StreamSimulation::RescheduleHost(HostState* host) {
+  if (host->completion_event != sim::kInvalidEvent) {
+    simulator_.Cancel(host->completion_event);
+    host->completion_event = sim::kInvalidEvent;
+  }
+  if (host->busy.empty()) return;
+  Replica* next = host->busy.front();
+  for (Replica* replica : host->busy) {
+    if (replica->remaining_cycles < next->remaining_cycles) next = replica;
+  }
+  const double share = host->capacity / static_cast<double>(host->busy.size());
+  const double delay = std::max(0.0, next->remaining_cycles) / share;
+  host->completion_event = simulator_.ScheduleAfter(
+      delay, [this, host, next] { HostCompletionEvent(host, next); });
+}
+
+void StreamSimulation::HostCompletionEvent(HostState* host, Replica* target) {
+  host->completion_event = sim::kInvalidEvent;
+  AdvanceHost(host);
+  const double slack = host->capacity * kCompletionSlackSeconds;
+  std::vector<Replica*> finished;
+  std::vector<Replica*> still_busy;
+  for (Replica* replica : host->busy) {
+    if (replica == target || replica->remaining_cycles <= slack) {
+      finished.push_back(replica);
+    } else {
+      still_busy.push_back(replica);
+    }
+  }
+  host->busy = std::move(still_busy);
+  RescheduleHost(host);
+  for (Replica* replica : finished) {
+    replica->processing = false;
+    replica->remaining_cycles = 0.0;
+    FinishTuple(replica);
+    TryStartProcessing(replica);
+  }
+}
+
+void StreamSimulation::AddBusy(Replica* replica) {
+  HostState* host = hosts_[static_cast<size_t>(replica->host)].get();
+  AdvanceHost(host);
+  host->busy.push_back(replica);
+  RescheduleHost(host);
+}
+
+void StreamSimulation::RemoveBusy(Replica* replica) {
+  HostState* host = hosts_[static_cast<size_t>(replica->host)].get();
+  AdvanceHost(host);
+  auto it = std::find(host->busy.begin(), host->busy.end(), replica);
+  if (it != host->busy.end()) host->busy.erase(it);
+  RescheduleHost(host);
+}
+
+// ---------------------------------------------------------------------------
+// Operator mechanics
+// ---------------------------------------------------------------------------
+
+void StreamSimulation::DeliverToReplica(Replica* replica, int port_index,
+                                        sim::SimTime birth) {
+  ReplicaMetrics& rm =
+      metrics_.replicas[static_cast<size_t>(replica->pe_id)][static_cast<size_t>(replica->index)];
+  if (!replica->alive || !replica->active || replica->resyncing) {
+    ++rm.tuples_ignored;
+    return;
+  }
+  ++rm.tuples_arrived;
+  Port& port = replica->ports[static_cast<size_t>(port_index)];
+  if (options_.enable_load_shedding && port.capacity > 0) {
+    // RED-style deterministic shedder: the shed fraction ramps from 0 at
+    // the threshold occupancy to 1 at a full queue; a per-port credit
+    // accumulator realizes the fraction without randomness.
+    const double occupancy =
+        static_cast<double>(port.queued) / static_cast<double>(port.capacity);
+    const double span = 1.0 - options_.shed_threshold;
+    const double fraction =
+        span <= 0.0 ? (occupancy >= options_.shed_threshold ? 1.0 : 0.0)
+                    : (occupancy - options_.shed_threshold) / span;
+    if (fraction > 0.0) {
+      port.shed_credit += std::min(fraction, 1.0);
+      if (port.shed_credit >= 1.0) {
+        port.shed_credit -= 1.0;
+        ++rm.tuples_dropped;
+        ++metrics_.dropped_tuples;
+        return;
+      }
+    } else {
+      port.shed_credit = 0.0;
+    }
+  }
+  if (port.queued >= port.capacity) {
+    ++rm.tuples_dropped;
+    ++metrics_.dropped_tuples;
+    return;
+  }
+  ++port.queued;
+  replica->fifo.push_back(Replica::QueuedTuple{port_index, birth});
+  TryStartProcessing(replica);
+}
+
+void StreamSimulation::TryStartProcessing(Replica* replica) {
+  if (replica->processing || !replica->alive || !replica->active || replica->resyncing) {
+    return;
+  }
+  if (replica->fifo.empty()) return;
+  const Replica::QueuedTuple tuple = replica->fifo.front();
+  replica->fifo.pop_front();
+  Port& port = replica->ports[static_cast<size_t>(tuple.port)];
+  --port.queued;
+  replica->processing = true;
+  replica->processing_port = tuple.port;
+  replica->processing_birth = tuple.birth;
+  replica->remaining_cycles = port.cpu_cost;
+  if (port.cpu_cost <= 0.0) {
+    // Zero-cost tuple: complete synchronously without touching the host.
+    replica->processing = false;
+    FinishTuple(replica);
+    TryStartProcessing(replica);
+    return;
+  }
+  AddBusy(replica);
+}
+
+void StreamSimulation::FinishTuple(Replica* replica) {
+  ReplicaMetrics& rm =
+      metrics_.replicas[static_cast<size_t>(replica->pe_id)][static_cast<size_t>(replica->index)];
+  ++rm.tuples_processed;
+  PeState* pe = pes_[static_cast<size_t>(replica->pe_id)].get();
+  const bool is_primary = pe->primary == replica->index;
+  if (is_primary) {
+    ++metrics_.pe_processed[static_cast<size_t>(replica->pe_id)];
+  }
+  Port& port = replica->ports[static_cast<size_t>(replica->processing_port)];
+  replica->processing_port = -1;
+  // §5.2 footnote 3 selectivity semantics: an output tuple is produced for
+  // every unit the per-port accumulator crosses.
+  port.selectivity_acc += port.selectivity;
+  const int emit = static_cast<int>(std::floor(port.selectivity_acc));
+  port.selectivity_acc -= emit;
+  if (emit > 0 && is_primary) {
+    rm.tuples_emitted += static_cast<uint64_t>(emit);
+    EmitFrom(replica, emit, replica->processing_birth);
+  }
+}
+
+void StreamSimulation::EmitFrom(Replica* replica, int count, sim::SimTime birth) {
+  PeState* pe = pes_[static_cast<size_t>(replica->pe_id)].get();
+  for (const Output& output : pe->outputs) {
+    for (int i = 0; i < count; ++i) {
+      if (output.is_sink) {
+        ++metrics_.sink_tuples;
+        metrics_.sink_series[BucketOf(simulator_.now())] += 1.0;
+        if (options_.record_latency) {
+          metrics_.sink_latency.Add(simulator_.now() - birth);
+        }
+      } else {
+        PeState* downstream = pes_[static_cast<size_t>(output.to)].get();
+        for (Replica& target : downstream->replicas) {
+          DeliverToReplica(&target, output.port_index, birth);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Replication control
+// ---------------------------------------------------------------------------
+
+void StreamSimulation::ElectPrimary(PeState* pe) {
+  pe->primary = -1;
+  for (const Replica& replica : pe->replicas) {
+    if (replica.alive && replica.active && !replica.resyncing) {
+      pe->primary = replica.index;
+      return;
+    }
+  }
+}
+
+void StreamSimulation::ApplyActivation(Replica* replica, bool active) {
+  if (replica->active == active) return;
+  PeState* pe = pes_[static_cast<size_t>(replica->pe_id)].get();
+  if (active) {
+    // Reactivation: resynchronize state with an active replica before
+    // processing resumes (§4.6).
+    replica->active = true;
+    replica->resyncing = true;
+    const uint64_t epoch = ++replica->resync_epoch;
+    simulator_.ScheduleAfter(options_.resync_latency_seconds, [this, replica, pe, epoch] {
+      if (replica->resync_epoch != epoch || !replica->active) return;
+      replica->resyncing = false;
+      if (replica->alive && pe->primary == -1) ElectPrimary(pe);
+      TryStartProcessing(replica);
+    });
+  } else {
+    // Deactivation is immediate: stop processing, discard buffered input
+    // (state will be re-synced on reactivation).
+    replica->active = false;
+    ++replica->resync_epoch;  // invalidate pending resync completions
+    replica->resyncing = false;
+    if (replica->processing) {
+      RemoveBusy(replica);
+      replica->processing = false;
+      replica->remaining_cycles = 0.0;
+      replica->processing_port = -1;
+    }
+    replica->fifo.clear();
+    for (Port& port : replica->ports) {
+      port.queued = 0;
+      port.selectivity_acc = 0.0;
+    }
+    if (pe->primary == replica->index) ElectPrimary(pe);
+  }
+}
+
+void StreamSimulation::ApplyConfig(model::ConfigId config) {
+  if (config == applied_config_) return;
+  applied_config_ = config;
+  for (auto& pe : pes_) {
+    if (pe == nullptr) continue;
+    for (Replica& replica : pe->replicas) {
+      ApplyActivation(&replica, strategy_.IsActive(pe->id, replica.index, config));
+    }
+    if (pe->primary == -1) ElectPrimary(pe.get());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Middleware: Rate Monitor + HAController
+// ---------------------------------------------------------------------------
+
+void StreamSimulation::MonitorTick() {
+  std::vector<double> measured(sources_.size(), 0.0);
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    SourceState* source = sources_[i].get();
+    const uint64_t count = source->emitted - source->monitor_snapshot;
+    source->monitor_snapshot = source->emitted;
+    const double adjusted =
+        std::max(0.0, static_cast<double>(count) - options_.monitor_tolerance_tuples);
+    measured[source->source_index] = adjusted / options_.monitor_period_seconds;
+  }
+  Result<model::ConfigId> config = config_index_.Lookup(measured);
+  if (config.ok() && *config != applied_config_) {
+    const model::ConfigId target = *config;
+    simulator_.ScheduleAfter(options_.control_latency_seconds,
+                             [this, target] { ApplyConfig(target); });
+  }
+  if (simulator_.now() + options_.monitor_period_seconds <= trace_.TotalDuration()) {
+    simulator_.ScheduleAfter(options_.monitor_period_seconds, [this] { MonitorTick(); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sources and failures
+// ---------------------------------------------------------------------------
+
+void StreamSimulation::SourceEmit(SourceState* source) {
+  ++source->emitted;
+  ++metrics_.source_tuples;
+  metrics_.source_series[BucketOf(simulator_.now())] += 1.0;
+  for (const Output& output : source->outputs) {
+    if (output.is_sink) {
+      ++metrics_.sink_tuples;
+      metrics_.sink_series[BucketOf(simulator_.now())] += 1.0;
+      if (options_.record_latency) metrics_.sink_latency.Add(0.0);
+    } else {
+      PeState* downstream = pes_[static_cast<size_t>(output.to)].get();
+      for (Replica& target : downstream->replicas) {
+        DeliverToReplica(&target, output.port_index, simulator_.now());
+      }
+    }
+  }
+  const double rate =
+      app_.input_space.RateOf(source->source_index, trace_.ConfigAt(simulator_.now()));
+  if (rate > 0.0) {
+    const sim::SimTime next = simulator_.now() + 1.0 / rate;
+    if (next <= trace_.TotalDuration()) {
+      simulator_.ScheduleAt(next, [this, source] { SourceEmit(source); });
+    }
+  }
+}
+
+void StreamSimulation::CrashHost(model::HostId host, sim::SimTime duration) {
+  for (auto& pe : pes_) {
+    if (pe == nullptr) continue;
+    for (Replica& replica : pe->replicas) {
+      if (replica.host != host || !replica.alive) continue;
+      replica.alive = false;
+      ++replica.resync_epoch;
+      replica.resyncing = false;
+      if (replica.processing) {
+        RemoveBusy(&replica);
+        replica.processing = false;
+        replica.remaining_cycles = 0.0;
+        replica.processing_port = -1;
+      }
+      replica.fifo.clear();
+      for (Port& port : replica.ports) {
+        port.queued = 0;
+        port.selectivity_acc = 0.0;
+      }
+      if (pe->primary == replica.index) {
+        // The dead primary is only replaced once heartbeat loss is
+        // detected (§5.1) — downstream output stalls in between.
+        PeState* pe_ptr = pe.get();
+        simulator_.ScheduleAfter(options_.failover_latency_seconds, [this, pe_ptr] {
+          const int current = pe_ptr->primary;
+          if (current == -1 ||
+              !pe_ptr->replicas[static_cast<size_t>(current)].alive) {
+            ElectPrimary(pe_ptr);
+          }
+        });
+      }
+    }
+  }
+  simulator_.ScheduleAfter(duration, [this, host] { RecoverHost(host); });
+}
+
+void StreamSimulation::RecoverHost(model::HostId host) {
+  for (auto& pe : pes_) {
+    if (pe == nullptr) continue;
+    PeState* pe_ptr = pe.get();
+    for (Replica& replica : pe->replicas) {
+      if (replica.host != host || replica.alive) continue;
+      replica.alive = true;
+      // Rejoin with the activation state the controller currently expects,
+      // after a state resync (recovered replicas come back as secondaries).
+      replica.active = strategy_.IsActive(pe->id, replica.index, applied_config_);
+      if (!replica.active) continue;
+      replica.resyncing = true;
+      const uint64_t epoch = ++replica.resync_epoch;
+      Replica* replica_ptr = &replica;
+      simulator_.ScheduleAfter(options_.resync_latency_seconds,
+                               [this, replica_ptr, pe_ptr, epoch] {
+                                 if (replica_ptr->resync_epoch != epoch) return;
+                                 replica_ptr->resyncing = false;
+                                 if (pe_ptr->primary == -1) ElectPrimary(pe_ptr);
+                                 TryStartProcessing(replica_ptr);
+                               });
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bookkeeping
+// ---------------------------------------------------------------------------
+
+size_t StreamSimulation::BucketOf(sim::SimTime t) const {
+  const auto bucket = static_cast<size_t>(t / metrics_.bucket_seconds);
+  return std::min(bucket, metrics_.sink_series.size() - 1);
+}
+
+void StreamSimulation::RecordReplicaCycles(Replica* replica, double cycles) {
+  metrics_.replicas[static_cast<size_t>(replica->pe_id)][static_cast<size_t>(replica->index)]
+      .cpu_cycles += cycles;
+  metrics_.host_cycles[static_cast<size_t>(replica->host)] += cycles;
+  if (options_.record_replica_series) {
+    metrics_.replica_series[static_cast<size_t>(replica->pe_id)]
+                           [static_cast<size_t>(replica->index)][BucketOf(simulator_.now())] +=
+        cycles;
+  }
+}
+
+}  // namespace laar::dsps

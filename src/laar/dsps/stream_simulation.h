@@ -1,0 +1,138 @@
+#ifndef LAAR_DSPS_STREAM_SIMULATION_H_
+#define LAAR_DSPS_STREAM_SIMULATION_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "laar/common/result.h"
+#include "laar/configindex/config_index.h"
+#include "laar/dsps/runtime_options.h"
+#include "laar/dsps/sim_metrics.h"
+#include "laar/dsps/trace.h"
+#include "laar/model/cluster.h"
+#include "laar/model/descriptor.h"
+#include "laar/model/placement.h"
+#include "laar/model/rates.h"
+#include "laar/sim/simulator.h"
+#include "laar/strategy/activation_strategy.h"
+
+namespace laar::dsps {
+
+/// A discrete-event simulation of a replicated stream-processing deployment
+/// running one application under a replica activation strategy — the
+/// stand-in for the paper's IBM InfoSphere Streams cluster (§5).
+///
+/// Faithfully modelled mechanics:
+///  - hosts as shared CPU-cycle budgets (Eq. 11's aggregate-K view):
+///    capacity is processor-shared equally among replicas that are busy;
+///  - operators process tuples at their per-edge CPU cost, apply
+///    selectivity with the integer-accumulator semantics of §5.2 fn. 3, and
+///    buffer per-port in bounded queues (tail-drop on overflow);
+///  - active replication with proxy semantics (§5.1): every replica of a PE
+///    receives the primary outputs of its predecessors, but only the acting
+///    primary forwards downstream;
+///  - the LAAR middleware: a Rate Monitor sampling source rates, an
+///    HAController mapping measurements to a dominating configuration via
+///    the R-tree index and issuing activation commands (§4.6);
+///  - failure injection: permanent replica crashes (the pessimistic
+///    worst-case evaluation) and transient host crashes with recovery.
+///
+/// Time, placement, strategy, and trace fully determine a run: the engine
+/// contains no randomness.
+class StreamSimulation {
+ public:
+  /// All referenced objects must outlive the simulation.
+  StreamSimulation(const model::ApplicationDescriptor& app, const model::Cluster& cluster,
+                   const model::ReplicaPlacement& placement,
+                   const strategy::ActivationStrategy& strategy, const InputTrace& trace,
+                   const RuntimeOptions& options);
+
+  /// Guards against binding a temporary strategy (the simulation keeps a
+  /// reference; a temporary would dangle before Run()).
+  StreamSimulation(const model::ApplicationDescriptor&, const model::Cluster&,
+                   const model::ReplicaPlacement&, strategy::ActivationStrategy&&,
+                   const InputTrace&, const RuntimeOptions&) = delete;
+
+  /// Out-of-line: member unique_ptrs point to types private to the .cc.
+  ~StreamSimulation();
+
+  StreamSimulation(const StreamSimulation&) = delete;
+  StreamSimulation& operator=(const StreamSimulation&) = delete;
+
+  /// Marks a replica dead for the entire run (pessimistic worst case §5.3).
+  /// Call before `Run`.
+  Status InjectPermanentReplicaFailure(model::ComponentId pe, int replica);
+
+  /// Crashes every replica on `host` during [at, at + duration); recovered
+  /// replicas re-join as secondaries after state resync. Call before `Run`.
+  Status ScheduleHostCrash(model::HostId host, sim::SimTime at, sim::SimTime duration);
+
+  /// Runs the whole trace. Single-shot: a second call fails.
+  Status Run();
+
+  const SimulationMetrics& metrics() const { return metrics_; }
+
+ private:
+  struct Port;
+  struct Replica;
+  struct PeState;
+  struct HostState;
+  struct SourceState;
+
+  // --- wiring ---
+  Status Build();
+
+  // --- host processor sharing ---
+  void AdvanceHost(HostState* host);
+  void RescheduleHost(HostState* host);
+  void HostCompletionEvent(HostState* host, Replica* target);
+  void AddBusy(Replica* replica);
+  void RemoveBusy(Replica* replica);
+
+  // --- operator mechanics ---
+  void DeliverToReplica(Replica* replica, int port_index, sim::SimTime birth);
+  void TryStartProcessing(Replica* replica);
+  void FinishTuple(Replica* replica);
+  void EmitFrom(Replica* replica, int count, sim::SimTime birth);
+
+  // --- replication control ---
+  void ElectPrimary(PeState* pe);
+  void ApplyActivation(Replica* replica, bool active);
+  void ApplyConfig(model::ConfigId config);
+
+  // --- middleware ---
+  void MonitorTick();
+
+  // --- sources & failures ---
+  void SourceEmit(SourceState* source);
+  void CrashHost(model::HostId host, sim::SimTime duration);
+  void RecoverHost(model::HostId host);
+
+  // --- bookkeeping ---
+  size_t BucketOf(sim::SimTime t) const;
+  void RecordReplicaCycles(Replica* replica, double cycles);
+
+  const model::ApplicationDescriptor& app_;
+  const model::Cluster& cluster_;
+  const model::ReplicaPlacement& placement_;
+  const strategy::ActivationStrategy& strategy_;
+  const InputTrace& trace_;
+  RuntimeOptions options_;
+
+  sim::Simulator simulator_;
+  model::ExpectedRates rates_;
+  configindex::ConfigIndex config_index_;
+  SimulationMetrics metrics_;
+
+  std::vector<std::unique_ptr<PeState>> pes_;      // [component], null unless PE
+  std::vector<std::unique_ptr<HostState>> hosts_;  // [host]
+  std::vector<std::unique_ptr<SourceState>> sources_;
+  model::ConfigId applied_config_ = 0;
+  bool ran_ = false;
+  bool built_ = false;
+};
+
+}  // namespace laar::dsps
+
+#endif  // LAAR_DSPS_STREAM_SIMULATION_H_

@@ -1,0 +1,98 @@
+#include "laar/dsps/trace.h"
+
+#include <cmath>
+
+#include "laar/common/rng.h"
+#include "laar/common/strings.h"
+
+namespace laar::dsps {
+
+Status InputTrace::Append(sim::SimTime duration, model::ConfigId config) {
+  if (duration <= 0.0) return Status::InvalidArgument("segment duration must be positive");
+  if (config < 0) return Status::InvalidArgument("invalid configuration id");
+  segments_.push_back(TraceSegment{duration, config});
+  return Status::OK();
+}
+
+Result<InputTrace> InputTrace::Alternating(model::ConfigId base_config,
+                                           sim::SimTime base_seconds,
+                                           model::ConfigId peak_config,
+                                           sim::SimTime peak_seconds, int cycles) {
+  if (cycles < 1) return Status::InvalidArgument("need at least one cycle");
+  InputTrace trace;
+  for (int i = 0; i < cycles; ++i) {
+    LAAR_RETURN_IF_ERROR(trace.Append(base_seconds, base_config));
+    LAAR_RETURN_IF_ERROR(trace.Append(peak_seconds, peak_config));
+  }
+  return trace;
+}
+
+Result<InputTrace> InputTrace::Step(model::ConfigId base_config, model::ConfigId peak_config,
+                                    sim::SimTime step_at, sim::SimTime total) {
+  if (step_at <= 0.0 || total <= step_at) {
+    return Status::InvalidArgument("need 0 < step_at < total");
+  }
+  InputTrace trace;
+  LAAR_RETURN_IF_ERROR(trace.Append(step_at, base_config));
+  LAAR_RETURN_IF_ERROR(trace.Append(total - step_at, peak_config));
+  return trace;
+}
+
+Result<InputTrace> InputTrace::Sample(const model::InputSpace& space, sim::SimTime total,
+                                      sim::SimTime segment_seconds, uint64_t seed) {
+  if (total <= 0.0 || segment_seconds <= 0.0) {
+    return Status::InvalidArgument("need positive total and segment durations");
+  }
+  LAAR_RETURN_IF_ERROR(space.Validate());
+  std::vector<double> weights(static_cast<size_t>(space.num_configs()));
+  for (model::ConfigId c = 0; c < space.num_configs(); ++c) {
+    weights[static_cast<size_t>(c)] = space.Probability(c);
+  }
+  Rng rng(seed);
+  InputTrace trace;
+  for (sim::SimTime at = 0.0; at < total; at += segment_seconds) {
+    const auto config = static_cast<model::ConfigId>(rng.WeightedIndex(weights));
+    LAAR_RETURN_IF_ERROR(
+        trace.Append(std::min(segment_seconds, total - at), config));
+  }
+  return trace;
+}
+
+sim::SimTime InputTrace::TotalDuration() const {
+  sim::SimTime total = 0.0;
+  for (const TraceSegment& segment : segments_) total += segment.duration;
+  return total;
+}
+
+model::ConfigId InputTrace::ConfigAt(sim::SimTime time) const {
+  sim::SimTime end = 0.0;
+  for (const TraceSegment& segment : segments_) {
+    end += segment.duration;
+    if (time < end) return segment.config;
+  }
+  return segments_.empty() ? 0 : segments_.back().config;
+}
+
+sim::SimTime InputTrace::TimeIn(model::ConfigId config) const {
+  sim::SimTime total = 0.0;
+  for (const TraceSegment& segment : segments_) {
+    if (segment.config == config) total += segment.duration;
+  }
+  return total;
+}
+
+Status InputTrace::ImprintProbabilities(model::InputSpace* space) const {
+  const sim::SimTime total = TotalDuration();
+  if (total <= 0.0) return Status::FailedPrecondition("empty trace");
+  std::vector<double> joint(static_cast<size_t>(space->num_configs()), 0.0);
+  for (const TraceSegment& segment : segments_) {
+    if (segment.config >= space->num_configs()) {
+      return Status::OutOfRange(StrFormat("trace references configuration %d beyond |C|=%d",
+                                          segment.config, space->num_configs()));
+    }
+    joint[static_cast<size_t>(segment.config)] += segment.duration / total;
+  }
+  return space->SetJointProbabilities(std::move(joint));
+}
+
+}  // namespace laar::dsps

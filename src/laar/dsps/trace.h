@@ -1,0 +1,68 @@
+#ifndef LAAR_DSPS_TRACE_H_
+#define LAAR_DSPS_TRACE_H_
+
+#include <vector>
+
+#include "laar/common/result.h"
+#include "laar/model/input_space.h"
+#include "laar/sim/simulator.h"
+
+namespace laar::dsps {
+
+/// One constant-rate span of an input trace: all sources hold the rates of
+/// `config` for `duration` seconds.
+struct TraceSegment {
+  sim::SimTime duration = 0.0;
+  model::ConfigId config = 0;
+};
+
+/// A piecewise-constant input trace over the configuration space — the
+/// driving signal of every experiment (§5.2: "5 minute long input trace,
+/// with the High input configuration being active for one third of the
+/// trace").
+class InputTrace {
+ public:
+  InputTrace() = default;
+
+  Status Append(sim::SimTime duration, model::ConfigId config);
+
+  /// A trace of `cycles` repetitions of (base_config for base_seconds, then
+  /// peak_config for peak_seconds). With base=Low/peak=High and a 2:1 time
+  /// split this is the paper's experiment trace shape.
+  static Result<InputTrace> Alternating(model::ConfigId base_config,
+                                        sim::SimTime base_seconds,
+                                        model::ConfigId peak_config,
+                                        sim::SimTime peak_seconds, int cycles);
+
+  /// A single step: base for `step_at` seconds, then peak until `total`
+  /// (the Fig. 3 trace: High from ~50 s on).
+  static Result<InputTrace> Step(model::ConfigId base_config, model::ConfigId peak_config,
+                                 sim::SimTime step_at, sim::SimTime total);
+
+  /// A random trace: ⌈total/segment⌉ segments with configurations drawn
+  /// i.i.d. from P_C, so the long-run occupancy matches the descriptor's
+  /// statistical contract. Deterministic for a given seed.
+  static Result<InputTrace> Sample(const model::InputSpace& space, sim::SimTime total,
+                                   sim::SimTime segment_seconds, uint64_t seed);
+
+  const std::vector<TraceSegment>& segments() const { return segments_; }
+  sim::SimTime TotalDuration() const;
+
+  /// The configuration active at `time` (the last segment covers the tail).
+  model::ConfigId ConfigAt(sim::SimTime time) const;
+
+  /// Total time spent in `config`.
+  sim::SimTime TimeIn(model::ConfigId config) const;
+
+  /// Overwrites the per-configuration probabilities of `space` with the
+  /// empirical occupancy of this trace, so that the off-line optimization
+  /// sees the P_C the trace realizes.
+  Status ImprintProbabilities(model::InputSpace* space) const;
+
+ private:
+  std::vector<TraceSegment> segments_;
+};
+
+}  // namespace laar::dsps
+
+#endif  // LAAR_DSPS_TRACE_H_

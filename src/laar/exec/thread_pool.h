@@ -1,0 +1,51 @@
+#ifndef LAAR_EXEC_THREAD_POOL_H_
+#define LAAR_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace laar {
+
+/// A fixed-size task pool with a fork/join-style `WaitIdle` barrier.
+///
+/// LAAR uses it to parallelize FT-Search root splitting — the stand-in for
+/// the paper's JSR-166 Fork/Join implementation (§4.5). Tasks may themselves
+/// submit more tasks; `WaitIdle` returns only when the queue is empty and no
+/// task is running.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1; 0 means hardware concurrency).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called after destruction begins.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks (including transitively submitted
+  /// ones) have completed.
+  void WaitIdle();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace laar
+
+#endif  // LAAR_EXEC_THREAD_POOL_H_

@@ -1,0 +1,71 @@
+#include "laar/ftsearch/penalty_sweep.h"
+
+#include <algorithm>
+
+#include "laar/common/strings.h"
+#include "laar/metrics/ic.h"
+
+namespace laar::ftsearch {
+
+Result<PenaltySweepResult> SweepPenaltyFrontier(const model::ApplicationGraph& graph,
+                                                const model::InputSpace& space,
+                                                const model::ExpectedRates& rates,
+                                                const model::ReplicaPlacement& placement,
+                                                const model::Cluster& cluster,
+                                                const PenaltySweepOptions& options) {
+  if (options.ic_target < 0.0 || options.ic_target > 1.0) {
+    return Status::InvalidArgument("ic_target must be in [0, 1]");
+  }
+  if (options.grid_steps < 1) {
+    return Status::InvalidArgument("grid_steps must be >= 1");
+  }
+  if (options.penalty_rate < 0.0) {
+    return Status::InvalidArgument("penalty_rate must be non-negative");
+  }
+
+  const metrics::IcCalculator calculator(graph, space, rates);
+  const double bic_per_second = calculator.BestCase();
+
+  PenaltySweepResult sweep;
+  for (int step = 0; step <= options.grid_steps; ++step) {
+    const double level = options.ic_target * static_cast<double>(step) /
+                         static_cast<double>(options.grid_steps);
+    FtSearchOptions search;
+    search.ic_requirement = level;
+    search.time_limit_seconds = options.time_limit_seconds;
+    LAAR_ASSIGN_OR_RETURN(FtSearchResult result,
+                          RunFtSearch(graph, space, rates, placement, cluster, search));
+    if (!result.strategy.has_value()) continue;
+
+    PenaltyPoint point;
+    point.ic_level = level;
+    point.achieved_ic = result.best_ic;
+    point.cost = result.best_cost;
+    const double shortfall = std::max(0.0, options.ic_target - result.best_ic);
+    point.penalty = options.penalty_rate * shortfall * bic_per_second;
+    point.total = point.cost + point.penalty;
+    point.outcome = result.outcome;
+    sweep.frontier.push_back(point);
+  }
+
+  sweep.best_index = SelectOperatingPoint(&sweep.frontier, options.ic_target,
+                                          options.penalty_rate, bic_per_second);
+  return sweep;
+}
+
+int SelectOperatingPoint(std::vector<PenaltyPoint>* frontier, double ic_target,
+                         double penalty_rate, double bic_per_second) {
+  int best = -1;
+  for (size_t i = 0; i < frontier->size(); ++i) {
+    PenaltyPoint& point = (*frontier)[i];
+    const double shortfall = std::max(0.0, ic_target - point.achieved_ic);
+    point.penalty = penalty_rate * shortfall * bic_per_second;
+    point.total = point.cost + point.penalty;
+    if (best < 0 || point.total < (*frontier)[static_cast<size_t>(best)].total) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace laar::ftsearch

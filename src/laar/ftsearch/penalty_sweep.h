@@ -1,0 +1,68 @@
+#ifndef LAAR_FTSEARCH_PENALTY_SWEEP_H_
+#define LAAR_FTSEARCH_PENALTY_SWEEP_H_
+
+#include <vector>
+
+#include "laar/common/result.h"
+#include "laar/ftsearch/ft_search.h"
+
+namespace laar::ftsearch {
+
+/// The paper's future-work item §6.ii: instead of a hard IC constraint,
+/// associate a *penalty* to IC violations and minimize
+///
+///     total(s) = cost(s) + penalty_rate · max(0, ic_target - IC(s)) · BIC
+///
+/// i.e. every expected tuple lost below the target costs `penalty_rate`
+/// CPU-cycle-equivalents. `SweepPenaltyFrontier` evaluates the trade-off by
+/// solving the hard-constrained problem on a grid of IC levels (each level
+/// is the cheapest strategy achieving at least that IC — the lower envelope
+/// of the (IC, cost) frontier) and reporting, for the given penalty rate,
+/// which point minimizes the combined objective.
+struct PenaltyPoint {
+  double ic_level = 0.0;       ///< grid level requested
+  double achieved_ic = 0.0;    ///< IC of the optimal strategy at that level
+  double cost = 0.0;           ///< cost(s) per second (Eq. 13)
+  double penalty = 0.0;        ///< penalty term per second
+  double total = 0.0;          ///< cost + penalty
+  SearchOutcome outcome = SearchOutcome::kTimeout;
+};
+
+struct PenaltySweepResult {
+  std::vector<PenaltyPoint> frontier;  ///< one entry per feasible grid level
+  /// Index into `frontier` of the combined-objective minimizer; -1 when the
+  /// frontier is empty.
+  int best_index = -1;
+};
+
+struct PenaltySweepOptions {
+  /// SLA target the penalty is measured against.
+  double ic_target = 0.7;
+  /// CPU-cycles charged per expected lost tuple (relative to BIC/s).
+  double penalty_rate = 0.0;
+  /// IC grid: swept from 0 to ic_target in `grid_steps` steps.
+  int grid_steps = 8;
+  /// Budget per grid solve.
+  double time_limit_seconds = 30.0;
+};
+
+/// Runs the sweep. Grid levels proven infeasible are skipped; when every
+/// level is infeasible the result has an empty frontier.
+Result<PenaltySweepResult> SweepPenaltyFrontier(const model::ApplicationGraph& graph,
+                                                const model::InputSpace& space,
+                                                const model::ExpectedRates& rates,
+                                                const model::ReplicaPlacement& placement,
+                                                const model::Cluster& cluster,
+                                                const PenaltySweepOptions& options);
+
+/// Re-evaluates an existing frontier under a different penalty rate (the
+/// frontier itself is rate-independent): recomputes the penalty/total
+/// fields of `frontier` in place and returns the minimizer's index, or -1
+/// for an empty frontier. `bic_per_second` is the IC denominator
+/// (metrics::IcCalculator::BestCase()).
+int SelectOperatingPoint(std::vector<PenaltyPoint>* frontier, double ic_target,
+                         double penalty_rate, double bic_per_second);
+
+}  // namespace laar::ftsearch
+
+#endif  // LAAR_FTSEARCH_PENALTY_SWEEP_H_

@@ -1,0 +1,143 @@
+#include "laar/fusion/fusion.h"
+
+#include <algorithm>
+
+#include "laar/common/strings.h"
+#include "laar/model/rates.h"
+
+namespace laar::fusion {
+
+namespace {
+
+/// Mutable working representation during fusion.
+struct WorkEdge {
+  int from;
+  int to;
+  double selectivity;
+  double cost;
+  bool removed = false;
+};
+
+struct WorkNode {
+  model::ComponentKind kind = model::ComponentKind::kPe;
+  std::string name;
+  std::vector<model::ComponentId> members;
+  /// Peak-configuration CPU demand of the (possibly fused) node.
+  double peak_demand = 0.0;
+  bool removed = false;
+};
+
+}  // namespace
+
+Result<FusionResult> FuseLinearChains(const model::ApplicationDescriptor& app,
+                                      const FusionOptions& options) {
+  if (!app.graph.validated()) {
+    return Status::FailedPrecondition("descriptor must be validated before fusion");
+  }
+  if (options.max_fused_demand_cycles <= 0.0) {
+    return Status::InvalidArgument("max_fused_demand_cycles must be positive");
+  }
+  LAAR_ASSIGN_OR_RETURN(model::ExpectedRates rates,
+                        model::ExpectedRates::Compute(app.graph, app.input_space));
+  const model::ConfigId peak = app.input_space.PeakConfig();
+
+  std::vector<WorkNode> nodes;
+  for (const model::Component& c : app.graph.components()) {
+    WorkNode node;
+    node.kind = c.kind;
+    node.name = c.name;
+    node.members = {c.id};
+    node.peak_demand = c.kind == model::ComponentKind::kPe
+                           ? rates.CpuDemand(app.graph, c.id, peak)
+                           : 0.0;
+    nodes.push_back(std::move(node));
+  }
+  std::vector<WorkEdge> edges;
+  for (const model::Edge& e : app.graph.edges()) {
+    edges.push_back(WorkEdge{e.from, e.to, e.selectivity, e.cpu_cost_cycles, false});
+  }
+
+  auto out_degree = [&edges](int node) {
+    int degree = 0;
+    for (const WorkEdge& e : edges) {
+      if (!e.removed && e.from == node) ++degree;
+    }
+    return degree;
+  };
+  auto in_degree = [&edges](int node) {
+    int degree = 0;
+    for (const WorkEdge& e : edges) {
+      if (!e.removed && e.to == node) ++degree;
+    }
+    return degree;
+  };
+
+  FusionResult result;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (WorkEdge& chain : edges) {
+      if (chain.removed) continue;
+      WorkNode& u = nodes[static_cast<size_t>(chain.from)];
+      WorkNode& v = nodes[static_cast<size_t>(chain.to)];
+      if (u.kind != model::ComponentKind::kPe || v.kind != model::ComponentKind::kPe) {
+        continue;
+      }
+      if (out_degree(chain.from) != 1 || in_degree(chain.to) != 1) continue;
+      if (u.peak_demand + v.peak_demand > options.max_fused_demand_cycles) continue;
+
+      // Collapse v into u: rewrite u's inputs, adopt v's outputs.
+      for (WorkEdge& e : edges) {
+        if (e.removed || &e == &chain) continue;
+        if (e.to == chain.from) {
+          e.cost += e.selectivity * chain.cost;
+          e.selectivity *= chain.selectivity;
+        }
+        if (e.from == chain.to) e.from = chain.from;
+      }
+      chain.removed = true;
+      u.name += "+" + v.name;
+      u.members.insert(u.members.end(), v.members.begin(), v.members.end());
+      u.peak_demand += v.peak_demand;
+      v.removed = true;
+      ++result.operators_fused;
+      changed = true;
+    }
+  }
+
+  // Rebuild the descriptor over the surviving nodes (original order).
+  result.fused.name = app.name;
+  std::vector<int> new_id(nodes.size(), -1);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].removed) continue;
+    model::ComponentId id = model::kInvalidComponent;
+    switch (nodes[i].kind) {
+      case model::ComponentKind::kSource:
+        id = result.fused.graph.AddSource(nodes[i].name);
+        break;
+      case model::ComponentKind::kPe:
+        id = result.fused.graph.AddPe(nodes[i].name);
+        break;
+      case model::ComponentKind::kSink:
+        id = result.fused.graph.AddSink(nodes[i].name);
+        break;
+    }
+    new_id[i] = id;
+    result.groups.push_back(nodes[i].members);
+  }
+  for (const WorkEdge& e : edges) {
+    if (e.removed) continue;
+    LAAR_RETURN_IF_ERROR(result.fused.graph.AddEdge(new_id[static_cast<size_t>(e.from)],
+                                                    new_id[static_cast<size_t>(e.to)],
+                                                    e.selectivity, e.cost));
+  }
+  for (const model::SourceRateSet& s : app.input_space.sources()) {
+    model::SourceRateSet remapped = s;
+    remapped.source = new_id[static_cast<size_t>(s.source)];
+    LAAR_RETURN_IF_ERROR(result.fused.input_space.AddSource(remapped));
+  }
+  LAAR_RETURN_IF_ERROR(result.fused.Validate());
+  return result;
+}
+
+}  // namespace laar::fusion

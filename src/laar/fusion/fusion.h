@@ -1,0 +1,49 @@
+#ifndef LAAR_FUSION_FUSION_H_
+#define LAAR_FUSION_FUSION_H_
+
+#include <limits>
+#include <vector>
+
+#include "laar/common/result.h"
+#include "laar/model/descriptor.h"
+
+namespace laar::fusion {
+
+/// Operator fusion, the compilation step IBM Streams applies before
+/// deployment (§5.1: "the Streams compiler can fuse several operators into
+/// single PEs to minimize context-switching and communication overheads",
+/// cf. COLA [21]). LAAR operates on the post-fusion PE graph; this module
+/// performs the step for applications authored at operator granularity.
+///
+/// The pass fuses *linear chains*: an edge u -> v is collapsed when u's
+/// only successor is v and v's only predecessor is u (both PEs). Fusion is
+/// semantics-preserving under the linear load model — for every input edge
+/// e of u:
+///     selectivity'(e) = selectivity(e) · selectivity(u->v)
+///     cost'(e)        = cost(e) + selectivity(e) · cost(u->v)
+/// which keeps all downstream rates and the total CPU demand identical
+/// (verified by the test suite).
+struct FusionOptions {
+  /// A chain is only collapsed while the fused PE's peak-configuration CPU
+  /// demand stays below this bound (cycles/second); unbounded fusion can
+  /// produce PEs too big to schedule (the monolith defeats LAAR's
+  /// per-replica activation granularity).
+  double max_fused_demand_cycles = std::numeric_limits<double>::infinity();
+};
+
+struct FusionResult {
+  model::ApplicationDescriptor fused;
+  /// For every component of `fused` (by id): the ids of the original
+  /// components it contains (singleton for sources/sinks/unfused PEs).
+  std::vector<std::vector<model::ComponentId>> groups;
+  /// Number of fusion steps applied (= original PEs - fused PEs).
+  int operators_fused = 0;
+};
+
+/// Runs the pass; the input descriptor must validate.
+Result<FusionResult> FuseLinearChains(const model::ApplicationDescriptor& app,
+                                      const FusionOptions& options);
+
+}  // namespace laar::fusion
+
+#endif  // LAAR_FUSION_FUSION_H_

@@ -1,0 +1,100 @@
+#ifndef LAAR_JSON_JSON_H_
+#define LAAR_JSON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "laar/common/result.h"
+#include "laar/common/status.h"
+
+namespace laar::json {
+
+/// A JSON document node (null / bool / number / string / array / object).
+///
+/// The paper's HAController is "customized with the path to a JSON file
+/// describing the replica activation strategy" (§5.1); LAAR therefore ships
+/// a small self-contained JSON model with a serializer and a strict
+/// recursive-descent parser. Numbers are stored as doubles (JSON has a
+/// single number type); integer accessors validate losslessness.
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Value>;
+  /// std::map keeps object keys sorted, making serialization deterministic.
+  using Object = std::map<std::string, Value>;
+
+  /// Constructs null.
+  Value() : type_(Type::kNull) {}
+  static Value Null() { return Value(); }
+  static Value Bool(bool b);
+  static Value Number(double d);
+  static Value Int(int64_t i);
+  static Value String(std::string s);
+  static Value MakeArray();
+  static Value MakeObject();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Checked accessors; return an error status on type mismatch.
+  Result<bool> AsBool() const;
+  Result<double> AsDouble() const;
+  Result<int64_t> AsInt() const;
+  Result<std::string> AsString() const;
+
+  /// Unchecked accessors; behaviour undefined unless the type matches.
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  Array& array() { return array_; }
+  const Array& array() const { return array_; }
+  Object& object() { return object_; }
+  const Object& object() const { return object_; }
+
+  /// Object field lookup; error when not an object or key absent.
+  Result<const Value*> Get(std::string_view key) const;
+  /// Object field lookup with a default when the key is absent.
+  const Value& GetOr(std::string_view key, const Value& fallback) const;
+  bool Has(std::string_view key) const;
+
+  /// Object/array mutation helpers (no-ops with error status avoided by
+  /// aborting in debug: callers build documents they control).
+  void Set(std::string key, Value value);
+  void Append(Value value);
+
+  /// Serializes this value. `indent` < 0 means compact single-line output.
+  std::string Dump(int indent = -1) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses a complete JSON document. Trailing non-whitespace is an error.
+Result<Value> Parse(std::string_view text);
+
+/// Reads and parses a JSON file.
+Result<Value> ParseFile(const std::string& path);
+
+/// Writes `value` to `path` (pretty-printed with two-space indent).
+Status WriteFile(const Value& value, const std::string& path);
+
+}  // namespace laar::json
+
+#endif  // LAAR_JSON_JSON_H_

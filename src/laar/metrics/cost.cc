@@ -1,0 +1,99 @@
+#include "laar/metrics/cost.h"
+
+#include "laar/common/strings.h"
+#include "laar/metrics/failure_model.h"
+#include "laar/metrics/ic.h"
+
+namespace laar::metrics {
+
+double CostPerSecond(const model::ApplicationGraph& graph, const model::InputSpace& space,
+                     const model::ExpectedRates& rates,
+                     const model::ReplicaPlacement& placement,
+                     const strategy::ActivationStrategy& strategy) {
+  double cost = 0.0;
+  const model::ConfigId num_configs = space.num_configs();
+  for (model::ConfigId c = 0; c < num_configs; ++c) {
+    const double probability = space.Probability(c);
+    if (probability <= 0.0) continue;
+    double config_cost = 0.0;
+    for (model::ComponentId pe : graph.Pes()) {
+      if (!placement.IsAssigned(pe)) continue;
+      const double demand = rates.CpuDemand(graph, pe, c);
+      config_cost += demand * strategy.ActiveReplicaCount(pe, c);
+    }
+    cost += probability * config_cost;
+  }
+  return cost;
+}
+
+std::vector<double> HostLoads(const model::ApplicationGraph& graph,
+                              const model::ExpectedRates& rates,
+                              const model::ReplicaPlacement& placement,
+                              const strategy::ActivationStrategy& strategy,
+                              const model::Cluster& cluster, model::ConfigId config) {
+  std::vector<double> loads(cluster.num_hosts(), 0.0);
+  for (model::ComponentId pe : graph.Pes()) {
+    if (!placement.IsAssigned(pe)) continue;
+    const double demand = rates.CpuDemand(graph, pe, config);
+    for (int r = 0; r < placement.replication_factor(); ++r) {
+      if (!strategy.IsActive(pe, r, config)) continue;
+      const model::HostId host = placement.HostOf(pe, r);
+      if (host != model::kInvalidHost) loads[static_cast<size_t>(host)] += demand;
+    }
+  }
+  return loads;
+}
+
+bool IsOverloaded(const model::ApplicationGraph& graph, const model::ExpectedRates& rates,
+                  const model::ReplicaPlacement& placement,
+                  const strategy::ActivationStrategy& strategy,
+                  const model::Cluster& cluster, model::ConfigId config) {
+  const std::vector<double> loads =
+      HostLoads(graph, rates, placement, strategy, cluster, config);
+  for (size_t h = 0; h < loads.size(); ++h) {
+    if (loads[h] >= cluster.host(static_cast<model::HostId>(h)).capacity_cycles_per_sec) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status CheckStrategyConstraints(const model::ApplicationGraph& graph,
+                                const model::InputSpace& space,
+                                const model::ExpectedRates& rates,
+                                const model::ReplicaPlacement& placement,
+                                const strategy::ActivationStrategy& strategy,
+                                const model::Cluster& cluster, double ic_requirement) {
+  // Eq. 12 first: coverage is a precondition of the IC semantics.
+  LAAR_RETURN_IF_ERROR(strategy.CheckCoverage(graph));
+
+  // Eq. 11: no host overloaded in any configuration.
+  const model::ConfigId num_configs = space.num_configs();
+  for (model::ConfigId c = 0; c < num_configs; ++c) {
+    const std::vector<double> loads =
+        HostLoads(graph, rates, placement, strategy, cluster, c);
+    for (size_t h = 0; h < loads.size(); ++h) {
+      const double capacity =
+          cluster.host(static_cast<model::HostId>(h)).capacity_cycles_per_sec;
+      if (loads[h] >= capacity) {
+        return Status::FailedPrecondition(
+            StrFormat("host %zu overloaded in configuration %d: load %.3g >= capacity %.3g "
+                      "(violates Eq. 11)",
+                      h, c, loads[h], capacity));
+      }
+    }
+  }
+
+  // Eq. 10: promised IC under the pessimistic model.
+  const IcCalculator calculator(graph, space, rates);
+  const PessimisticFailureModel pessimistic;
+  const double ic = calculator.InternalCompleteness(strategy, pessimistic);
+  if (ic + 1e-12 < ic_requirement) {
+    return Status::FailedPrecondition(
+        StrFormat("IC %.6f below the SLA requirement %.6f (violates Eq. 10)", ic,
+                  ic_requirement));
+  }
+  return Status::OK();
+}
+
+}  // namespace laar::metrics

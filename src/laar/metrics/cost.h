@@ -1,0 +1,54 @@
+#ifndef LAAR_METRICS_COST_H_
+#define LAAR_METRICS_COST_H_
+
+#include <vector>
+
+#include "laar/common/status.h"
+#include "laar/model/cluster.h"
+#include "laar/model/graph.h"
+#include "laar/model/input_space.h"
+#include "laar/model/placement.h"
+#include "laar/model/rates.h"
+#include "laar/strategy/activation_strategy.h"
+
+namespace laar::metrics {
+
+/// cost(s) per unit billing time (Eq. 13): the expected CPU seconds per
+/// second consumed by all active PE replicas, i.e.
+/// Σ_{c} P_C(c) Σ_{x̃_{i,h} active in c} Σ_{x_j∈pred(x_i)} γ(x_j,x_i)·Δ(x_j,c),
+/// expressed in cycles/second. Multiply by T and divide by host frequency
+/// for CPU-seconds over a billing period.
+double CostPerSecond(const model::ApplicationGraph& graph, const model::InputSpace& space,
+                     const model::ExpectedRates& rates,
+                     const model::ReplicaPlacement& placement,
+                     const strategy::ActivationStrategy& strategy);
+
+/// The per-host CPU demand (cycles/second) under `strategy` in `config`
+/// (Eq. 11 LHS): Σ_{x̃_{i,h}∈ϑ⁻¹(h)} γ·Δ·s.
+std::vector<double> HostLoads(const model::ApplicationGraph& graph,
+                              const model::ExpectedRates& rates,
+                              const model::ReplicaPlacement& placement,
+                              const strategy::ActivationStrategy& strategy,
+                              const model::Cluster& cluster, model::ConfigId config);
+
+/// True when some host load reaches or exceeds its capacity in `config`
+/// (the paper requires strict inequality in Eq. 11).
+bool IsOverloaded(const model::ApplicationGraph& graph, const model::ExpectedRates& rates,
+                  const model::ReplicaPlacement& placement,
+                  const strategy::ActivationStrategy& strategy,
+                  const model::Cluster& cluster, model::ConfigId config);
+
+/// Verifies the full constraint system of the §4.4 optimization problem:
+///   Eq. 10 — IC(s) >= ic_requirement under the pessimistic model,
+///   Eq. 11 — no host overloaded in any configuration,
+///   Eq. 12 — at least one active replica of every PE in every config.
+Status CheckStrategyConstraints(const model::ApplicationGraph& graph,
+                                const model::InputSpace& space,
+                                const model::ExpectedRates& rates,
+                                const model::ReplicaPlacement& placement,
+                                const strategy::ActivationStrategy& strategy,
+                                const model::Cluster& cluster, double ic_requirement);
+
+}  // namespace laar::metrics
+
+#endif  // LAAR_METRICS_COST_H_

@@ -1,0 +1,30 @@
+#include "laar/metrics/failure_model.h"
+
+#include <cmath>
+
+namespace laar::metrics {
+
+double PessimisticFailureModel::Phi(const model::ApplicationGraph& graph,
+                                    const strategy::ActivationStrategy& strategy,
+                                    model::ComponentId pe, model::ConfigId config) const {
+  (void)graph;
+  return strategy.AllReplicasActive(pe, config) ? 1.0 : 0.0;
+}
+
+double NoFailureModel::Phi(const model::ApplicationGraph& graph,
+                           const strategy::ActivationStrategy& strategy,
+                           model::ComponentId pe, model::ConfigId config) const {
+  (void)graph;
+  return strategy.ActiveReplicaCount(pe, config) >= 1 ? 1.0 : 0.0;
+}
+
+double IndependentFailureModel::Phi(const model::ApplicationGraph& graph,
+                                    const strategy::ActivationStrategy& strategy,
+                                    model::ComponentId pe, model::ConfigId config) const {
+  (void)graph;
+  const int active = strategy.ActiveReplicaCount(pe, config);
+  if (active <= 0) return 0.0;
+  return 1.0 - std::pow(failure_probability_, active);
+}
+
+}  // namespace laar::metrics

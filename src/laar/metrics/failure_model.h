@@ -1,0 +1,73 @@
+#ifndef LAAR_METRICS_FAILURE_MODEL_H_
+#define LAAR_METRICS_FAILURE_MODEL_H_
+
+#include <memory>
+
+#include "laar/model/graph.h"
+#include "laar/model/input_space.h"
+#include "laar/strategy/activation_strategy.h"
+
+namespace laar::metrics {
+
+/// φ(x_i, c, s): the probability that at least one replica of PE x_i is
+/// alive *and active* when the input configuration is `c` under strategy
+/// `s` (§4.3). Concrete models plug into the IC computation (Eq. 6-7).
+class FailureModel {
+ public:
+  virtual ~FailureModel() = default;
+
+  virtual double Phi(const model::ApplicationGraph& graph,
+                     const strategy::ActivationStrategy& strategy, model::ComponentId pe,
+                     model::ConfigId config) const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// The paper's pessimistic model (Eq. 14): in any failure scenario all
+/// replicas fail except one, the survivor is adversarially chosen among the
+/// inactive ones, and failed replicas never recover. Hence φ = 1 iff *all*
+/// k replicas are active in `c`, else 0. The IC computed under this model is
+/// a lower bound on the IC observed on a real deployment (§4.4).
+class PessimisticFailureModel final : public FailureModel {
+ public:
+  double Phi(const model::ApplicationGraph& graph,
+             const strategy::ActivationStrategy& strategy, model::ComponentId pe,
+             model::ConfigId config) const override;
+  const char* name() const override { return "pessimistic"; }
+};
+
+/// No failures ever occur: φ ≡ 1 whenever the PE has at least one active
+/// replica. Under Eq. 12-satisfying strategies this yields IC = 1 and is the
+/// best-case reference.
+class NoFailureModel final : public FailureModel {
+ public:
+  double Phi(const model::ApplicationGraph& graph,
+             const strategy::ActivationStrategy& strategy, model::ComponentId pe,
+             model::ConfigId config) const override;
+  const char* name() const override { return "no-failure"; }
+};
+
+/// Alternative model from the paper's future-work list (§6.i): every
+/// replica fails independently with probability `failure_probability` over
+/// the billing period, and a deactivated replica cannot serve. Hence
+/// φ = 1 - f^{a(x,c,s)} where a is the number of active replicas. Gives a
+/// tighter (larger) bound than the pessimistic model for f < 1.
+class IndependentFailureModel final : public FailureModel {
+ public:
+  explicit IndependentFailureModel(double failure_probability)
+      : failure_probability_(failure_probability) {}
+
+  double Phi(const model::ApplicationGraph& graph,
+             const strategy::ActivationStrategy& strategy, model::ComponentId pe,
+             model::ConfigId config) const override;
+  const char* name() const override { return "independent"; }
+
+  double failure_probability() const { return failure_probability_; }
+
+ private:
+  double failure_probability_;
+};
+
+}  // namespace laar::metrics
+
+#endif  // LAAR_METRICS_FAILURE_MODEL_H_

@@ -1,0 +1,74 @@
+#include "laar/metrics/ic.h"
+
+namespace laar::metrics {
+
+IcCalculator::IcCalculator(const model::ApplicationGraph& graph,
+                           const model::InputSpace& space,
+                           const model::ExpectedRates& rates)
+    : graph_(graph), space_(space), rates_(rates) {
+  const model::ConfigId num_configs = space.num_configs();
+  bic_config_.assign(static_cast<size_t>(num_configs), 0.0);
+  for (model::ConfigId c = 0; c < num_configs; ++c) {
+    double config_total = 0.0;
+    for (model::ComponentId pe : graph.Pes()) {
+      config_total += rates.ArrivalRate(graph, pe, c);
+    }
+    bic_config_[static_cast<size_t>(c)] = config_total;
+    bic_per_second_ += space.Probability(c) * config_total;
+  }
+}
+
+std::vector<double> IcCalculator::ExpectedOutputs(
+    const strategy::ActivationStrategy& strategy, const FailureModel& model,
+    model::ConfigId config) const {
+  std::vector<double> delta_hat(graph_.num_components(), 0.0);
+  for (model::ComponentId id : graph_.TopologicalOrder()) {
+    if (graph_.IsSource(id)) {
+      // Sources are external and never fail (Eq. 7 first case).
+      delta_hat[id] = rates_.Rate(id, config);
+      continue;
+    }
+    double inflow = 0.0;
+    for (size_t edge_index : graph_.IncomingEdges(id)) {
+      const model::Edge& e = graph_.edges()[edge_index];
+      inflow += (graph_.IsPe(id) ? e.selectivity : 1.0) * delta_hat[e.from];
+    }
+    if (graph_.IsPe(id)) {
+      delta_hat[id] = model.Phi(graph_, strategy, id, config) * inflow;
+    } else {
+      delta_hat[id] = inflow;  // sinks accumulate whatever arrives
+    }
+  }
+  return delta_hat;
+}
+
+double IcCalculator::FailureCase(const strategy::ActivationStrategy& strategy,
+                                 const FailureModel& model) const {
+  double fic = 0.0;
+  const model::ConfigId num_configs = space_.num_configs();
+  for (model::ConfigId c = 0; c < num_configs; ++c) {
+    const double probability = space_.Probability(c);
+    if (probability <= 0.0) continue;
+    const std::vector<double> delta_hat = ExpectedOutputs(strategy, model, c);
+    double config_total = 0.0;
+    for (model::ComponentId pe : graph_.Pes()) {
+      const double phi = model.Phi(graph_, strategy, pe, c);
+      if (phi <= 0.0) continue;
+      double inflow = 0.0;
+      for (size_t edge_index : graph_.IncomingEdges(pe)) {
+        inflow += delta_hat[graph_.edges()[edge_index].from];
+      }
+      config_total += phi * inflow;
+    }
+    fic += probability * config_total;
+  }
+  return fic;
+}
+
+double IcCalculator::InternalCompleteness(const strategy::ActivationStrategy& strategy,
+                                          const FailureModel& model) const {
+  if (bic_per_second_ <= 0.0) return 1.0;
+  return FailureCase(strategy, model) / bic_per_second_;
+}
+
+}  // namespace laar::metrics

@@ -1,0 +1,66 @@
+#ifndef LAAR_METRICS_IC_H_
+#define LAAR_METRICS_IC_H_
+
+#include <vector>
+
+#include "laar/common/result.h"
+#include "laar/metrics/failure_model.h"
+#include "laar/model/graph.h"
+#include "laar/model/input_space.h"
+#include "laar/model/rates.h"
+#include "laar/strategy/activation_strategy.h"
+
+namespace laar::metrics {
+
+/// Computes the internal-completeness metric of §4.3.
+///
+/// All quantities are linear in the billing period T (Eq. 5-6), so the
+/// calculator reports them per unit time; IC, being a ratio (Eq. 8), is
+/// independent of T.
+class IcCalculator {
+ public:
+  /// The graph must be validated; `rates` must be the matrix computed from
+  /// the same graph/space.
+  IcCalculator(const model::ApplicationGraph& graph, const model::InputSpace& space,
+               const model::ExpectedRates& rates);
+
+  /// BIC / T (Eq. 5): expected tuples processed per second by all PEs in
+  /// the no-failure case.
+  double BestCase() const { return bic_per_second_; }
+
+  /// BIC contribution of a single configuration, per second, *excluding*
+  /// the P_C(c) weight: Σ_{x_i∈P, x_j∈pred(x_i)} Δ(x_j, c).
+  double BestCaseOfConfig(model::ConfigId config) const {
+    return bic_config_[static_cast<size_t>(config)];
+  }
+
+  /// FIC(s) / T (Eq. 6) under the given failure model.
+  double FailureCase(const strategy::ActivationStrategy& strategy,
+                     const FailureModel& model) const;
+
+  /// IC(s) = FIC(s) / BIC (Eq. 8). Returns 1 when BIC is zero (degenerate
+  /// application with no traffic).
+  double InternalCompleteness(const strategy::ActivationStrategy& strategy,
+                              const FailureModel& model) const;
+
+  /// The expected per-second outputs Δ̂(x, c, s) of every component under
+  /// the failure model (Eq. 7); exposed for tests and for FT-Search bounds.
+  std::vector<double> ExpectedOutputs(const strategy::ActivationStrategy& strategy,
+                                      const FailureModel& model,
+                                      model::ConfigId config) const;
+
+  const model::ApplicationGraph& graph() const { return graph_; }
+  const model::InputSpace& space() const { return space_; }
+  const model::ExpectedRates& rates() const { return rates_; }
+
+ private:
+  const model::ApplicationGraph& graph_;
+  const model::InputSpace& space_;
+  const model::ExpectedRates& rates_;
+  double bic_per_second_ = 0.0;
+  std::vector<double> bic_config_;
+};
+
+}  // namespace laar::metrics
+
+#endif  // LAAR_METRICS_IC_H_

@@ -1,0 +1,38 @@
+#include "laar/model/cluster.h"
+
+#include "laar/common/strings.h"
+
+namespace laar::model {
+
+Cluster Cluster::Homogeneous(int num_hosts, double capacity_cycles_per_sec) {
+  Cluster cluster;
+  for (int i = 0; i < num_hosts; ++i) {
+    cluster.AddHost(StrFormat("host%d", i), capacity_cycles_per_sec);
+  }
+  return cluster;
+}
+
+HostId Cluster::AddHost(std::string name, double capacity_cycles_per_sec) {
+  const HostId id = static_cast<HostId>(hosts_.size());
+  hosts_.push_back(Host{id, std::move(name), capacity_cycles_per_sec});
+  return id;
+}
+
+double Cluster::TotalCapacity() const {
+  double total = 0.0;
+  for (const Host& h : hosts_) total += h.capacity_cycles_per_sec;
+  return total;
+}
+
+Status Cluster::Validate() const {
+  if (hosts_.empty()) return Status::FailedPrecondition("cluster has no hosts");
+  for (const Host& h : hosts_) {
+    if (h.capacity_cycles_per_sec <= 0.0) {
+      return Status::InvalidArgument(
+          StrFormat("host %d has non-positive capacity %g", h.id, h.capacity_cycles_per_sec));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace laar::model

@@ -1,0 +1,51 @@
+#ifndef LAAR_MODEL_CLUSTER_H_
+#define LAAR_MODEL_CLUSTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "laar/common/status.h"
+
+namespace laar::model {
+
+/// Dense index of a host within its cluster.
+using HostId = int32_t;
+
+constexpr HostId kInvalidHost = -1;
+
+/// A deployment host with its CPU budget K (Eq. 11), expressed in
+/// cycles/second. The paper models host capacity as an aggregate cycle
+/// budget; cores only factor in through that product.
+struct Host {
+  HostId id = kInvalidHost;
+  std::string name;
+  double capacity_cycles_per_sec = 0.0;
+};
+
+/// The set of hosts H available to a deployment.
+class Cluster {
+ public:
+  Cluster() = default;
+
+  /// Creates `num_hosts` homogeneous hosts of the given capacity — the
+  /// shape of the paper's BladeCenter deployment (§5.2).
+  static Cluster Homogeneous(int num_hosts, double capacity_cycles_per_sec);
+
+  HostId AddHost(std::string name, double capacity_cycles_per_sec);
+
+  size_t num_hosts() const { return hosts_.size(); }
+  const Host& host(HostId id) const { return hosts_[id]; }
+  const std::vector<Host>& hosts() const { return hosts_; }
+
+  double TotalCapacity() const;
+
+  Status Validate() const;
+
+ private:
+  std::vector<Host> hosts_;
+};
+
+}  // namespace laar::model
+
+#endif  // LAAR_MODEL_CLUSTER_H_

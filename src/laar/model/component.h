@@ -1,0 +1,34 @@
+#ifndef LAAR_MODEL_COMPONENT_H_
+#define LAAR_MODEL_COMPONENT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace laar::model {
+
+/// Dense index of a component within its `ApplicationGraph`.
+using ComponentId = int32_t;
+
+constexpr ComponentId kInvalidComponent = -1;
+
+/// The three component roles of the service model (§3): data sources feed
+/// external streams in, Processing Elements transform them, data sinks write
+/// results out.
+enum class ComponentKind {
+  kSource = 0,
+  kPe = 1,
+  kSink = 2,
+};
+
+const char* ComponentKindName(ComponentKind kind);
+
+/// A vertex of the application graph.
+struct Component {
+  ComponentId id = kInvalidComponent;
+  ComponentKind kind = ComponentKind::kPe;
+  std::string name;
+};
+
+}  // namespace laar::model
+
+#endif  // LAAR_MODEL_COMPONENT_H_

@@ -1,0 +1,37 @@
+#ifndef LAAR_MODEL_DESCRIPTOR_H_
+#define LAAR_MODEL_DESCRIPTOR_H_
+
+#include <string>
+
+#include "laar/common/result.h"
+#include "laar/json/json.h"
+#include "laar/model/graph.h"
+#include "laar/model/input_space.h"
+
+namespace laar::model {
+
+/// The application descriptor of the service model (§3): the application
+/// graph with per-edge selectivity/CPU-cost attributes together with the
+/// statistical characterization of the external data sources. This is the
+/// document a customer submits (or a provider profiles) and the sole input
+/// of the off-line FT-Search optimization.
+struct ApplicationDescriptor {
+  std::string name;
+  ApplicationGraph graph;
+  InputSpace input_space;
+
+  /// Validates graph, input space, and their agreement (every source in the
+  /// graph has a rate set and vice versa).
+  Status Validate();
+
+  /// Serialization to the on-disk JSON descriptor format.
+  json::Value ToJson() const;
+  static Result<ApplicationDescriptor> FromJson(const json::Value& value);
+
+  Status SaveToFile(const std::string& path) const;
+  static Result<ApplicationDescriptor> LoadFromFile(const std::string& path);
+};
+
+}  // namespace laar::model
+
+#endif  // LAAR_MODEL_DESCRIPTOR_H_

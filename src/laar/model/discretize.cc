@@ -1,0 +1,118 @@
+#include "laar/model/discretize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "laar/common/strings.h"
+
+namespace laar::model {
+
+namespace {
+
+Status CheckInputs(const std::vector<double>& samples, const DiscretizeOptions& options) {
+  if (samples.empty()) return Status::InvalidArgument("no rate samples");
+  if (options.num_levels < 1) return Status::InvalidArgument("num_levels must be >= 1");
+  if (options.headroom < 1.0) {
+    return Status::InvalidArgument("headroom must be >= 1 (levels must dominate)");
+  }
+  for (double s : samples) {
+    if (s < 0.0 || !std::isfinite(s)) {
+      return Status::InvalidArgument("rate samples must be finite and non-negative");
+    }
+  }
+  return Status::OK();
+}
+
+/// Builds the rate set from per-bin (max, count) pairs, merging bins whose
+/// representative rates collide after headroom.
+SourceRateSet Assemble(ComponentId source, const std::vector<double>& bin_max,
+                       const std::vector<size_t>& bin_count, size_t total,
+                       double headroom) {
+  SourceRateSet out;
+  out.source = source;
+  for (size_t i = 0; i < bin_max.size(); ++i) {
+    if (bin_count[i] == 0) continue;
+    const double rate = bin_max[i] * headroom;
+    const double probability =
+        static_cast<double>(bin_count[i]) / static_cast<double>(total);
+    if (!out.rates.empty() && rate <= out.rates.back() + 1e-12) {
+      // Identical representative: merge probabilities.
+      out.probabilities.back() += probability;
+      continue;
+    }
+    out.rates.push_back(rate);
+    out.probabilities.push_back(probability);
+  }
+  for (size_t i = 0; i < out.rates.size(); ++i) {
+    out.labels.push_back(StrFormat("level%zu", i));
+  }
+  // Normalize away float drift.
+  double sum = 0.0;
+  for (double p : out.probabilities) sum += p;
+  if (sum > 0.0) {
+    for (double& p : out.probabilities) p /= sum;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<SourceRateSet> DiscretizeEqualFrequency(ComponentId source,
+                                               const std::vector<double>& samples,
+                                               const DiscretizeOptions& options) {
+  LAAR_RETURN_IF_ERROR(CheckInputs(samples, options));
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+
+  const size_t n = sorted.size();
+  const auto levels = static_cast<size_t>(options.num_levels);
+  std::vector<double> bin_max;
+  std::vector<size_t> bin_count;
+  size_t begin = 0;
+  for (size_t level = 0; level < levels && begin < n; ++level) {
+    size_t end = (n * (level + 1)) / levels;
+    if (end <= begin) end = begin + 1;
+    // Extend through ties so equal rates never straddle a bin boundary.
+    while (end < n && sorted[end] == sorted[end - 1]) ++end;
+    bin_max.push_back(sorted[end - 1]);
+    bin_count.push_back(end - begin);
+    begin = end;
+  }
+  // Any leftover (possible when ties exhausted later bins) joins the last.
+  if (begin < n) {
+    bin_max.back() = sorted.back();
+    bin_count.back() += n - begin;
+  }
+  return Assemble(source, bin_max, bin_count, n, options.headroom);
+}
+
+Result<SourceRateSet> DiscretizeEqualWidth(ComponentId source,
+                                           const std::vector<double>& samples,
+                                           const DiscretizeOptions& options) {
+  LAAR_RETURN_IF_ERROR(CheckInputs(samples, options));
+  const auto [min_it, max_it] = std::minmax_element(samples.begin(), samples.end());
+  const double lo = *min_it;
+  const double hi = *max_it;
+  const auto levels = static_cast<size_t>(options.num_levels);
+  if (hi <= lo) {
+    // Constant source: a single level.
+    return Assemble(source, {hi}, {samples.size()}, samples.size(), options.headroom);
+  }
+  const double width = (hi - lo) / static_cast<double>(levels);
+  std::vector<double> bin_max(levels, 0.0);
+  std::vector<size_t> bin_count(levels, 0);
+  for (size_t i = 0; i < levels; ++i) {
+    bin_max[i] = lo + width * static_cast<double>(i + 1);
+  }
+  bin_max.back() = hi;  // guard float edge
+  for (double s : samples) {
+    auto bin = static_cast<size_t>((s - lo) / width);
+    if (bin >= levels) bin = levels - 1;
+    ++bin_count[bin];
+    // The representative must dominate the samples it stands for.
+    bin_max[bin] = std::max(bin_max[bin], s);
+  }
+  return Assemble(source, bin_max, bin_count, samples.size(), options.headroom);
+}
+
+}  // namespace laar::model

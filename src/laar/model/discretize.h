@@ -1,0 +1,47 @@
+#ifndef LAAR_MODEL_DISCRETIZE_H_
+#define LAAR_MODEL_DISCRETIZE_H_
+
+#include <vector>
+
+#include "laar/common/result.h"
+#include "laar/model/input_space.h"
+
+namespace laar::model {
+
+/// The descriptor-preparation step the service model assumes has already
+/// happened (§3): "the continuous space of possible tuple rates for each
+/// data source has been properly transformed in advance into a finite
+/// number of discrete data rates through, e.g., binning techniques [12]",
+/// with the pmf "inferred from a set of example input traces".
+///
+/// Given rate samples observed from a source (e.g. tuples/second measured
+/// once per second over a day), these functions build the discrete
+/// `SourceRateSet` the optimizer consumes.
+
+struct DiscretizeOptions {
+  /// Number of discrete rate levels to produce (>= 1).
+  int num_levels = 2;
+  /// Safety factor applied to each level's representative rate: the level
+  /// must *dominate* the rates it stands for (the HAController's
+  /// configuration lookup never under-provisions, §4.6), so the
+  /// representative is the bin's maximum, optionally inflated.
+  double headroom = 1.0;
+};
+
+/// Equal-frequency (quantile) binning: bins hold equally many samples, so
+/// the pmf is uniform up to rounding; level rates are bin maxima. Produces
+/// strictly increasing level rates (adjacent equal-valued bins are
+/// merged, which can yield fewer than `num_levels` levels).
+Result<SourceRateSet> DiscretizeEqualFrequency(ComponentId source,
+                                               const std::vector<double>& samples,
+                                               const DiscretizeOptions& options);
+
+/// Equal-width binning over [min, max]: bin probabilities are the sample
+/// fractions; empty bins are dropped.
+Result<SourceRateSet> DiscretizeEqualWidth(ComponentId source,
+                                           const std::vector<double>& samples,
+                                           const DiscretizeOptions& options);
+
+}  // namespace laar::model
+
+#endif  // LAAR_MODEL_DISCRETIZE_H_

@@ -1,0 +1,57 @@
+#include "laar/model/dot.h"
+
+#include "laar/common/strings.h"
+
+namespace laar::model {
+
+namespace {
+
+const char* ShapeOf(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kSource:
+      return "triangle";
+    case ComponentKind::kPe:
+      return "box";
+    case ComponentKind::kSink:
+      return "invtriangle";
+  }
+  return "ellipse";
+}
+
+std::string Render(const ApplicationGraph& graph,
+                   const strategy::ActivationStrategy* strategy, ConfigId config) {
+  std::string out = "digraph application {\n  rankdir=LR;\n";
+  for (const Component& c : graph.components()) {
+    std::string color;
+    if (strategy != nullptr && c.kind == ComponentKind::kPe) {
+      const int active = strategy->ActiveReplicaCount(c.id, config);
+      const char* fill = active >= strategy->replication_factor() ? "palegreen"
+                         : active >= 1                            ? "orange"
+                                                                  : "tomato";
+      color = StrFormat(", style=filled, fillcolor=%s", fill);
+    }
+    out += StrFormat("  n%d [label=\"%s\", shape=%s%s];\n", c.id, c.name.c_str(),
+                     ShapeOf(c.kind), color.c_str());
+  }
+  for (const Edge& e : graph.edges()) {
+    if (graph.IsPe(e.to)) {
+      out += StrFormat("  n%d -> n%d [label=\"sel %.2f\\n%.3g cyc\"];\n", e.from, e.to,
+                       e.selectivity, e.cpu_cost_cycles);
+    } else {
+      out += StrFormat("  n%d -> n%d;\n", e.from, e.to);
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace
+
+std::string ToDot(const ApplicationGraph& graph) { return Render(graph, nullptr, 0); }
+
+std::string ToDot(const ApplicationGraph& graph,
+                  const strategy::ActivationStrategy& strategy, ConfigId config) {
+  return Render(graph, &strategy, config);
+}
+
+}  // namespace laar::model

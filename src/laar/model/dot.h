@@ -1,0 +1,24 @@
+#ifndef LAAR_MODEL_DOT_H_
+#define LAAR_MODEL_DOT_H_
+
+#include <string>
+
+#include "laar/model/graph.h"
+#include "laar/strategy/activation_strategy.h"
+
+namespace laar::model {
+
+/// Renders the application graph in Graphviz DOT format: sources as
+/// triangles, PEs as boxes, sinks as inverted triangles; edges labelled
+/// with selectivity and per-tuple CPU cost.
+std::string ToDot(const ApplicationGraph& graph);
+
+/// Same, but colours each PE by its activation state in `config` under
+/// `strategy`: green = fully replicated, orange = partially active,
+/// red = uncovered (should never happen for valid strategies).
+std::string ToDot(const ApplicationGraph& graph,
+                  const strategy::ActivationStrategy& strategy, ConfigId config);
+
+}  // namespace laar::model
+
+#endif  // LAAR_MODEL_DOT_H_

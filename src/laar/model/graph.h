@@ -1,0 +1,100 @@
+#ifndef LAAR_MODEL_GRAPH_H_
+#define LAAR_MODEL_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "laar/common/result.h"
+#include "laar/common/status.h"
+#include "laar/model/component.h"
+
+namespace laar::model {
+
+/// A directed edge of the application graph with its concise attributes
+/// (§3): `selectivity` is δ(from, to) — the weight of the contribution of
+/// the input stream on the PE output — and `cpu_cost_cycles` is
+/// γ(from, to) — average CPU cycles the destination PE spends per tuple
+/// received on this edge. Both attributes are meaningful only when the
+/// destination is a PE; edges into sinks carry data without processing cost.
+struct Edge {
+  ComponentId from = kInvalidComponent;
+  ComponentId to = kInvalidComponent;
+  double selectivity = 1.0;
+  double cpu_cost_cycles = 0.0;
+};
+
+/// The application graph G = (X, E): a DAG of sources, PEs, and sinks
+/// connected by stream channels (§4.2).
+///
+/// Build with `AddSource`/`AddPe`/`AddSink`/`AddEdge`, then call `Validate`
+/// once; accessors assume a validated graph. Components are identified by
+/// dense ids in insertion order, which keeps all per-component bookkeeping
+/// in flat vectors throughout the library.
+class ApplicationGraph {
+ public:
+  ApplicationGraph() = default;
+
+  /// Vertex construction; returns the id of the new component.
+  ComponentId AddSource(std::string name);
+  ComponentId AddPe(std::string name);
+  ComponentId AddSink(std::string name);
+
+  /// Adds a stream channel. For edges into PEs, `selectivity` must be > 0
+  /// and `cpu_cost_cycles` >= 0; both are ignored for edges into sinks.
+  Status AddEdge(ComponentId from, ComponentId to, double selectivity,
+                 double cpu_cost_cycles);
+
+  /// Checks structural invariants: ids valid, sources have no predecessors,
+  /// sinks have no successors, every PE has at least one predecessor, no
+  /// duplicate edges, and the graph is acyclic. Computes the cached
+  /// topological order on success.
+  Status Validate();
+  bool validated() const { return validated_; }
+
+  size_t num_components() const { return components_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+  const Component& component(ComponentId id) const { return components_[id]; }
+  const std::vector<Component>& components() const { return components_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  bool IsSource(ComponentId id) const { return components_[id].kind == ComponentKind::kSource; }
+  bool IsPe(ComponentId id) const { return components_[id].kind == ComponentKind::kPe; }
+  bool IsSink(ComponentId id) const { return components_[id].kind == ComponentKind::kSink; }
+
+  /// Ids of all components of each kind, in id order.
+  std::vector<ComponentId> Sources() const;
+  std::vector<ComponentId> Pes() const;
+  std::vector<ComponentId> Sinks() const;
+  size_t num_pes() const;
+  size_t num_sources() const;
+
+  /// pred(x): indices into `edges()` of the incoming edges of `id` (§4.2
+  /// Eq. 1, enriched with the edge attributes).
+  const std::vector<size_t>& IncomingEdges(ComponentId id) const { return incoming_[id]; }
+  const std::vector<size_t>& OutgoingEdges(ComponentId id) const { return outgoing_[id]; }
+
+  std::vector<ComponentId> Predecessors(ComponentId id) const;
+  std::vector<ComponentId> Successors(ComponentId id) const;
+
+  /// Component ids in a topological order (Kahn [20]); valid after
+  /// `Validate`.
+  const std::vector<ComponentId>& TopologicalOrder() const { return topo_order_; }
+
+  /// PE ids only, in topological order; the order FT-Search must respect
+  /// when accumulating partial IC contributions (§4.5).
+  std::vector<ComponentId> PesInTopologicalOrder() const;
+
+ private:
+  ComponentId AddComponent(ComponentKind kind, std::string name);
+
+  std::vector<Component> components_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<size_t>> incoming_;
+  std::vector<std::vector<size_t>> outgoing_;
+  std::vector<ComponentId> topo_order_;
+  bool validated_ = false;
+};
+
+}  // namespace laar::model
+
+#endif  // LAAR_MODEL_GRAPH_H_

@@ -1,0 +1,87 @@
+#ifndef LAAR_MODEL_INPUT_SPACE_H_
+#define LAAR_MODEL_INPUT_SPACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "laar/common/result.h"
+#include "laar/common/status.h"
+#include "laar/model/component.h"
+
+namespace laar::model {
+
+/// Dense index of one input configuration c ∈ C.
+using ConfigId = int32_t;
+
+/// The discrete rate levels of one data source: rates R_i (tuples/second),
+/// optional labels ("Low", "High", ...), and the marginal probability of
+/// each level. The continuous rate space is assumed already discretized
+/// (e.g., via binning [12], §3).
+struct SourceRateSet {
+  ComponentId source = kInvalidComponent;
+  std::vector<double> rates;
+  std::vector<std::string> labels;
+  std::vector<double> probabilities;
+};
+
+/// The input-configuration space C = R_1 × … × R_t with its probability
+/// mass function P_C (§4.2).
+///
+/// Configurations are enumerated in mixed-radix order: the first source is
+/// the most significant digit. By default P_C is the product of the
+/// per-source marginals (sources are independent); `SetJointProbabilities`
+/// installs an explicit joint pmf instead.
+class InputSpace {
+ public:
+  InputSpace() = default;
+
+  /// Adds a source's rate levels. `labels` may be empty (auto-filled with
+  /// "r0", "r1", ...); otherwise it must parallel `rates`, as must
+  /// `probabilities`, which must be non-negative and sum to 1 (±1e-9).
+  Status AddSource(const SourceRateSet& rate_set);
+
+  /// Replaces the product-form pmf with an explicit joint distribution over
+  /// all `num_configs()` configurations (must sum to 1).
+  Status SetJointProbabilities(std::vector<double> joint);
+
+  /// Verifies at least one source, consistent dimensions, normalized pmf.
+  Status Validate() const;
+
+  size_t num_sources() const { return sources_.size(); }
+  /// |C| = Π_i |R_i|.
+  ConfigId num_configs() const;
+
+  const SourceRateSet& source_rates(size_t source_index) const { return sources_[source_index]; }
+  const std::vector<SourceRateSet>& sources() const { return sources_; }
+
+  /// Index of the source with the given component id, or error.
+  Result<size_t> SourceIndexOf(ComponentId source) const;
+
+  /// The rate level chosen for `source_index` in configuration `config`.
+  int LevelOf(size_t source_index, ConfigId config) const;
+
+  /// Δ(x_i, c) for a source: its output rate in configuration `config`.
+  double RateOf(size_t source_index, ConfigId config) const;
+  Result<double> RateOfComponent(ComponentId source, ConfigId config) const;
+
+  /// P_C(c).
+  double Probability(ConfigId config) const;
+
+  /// Human-readable configuration label, e.g. "High" or "(Low, High)".
+  std::string ConfigLabel(ConfigId config) const;
+
+  /// The configuration whose every source rate equals the per-source
+  /// maximum (used by capacity checks and queue sizing).
+  ConfigId PeakConfig() const;
+
+  bool has_joint_probabilities() const { return !joint_.empty(); }
+
+ private:
+  std::vector<SourceRateSet> sources_;
+  std::vector<double> joint_;  // empty => product form
+};
+
+}  // namespace laar::model
+
+#endif  // LAAR_MODEL_INPUT_SPACE_H_

@@ -1,0 +1,76 @@
+#include "laar/model/placement.h"
+
+#include <set>
+
+#include "laar/common/strings.h"
+
+namespace laar::model {
+
+ReplicaPlacement::ReplicaPlacement(size_t num_components, int replication_factor)
+    : replication_factor_(replication_factor < 1 ? 1 : replication_factor),
+      table_(num_components,
+             std::vector<HostId>(static_cast<size_t>(replication_factor_), kInvalidHost)) {}
+
+Status ReplicaPlacement::Assign(ComponentId pe, int replica, HostId host) {
+  if (pe < 0 || static_cast<size_t>(pe) >= table_.size()) {
+    return Status::InvalidArgument(StrFormat("unknown component %d", pe));
+  }
+  if (replica < 0 || replica >= replication_factor_) {
+    return Status::InvalidArgument(
+        StrFormat("replica index %d out of range [0, %d)", replica, replication_factor_));
+  }
+  table_[static_cast<size_t>(pe)][static_cast<size_t>(replica)] = host;
+  return Status::OK();
+}
+
+std::vector<ReplicaRef> ReplicaPlacement::ReplicasOn(HostId host) const {
+  std::vector<ReplicaRef> out;
+  for (size_t pe = 0; pe < table_.size(); ++pe) {
+    for (int r = 0; r < replication_factor_; ++r) {
+      if (table_[pe][static_cast<size_t>(r)] == host) {
+        out.push_back(ReplicaRef{static_cast<ComponentId>(pe), r});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ReplicaRef> ReplicaPlacement::AllReplicas() const {
+  std::vector<ReplicaRef> out;
+  for (size_t pe = 0; pe < table_.size(); ++pe) {
+    for (int r = 0; r < replication_factor_; ++r) {
+      if (table_[pe][static_cast<size_t>(r)] != kInvalidHost) {
+        out.push_back(ReplicaRef{static_cast<ComponentId>(pe), r});
+      }
+    }
+  }
+  return out;
+}
+
+Status ReplicaPlacement::Validate(const Cluster& cluster, bool require_anti_affinity) const {
+  for (size_t pe = 0; pe < table_.size(); ++pe) {
+    const std::vector<HostId>& row = table_[pe];
+    const bool any_assigned = row[0] != kInvalidHost;
+    std::set<HostId> hosts_used;
+    for (int r = 0; r < replication_factor_; ++r) {
+      const HostId host = row[static_cast<size_t>(r)];
+      if ((host != kInvalidHost) != any_assigned) {
+        return Status::FailedPrecondition(
+            StrFormat("PE %zu is only partially placed (replica %d)", pe, r));
+      }
+      if (host == kInvalidHost) continue;
+      if (host < 0 || static_cast<size_t>(host) >= cluster.num_hosts()) {
+        return Status::InvalidArgument(
+            StrFormat("PE %zu replica %d assigned to unknown host %d", pe, r, host));
+      }
+      if (!hosts_used.insert(host).second && require_anti_affinity) {
+        return Status::FailedPrecondition(
+            StrFormat("PE %zu has two replicas on host %d; replica anti-affinity violated",
+                      pe, host));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace laar::model

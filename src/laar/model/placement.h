@@ -1,0 +1,70 @@
+#ifndef LAAR_MODEL_PLACEMENT_H_
+#define LAAR_MODEL_PLACEMENT_H_
+
+#include <vector>
+
+#include "laar/common/result.h"
+#include "laar/common/status.h"
+#include "laar/model/cluster.h"
+#include "laar/model/component.h"
+
+namespace laar::model {
+
+/// Identifies the j-th replica x̃_{i,j} of PE x_i (§4.2, Eq. 2).
+struct ReplicaRef {
+  ComponentId pe = kInvalidComponent;
+  int replica = 0;
+
+  friend bool operator==(const ReplicaRef& a, const ReplicaRef& b) {
+    return a.pe == b.pe && a.replica == b.replica;
+  }
+  friend bool operator<(const ReplicaRef& a, const ReplicaRef& b) {
+    return a.pe != b.pe ? a.pe < b.pe : a.replica < b.replica;
+  }
+};
+
+/// The replicated assignment ϑ : P̃ → H mapping every PE replica to the
+/// host where it is deployed (Eq. 3), plus the inverse map ϑ⁻¹ (Eq. 4).
+///
+/// The assignment stores hosts in a dense [pe][replica] table; PEs that do
+/// not exist in the table (sources/sinks) map to `kInvalidHost`.
+class ReplicaPlacement {
+ public:
+  /// Creates an empty placement for `num_components` components with
+  /// `replication_factor` replicas each (k ≥ 1).
+  ReplicaPlacement(size_t num_components, int replication_factor);
+
+  int replication_factor() const { return replication_factor_; }
+
+  /// Assigns replica (pe, replica) to `host`.
+  Status Assign(ComponentId pe, int replica, HostId host);
+
+  /// ϑ(x̃_{pe,replica}); `kInvalidHost` when unassigned.
+  HostId HostOf(ComponentId pe, int replica) const {
+    return table_[static_cast<size_t>(pe)][static_cast<size_t>(replica)];
+  }
+
+  bool IsAssigned(ComponentId pe) const { return table_[pe][0] != kInvalidHost; }
+
+  /// ϑ⁻¹(host): all replicas assigned to `host`, in (pe, replica) order.
+  std::vector<ReplicaRef> ReplicasOn(HostId host) const;
+
+  /// All assigned replicas.
+  std::vector<ReplicaRef> AllReplicas() const;
+
+  /// Checks every assigned PE has all `k` replicas placed on valid hosts of
+  /// `cluster`, and (when `require_anti_affinity`) that no two replicas of
+  /// one PE share a host — without which the worst-case failure analysis
+  /// degenerates.
+  Status Validate(const Cluster& cluster, bool require_anti_affinity = true) const;
+
+  size_t num_components() const { return table_.size(); }
+
+ private:
+  int replication_factor_;
+  std::vector<std::vector<HostId>> table_;  // [component][replica] -> host
+};
+
+}  // namespace laar::model
+
+#endif  // LAAR_MODEL_PLACEMENT_H_

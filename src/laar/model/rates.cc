@@ -1,0 +1,62 @@
+#include "laar/model/rates.h"
+
+#include "laar/common/strings.h"
+
+namespace laar::model {
+
+Result<ExpectedRates> ExpectedRates::Compute(const ApplicationGraph& graph,
+                                             const InputSpace& space) {
+  if (!graph.validated()) {
+    return Status::FailedPrecondition("graph must be validated before computing rates");
+  }
+  LAAR_RETURN_IF_ERROR(space.Validate());
+  for (ComponentId source : graph.Sources()) {
+    if (!space.SourceIndexOf(source).ok()) {
+      return Status::InvalidArgument(
+          StrFormat("source %d has no rate set in the input space", source));
+    }
+  }
+
+  ExpectedRates out;
+  const ConfigId num_configs = space.num_configs();
+  out.rates_.assign(static_cast<size_t>(num_configs),
+                    std::vector<double>(graph.num_components(), 0.0));
+  for (ConfigId c = 0; c < num_configs; ++c) {
+    std::vector<double>& row = out.rates_[static_cast<size_t>(c)];
+    for (ComponentId id : graph.TopologicalOrder()) {
+      if (graph.IsSource(id)) {
+        LAAR_ASSIGN_OR_RETURN(row[id], space.RateOfComponent(id, c));
+        continue;
+      }
+      // PEs apply selectivity per incoming edge; sinks just accumulate.
+      double rate = 0.0;
+      for (size_t edge_index : graph.IncomingEdges(id)) {
+        const Edge& e = graph.edges()[edge_index];
+        rate += (graph.IsPe(id) ? e.selectivity : 1.0) * row[e.from];
+      }
+      row[id] = rate;
+    }
+  }
+  return out;
+}
+
+double ExpectedRates::ArrivalRate(const ApplicationGraph& graph, ComponentId pe,
+                                  ConfigId config) const {
+  double total = 0.0;
+  for (size_t edge_index : graph.IncomingEdges(pe)) {
+    total += Rate(graph.edges()[edge_index].from, config);
+  }
+  return total;
+}
+
+double ExpectedRates::CpuDemand(const ApplicationGraph& graph, ComponentId pe,
+                                ConfigId config) const {
+  double total = 0.0;
+  for (size_t edge_index : graph.IncomingEdges(pe)) {
+    const Edge& e = graph.edges()[edge_index];
+    total += e.cpu_cost_cycles * Rate(e.from, config);
+  }
+  return total;
+}
+
+}  // namespace laar::model

@@ -1,0 +1,47 @@
+#ifndef LAAR_MODEL_RATES_H_
+#define LAAR_MODEL_RATES_H_
+
+#include <vector>
+
+#include "laar/common/result.h"
+#include "laar/model/graph.h"
+#include "laar/model/input_space.h"
+
+namespace laar::model {
+
+/// The failure-free expected output rates Δ(x_i, c) of every component in
+/// every input configuration (§4.2), under the linear load model: a source's
+/// rate is given by the input space, a PE's rate is
+/// Σ_{x_j ∈ pred(x_i)} δ(x_j, x_i) · Δ(x_j, c), and a sink's entry records
+/// its total arrival rate (useful for output-rate accounting).
+class ExpectedRates {
+ public:
+  /// Computes the rate matrix. The graph must be validated and every source
+  /// must have a rate set in `space`.
+  static Result<ExpectedRates> Compute(const ApplicationGraph& graph, const InputSpace& space);
+
+  /// Δ(component, config) in tuples/second.
+  double Rate(ComponentId component, ConfigId config) const {
+    return rates_[static_cast<size_t>(config)][static_cast<size_t>(component)];
+  }
+
+  /// Total tuple arrival rate at a PE in `config`:
+  /// Σ_{x_j ∈ pred(x_i)} Δ(x_j, c). This is the per-second BIC contribution
+  /// of the PE (Eq. 5) and the arrival rate its queues see.
+  double ArrivalRate(const ApplicationGraph& graph, ComponentId pe, ConfigId config) const;
+
+  /// CPU demand (cycles/second) of one replica of `pe` in `config`:
+  /// Σ_{x_j ∈ pred(x_i)} γ(x_j, x_i) · Δ(x_j, c)  — the per-replica term of
+  /// Eq. 11 and Eq. 13.
+  double CpuDemand(const ApplicationGraph& graph, ComponentId pe, ConfigId config) const;
+
+  ConfigId num_configs() const { return static_cast<ConfigId>(rates_.size()); }
+
+ private:
+  // rates_[config][component]
+  std::vector<std::vector<double>> rates_;
+};
+
+}  // namespace laar::model
+
+#endif  // LAAR_MODEL_RATES_H_

@@ -1,0 +1,61 @@
+#include "laar/model/transform.h"
+
+#include "laar/common/strings.h"
+
+namespace laar::model {
+
+namespace {
+
+/// Rebuilds `app` with per-edge costs and per-source rates passed through
+/// the given multipliers.
+Result<ApplicationDescriptor> Rebuild(const ApplicationDescriptor& app, double cost_factor,
+                                      double rate_factor) {
+  ApplicationDescriptor out;
+  out.name = app.name;
+  for (const Component& c : app.graph.components()) {
+    switch (c.kind) {
+      case ComponentKind::kSource:
+        out.graph.AddSource(c.name);
+        break;
+      case ComponentKind::kPe:
+        out.graph.AddPe(c.name);
+        break;
+      case ComponentKind::kSink:
+        out.graph.AddSink(c.name);
+        break;
+    }
+  }
+  for (const Edge& e : app.graph.edges()) {
+    LAAR_RETURN_IF_ERROR(
+        out.graph.AddEdge(e.from, e.to, e.selectivity, e.cpu_cost_cycles * cost_factor));
+  }
+  for (const SourceRateSet& s : app.input_space.sources()) {
+    SourceRateSet scaled = s;
+    for (double& rate : scaled.rates) rate *= rate_factor;
+    LAAR_RETURN_IF_ERROR(out.input_space.AddSource(scaled));
+  }
+  LAAR_RETURN_IF_ERROR(out.Validate());
+  return out;
+}
+
+}  // namespace
+
+Result<ApplicationDescriptor> ScaleCpuCosts(const ApplicationDescriptor& app,
+                                            double factor) {
+  if (factor <= 0.0) {
+    return Status::InvalidArgument(StrFormat("cost factor must be positive, got %g",
+                                             factor));
+  }
+  return Rebuild(app, factor, 1.0);
+}
+
+Result<ApplicationDescriptor> ScaleSourceRates(const ApplicationDescriptor& app,
+                                               double factor) {
+  if (factor <= 0.0) {
+    return Status::InvalidArgument(StrFormat("rate factor must be positive, got %g",
+                                             factor));
+  }
+  return Rebuild(app, 1.0, factor);
+}
+
+}  // namespace laar::model

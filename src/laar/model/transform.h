@@ -1,0 +1,25 @@
+#ifndef LAAR_MODEL_TRANSFORM_H_
+#define LAAR_MODEL_TRANSFORM_H_
+
+#include "laar/common/result.h"
+#include "laar/model/descriptor.h"
+
+namespace laar::model {
+
+/// What-if transforms over application descriptors. Descriptors are
+/// immutable once validated; these return modified copies.
+
+/// Multiplies every per-tuple CPU cost by `factor` (> 0). Used e.g. to
+/// model the steady-state overhead of checkpointing-based fault tolerance
+/// (a few percent of extra CPU per tuple [18]) or faster/slower hosts.
+Result<ApplicationDescriptor> ScaleCpuCosts(const ApplicationDescriptor& app,
+                                            double factor);
+
+/// Multiplies every source rate by `factor` (> 0): what happens to this
+/// contract if the customer's traffic grows uniformly.
+Result<ApplicationDescriptor> ScaleSourceRates(const ApplicationDescriptor& app,
+                                               double factor);
+
+}  // namespace laar::model
+
+#endif  // LAAR_MODEL_TRANSFORM_H_

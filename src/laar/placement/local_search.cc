@@ -1,0 +1,102 @@
+#include "laar/placement/local_search.h"
+
+#include <cmath>
+#include <limits>
+
+#include "laar/common/rng.h"
+#include "laar/common/strings.h"
+
+namespace laar::placement {
+
+namespace {
+
+/// Lexicographic objective: a feasible placement always beats an infeasible
+/// one; among feasible ones lower activation cost wins; among infeasible
+/// ones the higher achieved IC wins (it is "closer" to feasibility).
+struct Objective {
+  bool feasible = false;
+  double cost = std::numeric_limits<double>::infinity();
+  double ic = 0.0;
+
+  bool BetterThan(const Objective& other) const {
+    if (feasible != other.feasible) return feasible;
+    if (feasible) return cost < other.cost - 1e-9;
+    return ic > other.ic + 1e-12;
+  }
+};
+
+Objective Evaluate(const ftsearch::FtSearchResult& result) {
+  Objective objective;
+  objective.feasible = result.strategy.has_value();
+  if (objective.feasible) {
+    objective.cost = result.best_cost;
+    objective.ic = result.best_ic;
+  }
+  return objective;
+}
+
+}  // namespace
+
+Result<PlacementSearchResult> ImprovePlacement(const model::ApplicationGraph& graph,
+                                               const model::InputSpace& space,
+                                               const model::ExpectedRates& rates,
+                                               const model::Cluster& cluster,
+                                               const model::ReplicaPlacement& initial,
+                                               const PlacementSearchOptions& options) {
+  if (options.max_iterations < 0) {
+    return Status::InvalidArgument("max_iterations must be >= 0");
+  }
+  LAAR_RETURN_IF_ERROR(initial.Validate(cluster));
+  const std::vector<model::ComponentId> pes = graph.Pes();
+  if (pes.empty()) return Status::FailedPrecondition("application has no PEs");
+  const int k = initial.replication_factor();
+
+  ftsearch::FtSearchOptions search_options;
+  search_options.ic_requirement = options.ic_requirement;
+  search_options.time_limit_seconds = options.ftsearch_time_limit_seconds;
+
+  PlacementSearchResult best;
+  best.placement = initial;
+  LAAR_ASSIGN_OR_RETURN(best.search, ftsearch::RunFtSearch(graph, space, rates, initial,
+                                                           cluster, search_options));
+  Objective best_objective = Evaluate(best.search);
+  best.feasible = best_objective.feasible;
+  best.cost_history.push_back(best_objective.cost);
+
+  Rng rng(options.seed);
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    // Propose: move one replica of a random PE to a random other host that
+    // does not hold the PE's sibling replica.
+    const model::ComponentId pe =
+        pes[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(pes.size()) - 1))];
+    const int replica = static_cast<int>(rng.UniformInt(0, k - 1));
+    const model::HostId old_host = best.placement.HostOf(pe, replica);
+    const auto target = static_cast<model::HostId>(
+        rng.UniformInt(0, static_cast<int64_t>(cluster.num_hosts()) - 1));
+    if (target == old_host) continue;
+    bool collides = false;
+    for (int r = 0; r < k; ++r) {
+      if (r != replica && best.placement.HostOf(pe, r) == target) collides = true;
+    }
+    if (collides) continue;
+
+    model::ReplicaPlacement candidate = best.placement;
+    LAAR_RETURN_IF_ERROR(candidate.Assign(pe, replica, target));
+    ++best.evaluated_moves;
+    Result<ftsearch::FtSearchResult> result =
+        ftsearch::RunFtSearch(graph, space, rates, candidate, cluster, search_options);
+    if (!result.ok()) return result.status();
+    const Objective objective = Evaluate(*result);
+    if (objective.BetterThan(best_objective)) {
+      best_objective = objective;
+      best.placement = std::move(candidate);
+      best.search = std::move(*result);
+      best.feasible = objective.feasible;
+      ++best.accepted_moves;
+      best.cost_history.push_back(objective.cost);
+    }
+  }
+  return best;
+}
+
+}  // namespace laar::placement

@@ -1,0 +1,55 @@
+#ifndef LAAR_PLACEMENT_LOCAL_SEARCH_H_
+#define LAAR_PLACEMENT_LOCAL_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "laar/common/result.h"
+#include "laar/ftsearch/ft_search.h"
+#include "laar/model/cluster.h"
+#include "laar/model/graph.h"
+#include "laar/model/input_space.h"
+#include "laar/model/placement.h"
+#include "laar/model/rates.h"
+
+namespace laar::placement {
+
+/// The paper's future-work item §6.iii: "extending the problem formulation
+/// by considering the interaction of replica placement with optimal replica
+/// activation strategies". FT-Search optimizes activations for a *fixed*
+/// placement ϑ; this module wraps it in a hill-climbing local search over
+/// placements: each iteration proposes moving one replica to another host
+/// (preserving anti-affinity), re-runs FT-Search, and keeps the move if it
+/// improves the objective (feasibility first, then activation cost).
+struct PlacementSearchOptions {
+  double ic_requirement = 0.7;
+  /// Proposals evaluated (each costs one FT-Search run).
+  int max_iterations = 30;
+  /// Budget per inner FT-Search.
+  double ftsearch_time_limit_seconds = 2.0;
+  uint64_t seed = 1;
+};
+
+struct PlacementSearchResult {
+  model::ReplicaPlacement placement{0, 2};
+  ftsearch::FtSearchResult search;  ///< FT-Search result on the final placement
+  bool feasible = false;
+  int accepted_moves = 0;
+  int evaluated_moves = 0;
+  /// Objective trajectory: activation cost after each accepted move
+  /// (starting value first). Infinity entries mean "still infeasible".
+  std::vector<double> cost_history;
+};
+
+/// Runs the local search starting from `initial`. Deterministic for a
+/// given seed.
+Result<PlacementSearchResult> ImprovePlacement(const model::ApplicationGraph& graph,
+                                               const model::InputSpace& space,
+                                               const model::ExpectedRates& rates,
+                                               const model::Cluster& cluster,
+                                               const model::ReplicaPlacement& initial,
+                                               const PlacementSearchOptions& options);
+
+}  // namespace laar::placement
+
+#endif  // LAAR_PLACEMENT_LOCAL_SEARCH_H_

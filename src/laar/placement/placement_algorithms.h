@@ -1,0 +1,38 @@
+#ifndef LAAR_PLACEMENT_PLACEMENT_ALGORITHMS_H_
+#define LAAR_PLACEMENT_PLACEMENT_ALGORITHMS_H_
+
+#include "laar/common/result.h"
+#include "laar/model/cluster.h"
+#include "laar/model/graph.h"
+#include "laar/model/input_space.h"
+#include "laar/model/placement.h"
+#include "laar/model/rates.h"
+
+namespace laar::placement {
+
+/// Replicated PE placement, the step the paper delegates to the literature
+/// (§4.2: "a PE placement algorithm among the many described ... computes a
+/// replicated assignment of k replicas"). Both algorithms guarantee replica
+/// anti-affinity: two replicas of one PE never share a host (requires
+/// k <= |H|).
+
+/// Deterministic round-robin: PE i's replica r lands on host
+/// (i + r·⌈|H|/k⌉) mod |H|. Fast and oblivious to load; useful as a
+/// baseline and in tests.
+Result<model::ReplicaPlacement> PlaceRoundRobin(const model::ApplicationGraph& graph,
+                                                const model::Cluster& cluster,
+                                                int replication_factor);
+
+/// Load-aware greedy placement: PEs are taken in decreasing order of
+/// expected CPU demand (probability-weighted over input configurations,
+/// all replicas active), and each replica goes to the least-loaded host
+/// that does not already hold a replica of the same PE.
+Result<model::ReplicaPlacement> PlaceBalanced(const model::ApplicationGraph& graph,
+                                              const model::InputSpace& space,
+                                              const model::ExpectedRates& rates,
+                                              const model::Cluster& cluster,
+                                              int replication_factor);
+
+}  // namespace laar::placement
+
+#endif  // LAAR_PLACEMENT_PLACEMENT_ALGORITHMS_H_

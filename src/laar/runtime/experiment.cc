@@ -1,0 +1,195 @@
+#include "laar/runtime/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "laar/common/rng.h"
+#include "laar/common/strings.h"
+
+namespace laar::runtime {
+
+const char* FailureScenarioName(FailureScenario scenario) {
+  switch (scenario) {
+    case FailureScenario::kNone:
+      return "best-case";
+    case FailureScenario::kWorstCase:
+      return "worst-case";
+    case FailureScenario::kHostCrash:
+      return "host-crash";
+  }
+  return "?";
+}
+
+Result<dsps::InputTrace> MakeExperimentTrace(const model::InputSpace& space,
+                                             double total_seconds, double high_fraction,
+                                             int cycles) {
+  if (total_seconds <= 0.0 || cycles < 1 || high_fraction <= 0.0 || high_fraction >= 1.0) {
+    return Status::InvalidArgument("invalid trace parameters");
+  }
+  const double cycle = total_seconds / cycles;
+  const model::ConfigId low = 0;
+  const model::ConfigId high = space.PeakConfig();
+  return dsps::InputTrace::Alternating(low, cycle * (1.0 - high_fraction), high,
+                                       cycle * high_fraction, cycles);
+}
+
+std::vector<int> ChooseWorstCaseSurvivors(const model::ApplicationGraph& graph,
+                                          const model::InputSpace& space,
+                                          const strategy::ActivationStrategy& strategy) {
+  std::vector<int> survivors(graph.num_components(), -1);
+  const int k = strategy.replication_factor();
+  for (model::ComponentId pe : graph.Pes()) {
+    // Weighted activity of each replica; the adversary keeps the least
+    // active one alive (assumption 2: the survivor is chosen among the
+    // inactive replicas whenever some configuration deactivates one).
+    int best = 0;
+    double best_activity = 0.0;
+    for (int r = 0; r < k; ++r) {
+      double activity = 0.0;
+      for (model::ConfigId c = 0; c < space.num_configs(); ++c) {
+        if (strategy.IsActive(pe, r, c)) activity += space.Probability(c);
+      }
+      if (r == 0 || activity < best_activity ||
+          (activity == best_activity && r > best)) {
+        best = r;
+        best_activity = activity;
+      }
+    }
+    survivors[static_cast<size_t>(pe)] = best;
+  }
+  return survivors;
+}
+
+Result<dsps::SimulationMetrics> RunScenario(const appgen::GeneratedApplication& app,
+                                            const strategy::ActivationStrategy& strategy,
+                                            const dsps::InputTrace& trace,
+                                            const dsps::RuntimeOptions& runtime_options,
+                                            const ScenarioOptions& scenario) {
+  dsps::StreamSimulation simulation(app.descriptor, app.cluster, app.placement, strategy,
+                                    trace, runtime_options);
+  switch (scenario.scenario) {
+    case FailureScenario::kNone:
+      break;
+    case FailureScenario::kWorstCase: {
+      const std::vector<int> survivors =
+          ChooseWorstCaseSurvivors(app.descriptor.graph, app.descriptor.input_space,
+                                   strategy);
+      for (model::ComponentId pe : app.descriptor.graph.Pes()) {
+        for (int r = 0; r < strategy.replication_factor(); ++r) {
+          if (r != survivors[static_cast<size_t>(pe)]) {
+            LAAR_RETURN_IF_ERROR(simulation.InjectPermanentReplicaFailure(pe, r));
+          }
+        }
+      }
+      break;
+    }
+    case FailureScenario::kHostCrash: {
+      // A random host crashes shortly after a High period begins — the
+      // window where LAAR's guarantees are weakest (§5.3).
+      Rng rng(scenario.seed);
+      const auto host = static_cast<model::HostId>(
+          rng.UniformInt(0, static_cast<int64_t>(app.cluster.num_hosts()) - 1));
+      const model::ConfigId high = app.descriptor.input_space.PeakConfig();
+      double crash_at = -1.0;
+      double elapsed = 0.0;
+      for (const dsps::TraceSegment& segment : trace.segments()) {
+        if (segment.config == high) {
+          crash_at = elapsed + std::min(2.0, segment.duration * 0.1);
+          break;
+        }
+        elapsed += segment.duration;
+      }
+      if (crash_at < 0.0) {
+        return Status::FailedPrecondition("trace has no High segment to crash during");
+      }
+      LAAR_RETURN_IF_ERROR(
+          simulation.ScheduleHostCrash(host, crash_at, scenario.crash_duration_seconds));
+      break;
+    }
+  }
+  LAAR_RETURN_IF_ERROR(simulation.Run());
+  return simulation.metrics();
+}
+
+namespace {
+
+/// Mean sink output rate over the High segments of the trace.
+double PeakOutputRate(const dsps::SimulationMetrics& metrics, const dsps::InputTrace& trace,
+                      model::ConfigId high) {
+  double total_tuples = 0.0;
+  double total_seconds = 0.0;
+  double begin = 0.0;
+  for (const dsps::TraceSegment& segment : trace.segments()) {
+    const double end = begin + segment.duration;
+    if (segment.config == high) {
+      total_tuples += dsps::SimulationMetrics::MeanRate(metrics.sink_series,
+                                                        metrics.bucket_seconds, begin, end) *
+                      segment.duration;
+      total_seconds += segment.duration;
+    }
+    begin = end;
+  }
+  return total_seconds <= 0.0 ? 0.0 : total_tuples / total_seconds;
+}
+
+}  // namespace
+
+const VariantMeasurement* AppExperimentRecord::Find(const std::string& name) const {
+  for (const VariantMeasurement& m : variants) {
+    if (m.variant == name) return &m;
+  }
+  return nullptr;
+}
+
+Result<AppExperimentRecord> RunAppExperiment(const HarnessOptions& options, uint64_t seed) {
+  LAAR_ASSIGN_OR_RETURN(appgen::GeneratedApplication app,
+                        appgen::GenerateApplication(options.generator, seed));
+  LAAR_ASSIGN_OR_RETURN(std::vector<NamedVariant> variants,
+                        BuildVariants(app, options.variants));
+  LAAR_ASSIGN_OR_RETURN(
+      dsps::InputTrace trace,
+      MakeExperimentTrace(app.descriptor.input_space, options.trace_seconds,
+                          options.high_fraction, options.trace_cycles));
+  const model::ConfigId high = app.descriptor.input_space.PeakConfig();
+
+  AppExperimentRecord record;
+  record.app_seed = seed;
+  for (const NamedVariant& variant : variants) {
+    VariantMeasurement measurement;
+    measurement.variant = variant.name;
+    measurement.promised_ic =
+        variant.search.has_value() ? variant.search->best_ic : 0.0;
+
+    ScenarioOptions best_case;
+    best_case.scenario = FailureScenario::kNone;
+    LAAR_ASSIGN_OR_RETURN(
+        dsps::SimulationMetrics best,
+        RunScenario(app, variant.strategy, trace, options.runtime, best_case));
+    measurement.cpu_cycles = best.TotalCpuCycles();
+    measurement.dropped = best.dropped_tuples;
+    measurement.processed_best = best.TotalProcessed();
+    measurement.peak_output_rate = PeakOutputRate(best, trace, high);
+
+    if (options.run_worst_case) {
+      ScenarioOptions worst;
+      worst.scenario = FailureScenario::kWorstCase;
+      LAAR_ASSIGN_OR_RETURN(
+          dsps::SimulationMetrics metrics,
+          RunScenario(app, variant.strategy, trace, options.runtime, worst));
+      measurement.processed_worst = metrics.TotalProcessed();
+    }
+    if (options.run_host_crash) {
+      ScenarioOptions crash;
+      crash.scenario = FailureScenario::kHostCrash;
+      crash.seed = seed ^ 0x9E3779B97F4A7C15ULL;
+      LAAR_ASSIGN_OR_RETURN(
+          dsps::SimulationMetrics metrics,
+          RunScenario(app, variant.strategy, trace, options.runtime, crash));
+      measurement.processed_crash = metrics.TotalProcessed();
+    }
+    record.variants.push_back(std::move(measurement));
+  }
+  return record;
+}
+
+}  // namespace laar::runtime

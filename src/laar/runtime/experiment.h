@@ -1,0 +1,97 @@
+#ifndef LAAR_RUNTIME_EXPERIMENT_H_
+#define LAAR_RUNTIME_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "laar/appgen/app_generator.h"
+#include "laar/common/result.h"
+#include "laar/dsps/runtime_options.h"
+#include "laar/dsps/sim_metrics.h"
+#include "laar/dsps/stream_simulation.h"
+#include "laar/dsps/trace.h"
+#include "laar/runtime/variants.h"
+
+namespace laar::runtime {
+
+/// The §5.3 failure modes.
+enum class FailureScenario {
+  kNone = 0,       ///< best case: no failure ever occurs
+  kWorstCase = 1,  ///< pessimistic model: one replica of each PE dead throughout
+  kHostCrash = 2,  ///< one random host crashes during a High period, then recovers
+};
+
+const char* FailureScenarioName(FailureScenario scenario);
+
+struct ScenarioOptions {
+  FailureScenario scenario = FailureScenario::kNone;
+  /// Host-crash parameters: detection + migration takes 16 s on Streams
+  /// (§5.3, citing [19]).
+  double crash_duration_seconds = 16.0;
+  /// Seed controlling the crashed-host choice and crash instant.
+  uint64_t seed = 1;
+};
+
+/// Builds the §5.2 experiment trace: `cycles` repetitions of
+/// (Low for (1-high_fraction)·T/cycles, High for high_fraction·T/cycles).
+Result<dsps::InputTrace> MakeExperimentTrace(const model::InputSpace& space,
+                                             double total_seconds, double high_fraction,
+                                             int cycles);
+
+/// For every PE, the replica index an adversary (per the pessimistic model,
+/// assumptions 1-2 of §4.4) would keep alive: the one with the smallest
+/// probability-weighted activity, i.e. chosen among the inactive ones when
+/// possible. Indexed by component id; -1 for non-PEs.
+std::vector<int> ChooseWorstCaseSurvivors(const model::ApplicationGraph& graph,
+                                          const model::InputSpace& space,
+                                          const strategy::ActivationStrategy& strategy);
+
+/// Runs one variant of one application under a failure scenario and returns
+/// the collected metrics.
+Result<dsps::SimulationMetrics> RunScenario(const appgen::GeneratedApplication& app,
+                                            const strategy::ActivationStrategy& strategy,
+                                            const dsps::InputTrace& trace,
+                                            const dsps::RuntimeOptions& runtime_options,
+                                            const ScenarioOptions& scenario);
+
+/// Aggregated per-variant measurements of one application.
+struct VariantMeasurement {
+  std::string variant;
+  double cpu_cycles = 0.0;        ///< best-case total CPU consumption
+  uint64_t dropped = 0;           ///< best-case queue-overflow drops
+  uint64_t processed_best = 0;    ///< Σ_pe tuples processed, best case
+  uint64_t processed_worst = 0;   ///< same, pessimistic worst case
+  uint64_t processed_crash = 0;   ///< same, host-crash scenario (if run)
+  double peak_output_rate = 0.0;  ///< mean sink rate over High periods, best case
+  double promised_ic = 0.0;       ///< FT-Search IC bound (L.x variants)
+};
+
+/// Per-application record of the full §5.3 comparison.
+struct AppExperimentRecord {
+  uint64_t app_seed = 0;
+  std::vector<VariantMeasurement> variants;  // NR first, then SR, GRD, L.x
+
+  const VariantMeasurement* Find(const std::string& name) const;
+};
+
+struct HarnessOptions {
+  appgen::GeneratorOptions generator;
+  VariantBuildOptions variants;
+  dsps::RuntimeOptions runtime;
+  double trace_seconds = 300.0;
+  double high_fraction = 1.0 / 3.0;
+  int trace_cycles = 3;
+  bool run_worst_case = true;
+  bool run_host_crash = false;
+};
+
+/// Generates an application from `seed`, builds all variants, and runs the
+/// requested scenarios. Returns FailedPrecondition when the instance is not
+/// usable (e.g. FT-Search proves some L.x infeasible); callers skip those
+/// seeds, like the paper's corpus keeps only solvable instances.
+Result<AppExperimentRecord> RunAppExperiment(const HarnessOptions& options, uint64_t seed);
+
+}  // namespace laar::runtime
+
+#endif  // LAAR_RUNTIME_EXPERIMENT_H_

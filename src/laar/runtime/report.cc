@@ -1,0 +1,102 @@
+#include "laar/runtime/report.h"
+
+#include "laar/common/strings.h"
+
+namespace laar::runtime {
+
+json::Value RecordToJson(const AppExperimentRecord& record) {
+  json::Value doc = json::Value::MakeObject();
+  doc.Set("app_seed", json::Value::Int(static_cast<int64_t>(record.app_seed)));
+  json::Value variants = json::Value::MakeArray();
+  for (const VariantMeasurement& m : record.variants) {
+    json::Value v = json::Value::MakeObject();
+    v.Set("variant", json::Value::String(m.variant));
+    v.Set("cpu_cycles", json::Value::Number(m.cpu_cycles));
+    v.Set("dropped", json::Value::Int(static_cast<int64_t>(m.dropped)));
+    v.Set("processed_best", json::Value::Int(static_cast<int64_t>(m.processed_best)));
+    v.Set("processed_worst", json::Value::Int(static_cast<int64_t>(m.processed_worst)));
+    v.Set("processed_crash", json::Value::Int(static_cast<int64_t>(m.processed_crash)));
+    v.Set("peak_output_rate", json::Value::Number(m.peak_output_rate));
+    v.Set("promised_ic", json::Value::Number(m.promised_ic));
+    variants.Append(std::move(v));
+  }
+  doc.Set("variants", std::move(variants));
+  return doc;
+}
+
+json::Value CorpusToJson(const std::vector<AppExperimentRecord>& records) {
+  json::Value doc = json::Value::MakeObject();
+  json::Value list = json::Value::MakeArray();
+  for (const AppExperimentRecord& record : records) {
+    list.Append(RecordToJson(record));
+  }
+  doc.Set("records", std::move(list));
+  return doc;
+}
+
+Result<AppExperimentRecord> RecordFromJson(const json::Value& value) {
+  if (!value.is_object()) return Status::InvalidArgument("record must be an object");
+  AppExperimentRecord record;
+  LAAR_ASSIGN_OR_RETURN(const json::Value* seed, value.Get("app_seed"));
+  LAAR_ASSIGN_OR_RETURN(int64_t seed_value, seed->AsInt());
+  record.app_seed = static_cast<uint64_t>(seed_value);
+  LAAR_ASSIGN_OR_RETURN(const json::Value* variants, value.Get("variants"));
+  if (!variants->is_array()) return Status::InvalidArgument("'variants' must be an array");
+  for (const json::Value& v : variants->array()) {
+    VariantMeasurement m;
+    LAAR_ASSIGN_OR_RETURN(const json::Value* name, v.Get("variant"));
+    LAAR_ASSIGN_OR_RETURN(m.variant, name->AsString());
+    LAAR_ASSIGN_OR_RETURN(m.cpu_cycles,
+                          v.GetOr("cpu_cycles", json::Value::Number(0)).AsDouble());
+    LAAR_ASSIGN_OR_RETURN(int64_t dropped,
+                          v.GetOr("dropped", json::Value::Int(0)).AsInt());
+    m.dropped = static_cast<uint64_t>(dropped);
+    LAAR_ASSIGN_OR_RETURN(int64_t best,
+                          v.GetOr("processed_best", json::Value::Int(0)).AsInt());
+    m.processed_best = static_cast<uint64_t>(best);
+    LAAR_ASSIGN_OR_RETURN(int64_t worst,
+                          v.GetOr("processed_worst", json::Value::Int(0)).AsInt());
+    m.processed_worst = static_cast<uint64_t>(worst);
+    LAAR_ASSIGN_OR_RETURN(int64_t crash,
+                          v.GetOr("processed_crash", json::Value::Int(0)).AsInt());
+    m.processed_crash = static_cast<uint64_t>(crash);
+    LAAR_ASSIGN_OR_RETURN(m.peak_output_rate,
+                          v.GetOr("peak_output_rate", json::Value::Number(0)).AsDouble());
+    LAAR_ASSIGN_OR_RETURN(m.promised_ic,
+                          v.GetOr("promised_ic", json::Value::Number(0)).AsDouble());
+    record.variants.push_back(std::move(m));
+  }
+  return record;
+}
+
+Result<std::vector<AppExperimentRecord>> CorpusFromJson(const json::Value& value) {
+  LAAR_ASSIGN_OR_RETURN(const json::Value* list, value.Get("records"));
+  if (!list->is_array()) return Status::InvalidArgument("'records' must be an array");
+  std::vector<AppExperimentRecord> records;
+  for (const json::Value& entry : list->array()) {
+    LAAR_ASSIGN_OR_RETURN(AppExperimentRecord record, RecordFromJson(entry));
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+std::string CorpusToCsv(const std::vector<AppExperimentRecord>& records) {
+  std::string out =
+      "app_seed,variant,cpu_cycles,dropped,processed_best,processed_worst,"
+      "processed_crash,peak_output_rate,promised_ic\n";
+  for (const AppExperimentRecord& record : records) {
+    for (const VariantMeasurement& m : record.variants) {
+      out += StrFormat("%llu,%s,%.17g,%llu,%llu,%llu,%llu,%.17g,%.17g\n",
+                       static_cast<unsigned long long>(record.app_seed),
+                       m.variant.c_str(), m.cpu_cycles,
+                       static_cast<unsigned long long>(m.dropped),
+                       static_cast<unsigned long long>(m.processed_best),
+                       static_cast<unsigned long long>(m.processed_worst),
+                       static_cast<unsigned long long>(m.processed_crash),
+                       m.peak_output_rate, m.promised_ic);
+    }
+  }
+  return out;
+}
+
+}  // namespace laar::runtime

@@ -1,0 +1,29 @@
+#ifndef LAAR_RUNTIME_REPORT_H_
+#define LAAR_RUNTIME_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "laar/common/result.h"
+#include "laar/json/json.h"
+#include "laar/runtime/experiment.h"
+
+namespace laar::runtime {
+
+/// Machine-readable experiment output, for plotting outside the benches.
+
+/// One record as a JSON object (per-variant measurements keyed by name).
+json::Value RecordToJson(const AppExperimentRecord& record);
+
+/// A whole corpus as {"records": [...]}; round-trips via RecordFromJson.
+json::Value CorpusToJson(const std::vector<AppExperimentRecord>& records);
+
+Result<AppExperimentRecord> RecordFromJson(const json::Value& value);
+Result<std::vector<AppExperimentRecord>> CorpusFromJson(const json::Value& value);
+
+/// CSV with one row per (application, variant), header included.
+std::string CorpusToCsv(const std::vector<AppExperimentRecord>& records);
+
+}  // namespace laar::runtime
+
+#endif  // LAAR_RUNTIME_REPORT_H_

@@ -1,0 +1,60 @@
+#include "laar/sim/simulator.h"
+
+#include <utility>
+
+namespace laar::sim {
+
+EventId Simulator::ScheduleAt(SimTime when, std::function<void()> callback) {
+  if (when < now_) when = now_;
+  const EventId id = next_id_++;
+  queue_.push(Event{when, next_sequence_++, id, std::move(callback)});
+  return id;
+}
+
+EventId Simulator::ScheduleAfter(SimTime delay, std::function<void()> callback) {
+  return ScheduleAt(now_ + (delay > 0.0 ? delay : 0.0), std::move(callback));
+}
+
+void Simulator::Cancel(EventId id) {
+  if (id != kInvalidEvent) cancelled_.insert(id);
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    // Moving out of a priority_queue requires const_cast; the element is
+    // popped immediately afterwards, so the broken ordering is never seen.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    auto cancelled_it = cancelled_.find(event.id);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      continue;
+    }
+    now_ = event.when;
+    ++events_processed_;
+    event.callback();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime end_time) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.count(top.id) != 0) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.when > end_time) break;
+    Step();
+  }
+  if (now_ < end_time) now_ = end_time;
+}
+
+}  // namespace laar::sim

@@ -1,0 +1,86 @@
+#ifndef LAAR_SIM_SIMULATOR_H_
+#define LAAR_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace laar::sim {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+/// Identifier of a scheduled event, usable with `Cancel`.
+using EventId = uint64_t;
+
+constexpr EventId kInvalidEvent = 0;
+
+/// A deterministic discrete-event simulation engine.
+///
+/// Events at equal timestamps fire in scheduling order (a monotone sequence
+/// number breaks ties), which makes entire runs reproducible. Cancellation
+/// is lazy: cancelled events stay in the heap and are skipped when popped.
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `callback` at absolute time `when`; times before `now()` are
+  /// clamped to `now()` (the event fires next).
+  EventId ScheduleAt(SimTime when, std::function<void()> callback);
+
+  /// Schedules `callback` `delay` seconds from now (negative clamps to 0).
+  EventId ScheduleAfter(SimTime delay, std::function<void()> callback);
+
+  /// Cancels a pending event; no-op if it already fired or never existed.
+  void Cancel(EventId id);
+
+  /// Runs events until the queue is empty.
+  void Run();
+
+  /// Runs events with timestamp <= `end_time`, then sets `now()` to
+  /// `end_time` (even if the queue still has later events).
+  void RunUntil(SimTime end_time);
+
+  /// Executes exactly one event if available; returns false on empty queue.
+  bool Step();
+
+  uint64_t events_processed() const { return events_processed_; }
+
+  /// Pending (not yet fired, not cancelled) events. Cancelling an event
+  /// that already fired leaves a tombstone that inflates neither count.
+  size_t pending_events() const {
+    return queue_.size() >= cancelled_.size() ? queue_.size() - cancelled_.size() : 0;
+  }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t sequence;
+    EventId id;
+    std::function<void()> callback;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  uint64_t next_sequence_ = 1;
+  EventId next_id_ = 1;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace laar::sim
+
+#endif  // LAAR_SIM_SIMULATOR_H_

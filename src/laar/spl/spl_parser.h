@@ -1,0 +1,57 @@
+#ifndef LAAR_SPL_SPL_PARSER_H_
+#define LAAR_SPL_SPL_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "laar/common/result.h"
+#include "laar/model/descriptor.h"
+
+namespace laar::spl {
+
+/// A small textual application language in the spirit of IBM Streams' SPL
+/// (§5.1) — the paper's applications are SPL programs; this gives LAAR
+/// users the same authoring convenience without hand-writing descriptor
+/// JSON.
+///
+/// Grammar (informal; '#' starts a line comment):
+///
+///   application <name> {
+///     source <id> {
+///       rate <label> = <tuples/sec> @ <probability>;   // one per level
+///       ...
+///     }
+///     pe <id>;
+///     sink <id>;
+///     stream <id> -> <id> [selectivity = <x>, cost = <y>(cycles|ms|us)];
+///     ...
+///   }
+///
+/// Rules enforced during elaboration:
+///  - every identifier is declared before use and unique;
+///  - per-source level probabilities sum to 1;
+///  - `cost` units: plain number or `cycles` = CPU cycles per tuple;
+///    `ms`/`us` = milliseconds/microseconds on a reference 1 GHz core;
+///  - edge attribute defaults: selectivity 1.0, cost 0;
+///  - the resulting graph must pass full descriptor validation (DAG,
+///    orphan rules, etc.).
+///
+/// Example:
+///
+///   application pipeline {
+///     source src { rate Low = 4 @ 0.8; rate High = 8 @ 0.2; }
+///     pe stage1;
+///     pe stage2;
+///     sink out;
+///     stream src -> stage1 [selectivity = 1.0, cost = 100ms];
+///     stream stage1 -> stage2 [cost = 100ms];
+///     stream stage2 -> out;
+///   }
+Result<model::ApplicationDescriptor> ParseApplication(std::string_view text);
+
+/// Reads and parses an application file.
+Result<model::ApplicationDescriptor> ParseApplicationFile(const std::string& path);
+
+}  // namespace laar::spl
+
+#endif  // LAAR_SPL_SPL_PARSER_H_

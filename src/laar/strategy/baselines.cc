@@ -1,0 +1,113 @@
+#include "laar/strategy/baselines.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "laar/metrics/cost.h"
+
+namespace laar::strategy {
+
+ActivationStrategy MakeStaticReplication(const model::ApplicationGraph& graph,
+                                         const model::InputSpace& space,
+                                         int replication_factor) {
+  // The default-constructed table is all-active.
+  return ActivationStrategy(graph.num_components(), replication_factor, space.num_configs());
+}
+
+ActivationStrategy MakeNonReplicated(const model::ApplicationGraph& graph,
+                                     const model::InputSpace& space,
+                                     const ActivationStrategy& reference,
+                                     model::ConfigId reference_config) {
+  ActivationStrategy out(graph.num_components(), reference.replication_factor(),
+                         space.num_configs());
+  for (model::ComponentId pe : graph.Pes()) {
+    int keep = reference.FirstActiveReplica(pe, reference_config);
+    if (keep < 0) keep = 0;  // Eq. 12 makes this unreachable for valid inputs
+    for (model::ConfigId c = 0; c < space.num_configs(); ++c) {
+      out.SetAll(pe, c, false);
+      out.SetActive(pe, keep, c, true);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Depth of each component in the DAG (sources at 0); the greedy tie-break
+/// prefers deactivating PEs closer to the sources.
+std::vector<int> TopoDepths(const model::ApplicationGraph& graph) {
+  std::vector<int> depth(graph.num_components(), 0);
+  for (model::ComponentId id : graph.TopologicalOrder()) {
+    for (size_t edge_index : graph.OutgoingEdges(id)) {
+      const model::ComponentId to = graph.edges()[edge_index].to;
+      depth[to] = std::max(depth[to], depth[id] + 1);
+    }
+  }
+  return depth;
+}
+
+}  // namespace
+
+ActivationStrategy MakeGreedy(const model::ApplicationGraph& graph,
+                              const model::InputSpace& space,
+                              const model::ExpectedRates& rates,
+                              const model::ReplicaPlacement& placement,
+                              const model::Cluster& cluster) {
+  ActivationStrategy out = MakeStaticReplication(graph, space,
+                                                 placement.replication_factor());
+  const std::vector<int> depth = TopoDepths(graph);
+
+  for (model::ConfigId c = 0; c < space.num_configs(); ++c) {
+    while (true) {
+      const std::vector<double> loads =
+          metrics::HostLoads(graph, rates, placement, out, cluster, c);
+      // Pick the most overloaded host (largest load/capacity ratio >= 1).
+      model::HostId worst = model::kInvalidHost;
+      double worst_ratio = 1.0;
+      for (size_t h = 0; h < loads.size(); ++h) {
+        const double ratio =
+            loads[h] / cluster.host(static_cast<model::HostId>(h)).capacity_cycles_per_sec;
+        if (ratio >= worst_ratio) {
+          worst_ratio = ratio;
+          worst = static_cast<model::HostId>(h);
+        }
+      }
+      if (worst == model::kInvalidHost) break;  // no overloaded host remains
+
+      // Candidate replicas on the worst host: active here, and their PE
+      // keeps at least one active replica after deactivation (Eq. 12).
+      struct Candidate {
+        model::ComponentId pe;
+        int replica;
+        double demand;
+      };
+      std::vector<Candidate> candidates;
+      double max_demand = 0.0;
+      for (const model::ReplicaRef& ref : placement.ReplicasOn(worst)) {
+        if (!graph.IsPe(ref.pe)) continue;
+        if (!out.IsActive(ref.pe, ref.replica, c)) continue;
+        if (out.ActiveReplicaCount(ref.pe, c) <= 1) continue;
+        const double demand = rates.CpuDemand(graph, ref.pe, c);
+        candidates.push_back(Candidate{ref.pe, ref.replica, demand});
+        max_demand = std::max(max_demand, demand);
+      }
+      if (candidates.empty()) break;  // stuck: host stays overloaded
+
+      // "The replica that consumes the most CPU", with the upstream-first
+      // heuristic applied among near-maximal candidates (within 10%).
+      const double threshold = 0.9 * max_demand;
+      const Candidate* chosen = nullptr;
+      for (const Candidate& cand : candidates) {
+        if (cand.demand < threshold) continue;
+        if (chosen == nullptr || depth[cand.pe] < depth[chosen->pe] ||
+            (depth[cand.pe] == depth[chosen->pe] && cand.demand > chosen->demand)) {
+          chosen = &cand;
+        }
+      }
+      out.SetActive(chosen->pe, chosen->replica, c, false);
+    }
+  }
+  return out;
+}
+
+}  // namespace laar::strategy

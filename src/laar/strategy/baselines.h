@@ -1,0 +1,47 @@
+#ifndef LAAR_STRATEGY_BASELINES_H_
+#define LAAR_STRATEGY_BASELINES_H_
+
+#include "laar/common/result.h"
+#include "laar/model/cluster.h"
+#include "laar/model/graph.h"
+#include "laar/model/input_space.h"
+#include "laar/model/placement.h"
+#include "laar/model/rates.h"
+#include "laar/strategy/activation_strategy.h"
+
+namespace laar::strategy {
+
+/// The replication variants the paper compares LAAR against (§5.2).
+
+/// Static Replication (SR): both replicas of every PE active all the time,
+/// independently of the input configuration.
+ActivationStrategy MakeStaticReplication(const model::ApplicationGraph& graph,
+                                         const model::InputSpace& space,
+                                         int replication_factor);
+
+/// Non Replicated (NR): derived from a LAAR strategy (the paper uses L.5)
+/// by taking its activations in the "High" (peak) configuration and forcing
+/// exactly one active replica per PE; the result is used in every
+/// configuration. This quickly yields a never-overloaded single-replica
+/// deployment spread over all cluster resources.
+ActivationStrategy MakeNonReplicated(const model::ApplicationGraph& graph,
+                                     const model::InputSpace& space,
+                                     const ActivationStrategy& reference,
+                                     model::ConfigId reference_config);
+
+/// Greedy (GRD): starting from static replication, for every configuration
+/// iteratively deactivate redundant replicas until no host is overloaded.
+/// Each iteration picks the most-overloaded host and deactivates, among the
+/// replicas still deactivatable there (their PE keeps >= 1 active replica),
+/// the one consuming the most CPU; near-ties are broken in favour of
+/// upstream PEs (§5.2). If a configuration cannot be de-overloaded, the
+/// strategy is returned anyway (the greedy variant gives no guarantees).
+ActivationStrategy MakeGreedy(const model::ApplicationGraph& graph,
+                              const model::InputSpace& space,
+                              const model::ExpectedRates& rates,
+                              const model::ReplicaPlacement& placement,
+                              const model::Cluster& cluster);
+
+}  // namespace laar::strategy
+
+#endif  // LAAR_STRATEGY_BASELINES_H_

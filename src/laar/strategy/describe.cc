@@ -1,0 +1,62 @@
+#include "laar/strategy/describe.h"
+
+#include "laar/common/strings.h"
+
+namespace laar::strategy {
+
+std::string Describe(const model::ApplicationGraph& graph, const model::InputSpace& space,
+                     const ActivationStrategy& strategy) {
+  std::string out;
+  for (model::ConfigId c = 0; c < space.num_configs(); ++c) {
+    int full = 0;
+    int partial = 0;
+    int uncovered = 0;
+    std::string shed;
+    for (model::ComponentId pe : graph.Pes()) {
+      const int active = strategy.ActiveReplicaCount(pe, c);
+      if (active >= strategy.replication_factor()) {
+        ++full;
+      } else if (active >= 1) {
+        ++partial;
+        if (!shed.empty()) shed += ", ";
+        shed += graph.component(pe).name;
+      } else {
+        ++uncovered;
+      }
+    }
+    out += StrFormat("config %-16s (P=%.3f): %d fully replicated, %d single-replica",
+                     space.ConfigLabel(c).c_str(), space.Probability(c), full, partial);
+    if (uncovered > 0) out += StrFormat(", %d UNCOVERED", uncovered);
+    if (!shed.empty()) out += "\n  shedding a replica: " + shed;
+    out += "\n";
+  }
+  return out;
+}
+
+std::string Diff(const model::ApplicationGraph& graph, const model::InputSpace& space,
+                 const ActivationStrategy& before, const ActivationStrategy& after) {
+  if (before.replication_factor() != after.replication_factor() ||
+      before.num_configs() != after.num_configs()) {
+    return "strategies have different dimensions\n";
+  }
+  std::string out;
+  int changes = 0;
+  for (model::ConfigId c = 0; c < space.num_configs(); ++c) {
+    for (model::ComponentId pe : graph.Pes()) {
+      for (int r = 0; r < before.replication_factor(); ++r) {
+        const bool was = before.IsActive(pe, r, c);
+        const bool now = after.IsActive(pe, r, c);
+        if (was == now) continue;
+        ++changes;
+        out += StrFormat("%s replica %d in %s: %s -> %s\n",
+                         graph.component(pe).name.c_str(), r,
+                         space.ConfigLabel(c).c_str(), was ? "active" : "idle",
+                         now ? "active" : "idle");
+      }
+    }
+  }
+  if (changes == 0) return "identical strategies\n";
+  return StrFormat("%d activation changes:\n", changes) + out;
+}
+
+}  // namespace laar::strategy

@@ -1,0 +1,27 @@
+#ifndef LAAR_STRATEGY_DESCRIBE_H_
+#define LAAR_STRATEGY_DESCRIBE_H_
+
+#include <string>
+
+#include "laar/model/graph.h"
+#include "laar/model/input_space.h"
+#include "laar/strategy/activation_strategy.h"
+
+namespace laar::strategy {
+
+/// Renders a human-readable summary of an activation strategy: per input
+/// configuration, how many PEs run fully replicated / single-replica, and
+/// which PEs shed a replica (by name). Used by `laar_solve` to explain the
+/// strategy it just computed.
+std::string Describe(const model::ApplicationGraph& graph, const model::InputSpace& space,
+                     const ActivationStrategy& strategy);
+
+/// One-line diff between two strategies over the same application: which
+/// (PE, configuration) activation states changed. Useful when comparing
+/// FT-Search outputs across SLA levels or placements.
+std::string Diff(const model::ApplicationGraph& graph, const model::InputSpace& space,
+                 const ActivationStrategy& before, const ActivationStrategy& after);
+
+}  // namespace laar::strategy
+
+#endif  // LAAR_STRATEGY_DESCRIBE_H_

@@ -1,0 +1,365 @@
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "laar/common/result.h"
+#include "laar/common/rng.h"
+#include "laar/common/stats.h"
+#include "laar/common/status.h"
+#include "laar/common/stopwatch.h"
+#include "laar/common/strings.h"
+
+namespace laar {
+namespace {
+
+// --------------------------------------------------------------------------
+// Status / Result
+// --------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::NotFound("key").WithContext("loading strategy");
+  EXPECT_EQ(s.message(), "loading strategy: key");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(Status::OK().WithContext("ignored").ok());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UsesReturnIfError(int x) {
+  LAAR_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  EXPECT_EQ(UsesReturnIfError(-1).code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return x;
+}
+
+Result<int> DoublePositive(int x) {
+  LAAR_ASSIGN_OR_RETURN(int value, ParsePositive(x));
+  return value * 2;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 21);
+  EXPECT_EQ(r.value_or(0), 21);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(-3);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*DoublePositive(5), 10);
+  EXPECT_FALSE(DoublePositive(0).ok());
+}
+
+TEST(ResultTest, OkStatusWithoutValueBecomesInternalError) {
+  Result<int> r(Status::OK());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(9);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 9);
+}
+
+// --------------------------------------------------------------------------
+// Strings
+// --------------------------------------------------------------------------
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("pe%d r%d", 3, 1), "pe3 r1");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringsTest, StrSplitKeepsEmptyFields) {
+  EXPECT_EQ(StrSplit("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringsTest, StrJoin) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StringsTest, TrimAndAffixes) {
+  EXPECT_EQ(StrTrim("  x y\t\n"), "x y");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim(" \t "), "");
+  EXPECT_TRUE(StartsWith("fig9_bench", "fig9"));
+  EXPECT_FALSE(StartsWith("fig", "fig9"));
+  EXPECT_TRUE(EndsWith("strategy.json", ".json"));
+  EXPECT_FALSE(EndsWith("x", ".json"));
+}
+
+// --------------------------------------------------------------------------
+// Rng
+// --------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(123), b(123), c(124);
+  bool all_equal = true;
+  bool any_diff_seed_differs = false;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.NextUint64();
+    if (va != b.NextUint64()) all_equal = false;
+    if (va != c.NextUint64()) any_diff_seed_differs = true;
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_seed_differs);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(2.5, 3.5);
+    EXPECT_GE(v, 2.5);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusively) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(23);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(10.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.02);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(31);
+  std::vector<double> weights = {0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[rng.WeightedIndex(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.03);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(99);
+  Rng forked = a.Fork();
+  // The fork must not replay the parent's stream.
+  Rng b(99);
+  b.NextUint64();  // parent consumed one draw for the fork
+  EXPECT_NE(forked.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, ShuffleKeepsElements) {
+  Rng rng(3);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+// --------------------------------------------------------------------------
+// Stats
+// --------------------------------------------------------------------------
+
+TEST(SampleStatsTest, BasicMoments) {
+  SampleStats stats;
+  stats.AddAll({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+  EXPECT_NEAR(stats.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(SampleStatsTest, EmptyIsSafe) {
+  SampleStats stats;
+  EXPECT_TRUE(stats.empty());
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.Percentile(50), 0.0);
+  EXPECT_EQ(stats.Summarize().count, 0u);
+}
+
+TEST(SampleStatsTest, PercentileInterpolates) {
+  SampleStats stats;
+  stats.AddAll({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_DOUBLE_EQ(stats.Percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(50), 30.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(100), 50.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(25), 20.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(12.5), 15.0);
+}
+
+TEST(SampleStatsTest, BoxPlotWhiskersAndOutliers) {
+  SampleStats stats;
+  // Tight cluster plus one far outlier.
+  stats.AddAll({1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 100.0});
+  const BoxPlot box = stats.Summarize();
+  EXPECT_EQ(box.count, 9u);
+  EXPECT_EQ(box.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(box.outliers[0], 100.0);
+  EXPECT_LE(box.whisker_high, 1.7);
+  EXPECT_DOUBLE_EQ(box.whisker_low, 1.0);
+  EXPECT_DOUBLE_EQ(box.max, 100.0);
+}
+
+TEST(SampleStatsTest, PercentileAfterLaterAdds) {
+  SampleStats stats;
+  stats.Add(5.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(50), 5.0);
+  stats.Add(1.0);
+  stats.Add(9.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+}
+
+TEST(HistogramTest, BinningAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.0);   // bin 0
+  h.Add(1.99);  // bin 0
+  h.Add(2.0);   // bin 1
+  h.Add(9.99);  // bin 4
+  h.Add(10.0);  // overflow
+  h.Add(-0.1);  // underflow
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_DOUBLE_EQ(h.BinLo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.BinHi(1), 4.0);
+}
+
+TEST(HistogramTest, ToStringMentionsCounts) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(0.25);
+  h.Add(0.75);
+  h.Add(0.8);
+  const std::string rendered = h.ToString(10);
+  EXPECT_NE(rendered.find("1"), std::string::npos);
+  EXPECT_NE(rendered.find("2"), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Stopwatch / Deadline
+// --------------------------------------------------------------------------
+
+TEST(StopwatchTest, MeasuresForwardTime) {
+  Stopwatch watch;
+  EXPECT_GE(watch.ElapsedSeconds(), 0.0);
+  EXPECT_GE(watch.ElapsedMicros(), 0);
+}
+
+TEST(DeadlineTest, InfiniteNeverExpires) {
+  Deadline d = Deadline::Infinite();
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingSeconds(), 1e12);
+}
+
+TEST(DeadlineTest, PastDeadlineExpires) {
+  Deadline d = Deadline::After(-1.0);
+  EXPECT_TRUE(d.Expired());
+}
+
+TEST(DeadlineTest, FutureDeadlineNotYetExpired) {
+  Deadline d = Deadline::After(60.0);
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingSeconds(), 50.0);
+}
+
+}  // namespace
+}  // namespace laar

@@ -1,0 +1,133 @@
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "laar/common/rng.h"
+#include "laar/configindex/config_index.h"
+
+namespace laar::configindex {
+namespace {
+
+using model::ConfigId;
+using model::InputSpace;
+using model::SourceRateSet;
+
+InputSpace MakeSpace(const std::vector<std::vector<double>>& per_source_rates) {
+  InputSpace space;
+  for (size_t i = 0; i < per_source_rates.size(); ++i) {
+    SourceRateSet s;
+    s.source = static_cast<model::ComponentId>(i);
+    s.rates = per_source_rates[i];
+    s.probabilities.assign(per_source_rates[i].size(),
+                           1.0 / static_cast<double>(per_source_rates[i].size()));
+    // Normalize exactly for odd divisions.
+    double total = 0.0;
+    for (double p : s.probabilities) total += p;
+    s.probabilities.back() += 1.0 - total;
+    EXPECT_TRUE(space.AddSource(s).ok());
+  }
+  return space;
+}
+
+/// Brute force reference: nearest config dominating the query.
+ConfigId BruteForce(const InputSpace& space, const std::vector<double>& query) {
+  ConfigId best = -1;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (ConfigId c = 0; c < space.num_configs(); ++c) {
+    bool dominates = true;
+    double dist = 0.0;
+    for (size_t d = 0; d < space.num_sources(); ++d) {
+      const double rate = space.RateOf(d, c);
+      if (rate < query[d]) {
+        dominates = false;
+        break;
+      }
+      dist += (rate - query[d]) * (rate - query[d]);
+    }
+    if (dominates && dist < best_dist) {
+      best_dist = dist;
+      best = c;
+    }
+  }
+  return best < 0 ? space.PeakConfig() : best;
+}
+
+TEST(ConfigIndexTest, SingleSourceTwoRates) {
+  InputSpace space = MakeSpace({{4.0, 8.0}});
+  Result<ConfigIndex> index = ConfigIndex::Build(space);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_points(), 2u);
+  // Below Low -> Low; between -> High; above High -> peak fallback.
+  EXPECT_EQ(*index->Lookup({2.0}), 0);
+  EXPECT_EQ(*index->Lookup({4.0}), 0);
+  EXPECT_EQ(*index->Lookup({4.1}), 1);
+  EXPECT_EQ(*index->Lookup({8.0}), 1);
+  EXPECT_EQ(*index->Lookup({11.0}), 1);  // fallback to peak
+  EXPECT_EQ(*index->Lookup({0.0}), 0);
+}
+
+TEST(ConfigIndexTest, NeverUnderestimatesLoad) {
+  InputSpace space = MakeSpace({{1.0, 5.0, 9.0}, {2.0, 4.0}});
+  Result<ConfigIndex> index = ConfigIndex::Build(space);
+  ASSERT_TRUE(index.ok());
+  Rng rng(77);
+  for (int i = 0; i < 500; ++i) {
+    const std::vector<double> query = {rng.Uniform(0.0, 9.0), rng.Uniform(0.0, 4.0)};
+    const ConfigId chosen = *index->Lookup(query);
+    // The chosen configuration dominates the measurement (§4.6 guarantee).
+    for (size_t d = 0; d < 2; ++d) {
+      EXPECT_GE(space.RateOf(d, chosen), query[d]);
+    }
+  }
+}
+
+TEST(ConfigIndexTest, MatchesBruteForceOnRandomQueries) {
+  InputSpace space = MakeSpace({{1.0, 3.0, 7.0, 9.0}, {2.0, 5.0, 8.0}, {1.5, 6.5}});
+  Result<ConfigIndex> index = ConfigIndex::Build(space);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_points(), 24u);
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const std::vector<double> query = {rng.Uniform(0.0, 10.0), rng.Uniform(0.0, 9.0),
+                                       rng.Uniform(0.0, 7.0)};
+    EXPECT_EQ(*index->Lookup(query), BruteForce(space, query)) << "i=" << i;
+  }
+}
+
+TEST(ConfigIndexTest, LargeSpaceBuildsMultiLevelTree) {
+  // 4 sources x 4 rates = 256 points: with 8 entries/node the tree must
+  // have at least 3 levels, and lookups must still match brute force.
+  InputSpace space = MakeSpace({{1, 2, 3, 4}, {1, 2, 3, 4}, {1, 2, 3, 4}, {1, 2, 3, 4}});
+  Result<ConfigIndex> index = ConfigIndex::Build(space);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_points(), 256u);
+  EXPECT_GE(index->Height(), 3);
+  Rng rng(19);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<double> query(4);
+    for (double& q : query) q = rng.Uniform(0.0, 4.5);
+    EXPECT_EQ(*index->Lookup(query), BruteForce(space, query));
+  }
+}
+
+TEST(ConfigIndexTest, RejectsWrongDimensionQuery) {
+  InputSpace space = MakeSpace({{1.0, 2.0}});
+  Result<ConfigIndex> index = ConfigIndex::Build(space);
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(index->Lookup({1.0, 2.0}).ok());
+  EXPECT_FALSE(index->Lookup({}).ok());
+}
+
+TEST(ConfigIndexTest, ExactRatePicksThatConfig) {
+  InputSpace space = MakeSpace({{4.0, 8.0}, {3.0, 6.0}});
+  Result<ConfigIndex> index = ConfigIndex::Build(space);
+  ASSERT_TRUE(index.ok());
+  for (ConfigId c = 0; c < space.num_configs(); ++c) {
+    const std::vector<double> exact = {space.RateOf(0, c), space.RateOf(1, c)};
+    EXPECT_EQ(*index->Lookup(exact), c);
+  }
+}
+
+}  // namespace
+}  // namespace laar::configindex

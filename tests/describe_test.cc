@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "laar/spl/spl_parser.h"
+#include "laar/strategy/describe.h"
+
+namespace laar::strategy {
+namespace {
+
+model::ApplicationDescriptor MakeApp() {
+  auto app = spl::ParseApplication(R"(
+application demo {
+  source src { rate Low = 4 @ 0.8; rate High = 8 @ 0.2; }
+  pe alpha;
+  pe beta;
+  sink out;
+  stream src -> alpha [cost = 1ms];
+  stream alpha -> beta [cost = 1ms];
+  stream beta -> out;
+})");
+  EXPECT_TRUE(app.ok());
+  return std::move(*app);
+}
+
+TEST(DescribeTest, SummarizesPerConfig) {
+  const auto app = MakeApp();
+  ActivationStrategy s(app.graph.num_components(), 2, 2);
+  s.SetActive(app.graph.Pes()[0], 1, 1, false);  // alpha sheds one in High
+  const std::string text = Describe(app.graph, app.input_space, s);
+  EXPECT_NE(text.find("config Low"), std::string::npos);
+  EXPECT_NE(text.find("2 fully replicated, 0 single-replica"), std::string::npos);
+  EXPECT_NE(text.find("1 fully replicated, 1 single-replica"), std::string::npos);
+  EXPECT_NE(text.find("shedding a replica: alpha"), std::string::npos);
+  EXPECT_EQ(text.find("UNCOVERED"), std::string::npos);
+}
+
+TEST(DescribeTest, FlagsUncoveredPes) {
+  const auto app = MakeApp();
+  ActivationStrategy s(app.graph.num_components(), 2, 2);
+  s.SetAll(app.graph.Pes()[1], 0, false);
+  const std::string text = Describe(app.graph, app.input_space, s);
+  EXPECT_NE(text.find("1 UNCOVERED"), std::string::npos);
+}
+
+TEST(DescribeTest, DiffListsChanges) {
+  const auto app = MakeApp();
+  ActivationStrategy a(app.graph.num_components(), 2, 2);
+  ActivationStrategy b = a;
+  EXPECT_EQ(Diff(app.graph, app.input_space, a, b), "identical strategies\n");
+
+  b.SetActive(app.graph.Pes()[0], 1, 1, false);
+  b.SetActive(app.graph.Pes()[1], 0, 0, false);
+  const std::string diff = Diff(app.graph, app.input_space, a, b);
+  EXPECT_NE(diff.find("2 activation changes"), std::string::npos);
+  EXPECT_NE(diff.find("alpha replica 1 in High: active -> idle"), std::string::npos);
+  EXPECT_NE(diff.find("beta replica 0 in Low: active -> idle"), std::string::npos);
+
+  ActivationStrategy other(app.graph.num_components(), 2, 3);
+  EXPECT_NE(Diff(app.graph, app.input_space, a, other).find("different dimensions"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace laar::strategy

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "laar/common/rng.h"
+#include "laar/dsps/trace.h"
+#include "laar/model/discretize.h"
+
+namespace laar::model {
+namespace {
+
+TEST(DiscretizeTest, EqualFrequencyTwoLevels) {
+  // 8 low samples, 8 high samples: two clean levels with pmf 1/2 each.
+  std::vector<double> samples = {1, 1.1, 1.2, 1.3, 1.1, 1.2, 1.0, 1.3,
+                                 9, 9.1, 9.2, 9.3, 9.1, 9.2, 9.0, 9.3};
+  DiscretizeOptions options;
+  options.num_levels = 2;
+  auto rates = DiscretizeEqualFrequency(0, samples, options);
+  ASSERT_TRUE(rates.ok()) << rates.status().ToString();
+  ASSERT_EQ(rates->rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(rates->rates[0], 1.3);
+  EXPECT_DOUBLE_EQ(rates->rates[1], 9.3);
+  EXPECT_DOUBLE_EQ(rates->probabilities[0], 0.5);
+  EXPECT_DOUBLE_EQ(rates->probabilities[1], 0.5);
+  EXPECT_EQ(rates->source, 0);
+  EXPECT_EQ(rates->labels.size(), 2u);
+}
+
+TEST(DiscretizeTest, LevelsDominateTheirSamples) {
+  Rng rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) samples.push_back(rng.Uniform(0.0, 50.0));
+  for (int levels : {1, 2, 3, 5, 8}) {
+    DiscretizeOptions options;
+    options.num_levels = levels;
+    auto rates = DiscretizeEqualFrequency(0, samples, options);
+    ASSERT_TRUE(rates.ok());
+    // Rates strictly increasing; probabilities a valid pmf.
+    double pmf = 0.0;
+    for (size_t i = 0; i < rates->rates.size(); ++i) {
+      if (i > 0) {
+        EXPECT_GT(rates->rates[i], rates->rates[i - 1]);
+      }
+      pmf += rates->probabilities[i];
+    }
+    EXPECT_NEAR(pmf, 1.0, 1e-9);
+    // The top level dominates every sample.
+    EXPECT_GE(rates->rates.back(), 50.0 * 0.99 - 1.0);
+    // Roughly equal-frequency bins.
+    if (levels > 1 && static_cast<int>(rates->rates.size()) == levels) {
+      for (double p : rates->probabilities) {
+        EXPECT_NEAR(p, 1.0 / levels, 0.05);
+      }
+    }
+    // Usable in an InputSpace directly.
+    InputSpace space;
+    EXPECT_TRUE(space.AddSource(*rates).ok());
+  }
+}
+
+TEST(DiscretizeTest, HeadroomInflatesLevels) {
+  std::vector<double> samples = {2.0, 4.0, 6.0, 8.0};
+  DiscretizeOptions options;
+  options.num_levels = 2;
+  options.headroom = 1.25;
+  auto rates = DiscretizeEqualFrequency(0, samples, options);
+  ASSERT_TRUE(rates.ok());
+  EXPECT_DOUBLE_EQ(rates->rates[0], 4.0 * 1.25);
+  EXPECT_DOUBLE_EQ(rates->rates[1], 8.0 * 1.25);
+}
+
+TEST(DiscretizeTest, TiesNeverStraddleBins) {
+  // 10 identical samples and 2 outliers with 4 requested levels: ties must
+  // collapse rather than split across bins.
+  std::vector<double> samples(10, 5.0);
+  samples.push_back(1.0);
+  samples.push_back(9.0);
+  DiscretizeOptions options;
+  options.num_levels = 4;
+  auto rates = DiscretizeEqualFrequency(0, samples, options);
+  ASSERT_TRUE(rates.ok());
+  for (size_t i = 1; i < rates->rates.size(); ++i) {
+    EXPECT_GT(rates->rates[i], rates->rates[i - 1]);
+  }
+  // All the 5.0 mass ends up in exactly one level; the first bin extends
+  // through the tie run, so the 1.0 sample joins it (still dominated by
+  // the level rate 5.0): 11 of 12 samples at one level.
+  double five_mass = 0.0;
+  for (size_t i = 0; i < rates->rates.size(); ++i) {
+    if (rates->rates[i] == 5.0) five_mass += rates->probabilities[i];
+  }
+  EXPECT_NEAR(five_mass, 11.0 / 12.0, 1e-9);
+}
+
+TEST(DiscretizeTest, ConstantSourceYieldsOneLevel) {
+  std::vector<double> samples(20, 7.5);
+  DiscretizeOptions options;
+  options.num_levels = 3;
+  auto frequency = DiscretizeEqualFrequency(0, samples, options);
+  ASSERT_TRUE(frequency.ok());
+  EXPECT_EQ(frequency->rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(frequency->rates[0], 7.5);
+  auto width = DiscretizeEqualWidth(0, samples, options);
+  ASSERT_TRUE(width.ok());
+  EXPECT_EQ(width->rates.size(), 1u);
+}
+
+TEST(DiscretizeTest, EqualWidthBinsByValue) {
+  // 9 samples in [0, 3), 1 sample at 30: equal-width with 2 levels splits
+  // by value (skewed pmf), unlike equal-frequency.
+  std::vector<double> samples = {0.5, 1.0, 1.5, 2.0, 2.5, 1.2, 0.8, 2.2, 1.7, 30.0};
+  DiscretizeOptions options;
+  options.num_levels = 2;
+  auto rates = DiscretizeEqualWidth(0, samples, options);
+  ASSERT_TRUE(rates.ok());
+  ASSERT_EQ(rates->rates.size(), 2u);
+  EXPECT_NEAR(rates->probabilities[0], 0.9, 1e-9);
+  EXPECT_NEAR(rates->probabilities[1], 0.1, 1e-9);
+  EXPECT_DOUBLE_EQ(rates->rates[1], 30.0);
+  // Every sample of bin 0 is dominated by its level.
+  EXPECT_GE(rates->rates[0], 2.5);
+}
+
+TEST(DiscretizeTest, RejectsBadInputs) {
+  DiscretizeOptions options;
+  EXPECT_FALSE(DiscretizeEqualFrequency(0, {}, options).ok());
+  EXPECT_FALSE(DiscretizeEqualFrequency(0, {-1.0}, options).ok());
+  options.num_levels = 0;
+  EXPECT_FALSE(DiscretizeEqualFrequency(0, {1.0}, options).ok());
+  options = DiscretizeOptions{};
+  options.headroom = 0.5;
+  EXPECT_FALSE(DiscretizeEqualFrequency(0, {1.0}, options).ok());
+  EXPECT_FALSE(DiscretizeEqualWidth(0, {}, DiscretizeOptions{}).ok());
+}
+
+TEST(TraceSampleTest, OccupancyMatchesPmf) {
+  InputSpace space;
+  SourceRateSet rates;
+  rates.source = 0;
+  rates.rates = {1.0, 5.0, 9.0};
+  rates.probabilities = {0.5, 0.3, 0.2};
+  ASSERT_TRUE(space.AddSource(rates).ok());
+  auto trace = dsps::InputTrace::Sample(space, 10000.0, 1.0, 42);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_DOUBLE_EQ(trace->TotalDuration(), 10000.0);
+  EXPECT_NEAR(trace->TimeIn(0) / 10000.0, 0.5, 0.03);
+  EXPECT_NEAR(trace->TimeIn(1) / 10000.0, 0.3, 0.03);
+  EXPECT_NEAR(trace->TimeIn(2) / 10000.0, 0.2, 0.03);
+
+  // Deterministic by seed.
+  auto again = dsps::InputTrace::Sample(space, 10000.0, 1.0, 42);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->segments().size(), trace->segments().size());
+  EXPECT_EQ(again->segments()[17].config, trace->segments()[17].config);
+
+  EXPECT_FALSE(dsps::InputTrace::Sample(space, -1.0, 1.0, 1).ok());
+  EXPECT_FALSE(dsps::InputTrace::Sample(space, 10.0, 0.0, 1).ok());
+}
+
+}  // namespace
+}  // namespace laar::model

@@ -1,0 +1,149 @@
+// Property sweeps over generated applications: conservation laws and
+// determinism of the stream-processing simulation.
+
+#include <gtest/gtest.h>
+
+#include "laar/appgen/app_generator.h"
+#include "laar/dsps/stream_simulation.h"
+#include "laar/dsps/trace.h"
+#include "laar/runtime/experiment.h"
+#include "laar/strategy/baselines.h"
+
+namespace laar::dsps {
+namespace {
+
+struct RunResult {
+  SimulationMetrics metrics;
+};
+
+RunResult RunOnce(const appgen::GeneratedApplication& app,
+                  const strategy::ActivationStrategy& strategy,
+                  const RuntimeOptions& options) {
+  auto trace = *runtime::MakeExperimentTrace(app.descriptor.input_space, 60.0, 1.0 / 3.0,
+                                             2);
+  StreamSimulation simulation(app.descriptor, app.cluster, app.placement, strategy, trace,
+                              options);
+  EXPECT_TRUE(simulation.Run().ok());
+  return RunResult{simulation.metrics()};
+}
+
+class DspsPropertyTest : public testing::TestWithParam<uint64_t> {
+ protected:
+  appgen::GeneratedApplication MakeApp() {
+    appgen::GeneratorOptions generator;
+    generator.num_pes = 10;
+    generator.num_hosts = 5;
+    auto app = appgen::GenerateApplication(generator, GetParam());
+    EXPECT_TRUE(app.ok()) << app.status().ToString();
+    return std::move(*app);
+  }
+};
+
+TEST_P(DspsPropertyTest, TupleConservationPerReplica) {
+  appgen::GeneratedApplication app = MakeApp();
+  const auto sr = strategy::MakeStaticReplication(app.descriptor.graph,
+                                                  app.descriptor.input_space, 2);
+  RuntimeOptions options;
+  const RunResult run = RunOnce(app, sr, options);
+  // Every tuple offered to a live replica was either queued-and-processed,
+  // dropped on overflow, or is still buffered at the horizon:
+  //   arrived >= processed + dropped  and  arrived - (processed + dropped)
+  // is bounded by the queue capacity of the replica.
+  for (model::ComponentId pe : app.descriptor.graph.Pes()) {
+    for (int r = 0; r < 2; ++r) {
+      const ReplicaMetrics& m = run.metrics.replicas[static_cast<size_t>(pe)][static_cast<size_t>(r)];
+      EXPECT_GE(m.tuples_arrived, m.tuples_processed + m.tuples_dropped)
+          << "pe=" << pe << " r=" << r;
+    }
+  }
+}
+
+TEST_P(DspsPropertyTest, CycleAccountingConsistent) {
+  appgen::GeneratedApplication app = MakeApp();
+  const auto sr = strategy::MakeStaticReplication(app.descriptor.graph,
+                                                  app.descriptor.input_space, 2);
+  RuntimeOptions options;
+  const RunResult run = RunOnce(app, sr, options);
+  // Host-level and replica-level cycle accounting agree.
+  double host_total = 0.0;
+  for (double cycles : run.metrics.host_cycles) host_total += cycles;
+  EXPECT_NEAR(host_total, run.metrics.TotalCpuCycles(), 1e-3 * host_total + 1.0);
+  // No host consumed more than capacity * duration.
+  for (size_t h = 0; h < run.metrics.host_cycles.size(); ++h) {
+    EXPECT_LE(run.metrics.host_cycles[h],
+              app.cluster.host(static_cast<model::HostId>(h)).capacity_cycles_per_sec *
+                      run.metrics.duration * (1.0 + 1e-6));
+  }
+}
+
+TEST_P(DspsPropertyTest, DeterministicAcrossRuns) {
+  appgen::GeneratedApplication app = MakeApp();
+  const auto sr = strategy::MakeStaticReplication(app.descriptor.graph,
+                                                  app.descriptor.input_space, 2);
+  RuntimeOptions options;
+  const RunResult a = RunOnce(app, sr, options);
+  const RunResult b = RunOnce(app, sr, options);
+  EXPECT_EQ(a.metrics.source_tuples, b.metrics.source_tuples);
+  EXPECT_EQ(a.metrics.sink_tuples, b.metrics.sink_tuples);
+  EXPECT_EQ(a.metrics.dropped_tuples, b.metrics.dropped_tuples);
+  EXPECT_EQ(a.metrics.pe_processed, b.metrics.pe_processed);
+  EXPECT_DOUBLE_EQ(a.metrics.TotalCpuCycles(), b.metrics.TotalCpuCycles());
+}
+
+TEST_P(DspsPropertyTest, SingleReplicaCostsHalfOfStaticWhenUnsaturated) {
+  appgen::GeneratedApplication app = MakeApp();
+  const model::ApplicationGraph& graph = app.descriptor.graph;
+  const auto sr = strategy::MakeStaticReplication(graph, app.descriptor.input_space, 2);
+  strategy::ActivationStrategy nr = sr;
+  for (model::ComponentId pe : graph.Pes()) {
+    for (model::ConfigId c = 0; c < app.descriptor.input_space.num_configs(); ++c) {
+      nr.SetActive(pe, 1, c, false);
+    }
+  }
+  RuntimeOptions options;
+  // Compare over the Low-only prefix, where nothing saturates: SR consumes
+  // twice the cycles of single-replica.
+  auto trace = *InputTrace::Step(0, app.descriptor.input_space.PeakConfig(), 40.0, 41.0);
+  StreamSimulation sr_run(app.descriptor, app.cluster, app.placement, sr, trace, options);
+  ASSERT_TRUE(sr_run.Run().ok());
+  StreamSimulation nr_run(app.descriptor, app.cluster, app.placement, nr, trace, options);
+  ASSERT_TRUE(nr_run.Run().ok());
+  EXPECT_NEAR(sr_run.metrics().TotalCpuCycles() / nr_run.metrics().TotalCpuCycles(), 2.0,
+              0.1);
+}
+
+TEST_P(DspsPropertyTest, FailuresNeverHelpWhenUnsaturated) {
+  // Note this holds only without saturation: during an overloaded High
+  // period, killing replicas *frees* CPU and the survivors process more
+  // (the very effect LAAR exploits). A Low-only trace keeps the deployment
+  // unsaturated, where failures can only lose tuples and cycles.
+  appgen::GeneratedApplication app = MakeApp();
+  const auto sr = strategy::MakeStaticReplication(app.descriptor.graph,
+                                                  app.descriptor.input_space, 2);
+  InputTrace trace;
+  ASSERT_TRUE(trace.Append(60.0, 0).ok());  // all-Low
+  RuntimeOptions options;
+
+  StreamSimulation best(app.descriptor, app.cluster, app.placement, sr, trace, options);
+  ASSERT_TRUE(best.Run().ok());
+
+  StreamSimulation worst(app.descriptor, app.cluster, app.placement, sr, trace, options);
+  for (model::ComponentId pe : app.descriptor.graph.Pes()) {
+    ASSERT_TRUE(worst.InjectPermanentReplicaFailure(pe, 0).ok());
+  }
+  ASSERT_TRUE(worst.Run().ok());
+
+  // Horizon slack: with fewer busy replicas the survivors' processor
+  // shares are larger, so a handful of extra in-flight tuples can finish
+  // just before the cut-off.
+  constexpr uint64_t kHorizonSlack = 8;
+  EXPECT_LE(worst.metrics().TotalProcessed(),
+            best.metrics().TotalProcessed() + kHorizonSlack);
+  EXPECT_LE(worst.metrics().TotalCpuCycles(), best.metrics().TotalCpuCycles() * 1.001);
+  EXPECT_LE(worst.metrics().sink_tuples, best.metrics().sink_tuples + kHorizonSlack);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DspsPropertyTest, testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace laar::dsps

@@ -1,0 +1,302 @@
+// Tests for the §6 future-work extensions (penalty sweep, placement local
+// search) and auxiliary library features (DOT export, latency tracking).
+
+#include <gtest/gtest.h>
+
+#include "laar/appgen/app_generator.h"
+#include "laar/common/strings.h"
+#include "laar/dsps/stream_simulation.h"
+#include "laar/ftsearch/penalty_sweep.h"
+#include "laar/model/dot.h"
+#include "laar/placement/local_search.h"
+#include "laar/placement/placement_algorithms.h"
+#include "laar/strategy/baselines.h"
+
+namespace laar {
+namespace {
+
+appgen::GeneratedApplication MakeApp(uint64_t seed, int pes = 10, int hosts = 5) {
+  appgen::GeneratorOptions options;
+  options.num_pes = pes;
+  options.num_hosts = hosts;
+  options.high_overload_max = 1.2;
+  for (uint64_t s = seed;; ++s) {
+    auto app = appgen::GenerateApplication(options, s);
+    if (app.ok()) return std::move(*app);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Penalty sweep (§6.ii)
+// --------------------------------------------------------------------------
+
+TEST(PenaltySweepTest, ZeroPenaltyPicksCheapestFeasibleLevel) {
+  const auto app = MakeApp(40);
+  auto rates =
+      model::ExpectedRates::Compute(app.descriptor.graph, app.descriptor.input_space);
+  ASSERT_TRUE(rates.ok());
+  ftsearch::PenaltySweepOptions options;
+  options.ic_target = 0.6;
+  options.penalty_rate = 0.0;
+  options.grid_steps = 4;
+  options.time_limit_seconds = 5.0;
+  auto sweep = ftsearch::SweepPenaltyFrontier(app.descriptor.graph,
+                                              app.descriptor.input_space, *rates,
+                                              app.placement, app.cluster, options);
+  ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+  ASSERT_FALSE(sweep->frontier.empty());
+  // With no penalty, the minimizer is the unconstrained (level-0) point.
+  EXPECT_EQ(sweep->best_index, 0);
+  EXPECT_DOUBLE_EQ(sweep->frontier[0].penalty, 0.0);
+  // Costs are non-decreasing along the frontier.
+  for (size_t i = 1; i < sweep->frontier.size(); ++i) {
+    EXPECT_GE(sweep->frontier[i].cost, sweep->frontier[i - 1].cost - 1e-6);
+  }
+}
+
+TEST(PenaltySweepTest, LargePenaltyPushesTowardTheTarget) {
+  const auto app = MakeApp(40);
+  auto rates =
+      model::ExpectedRates::Compute(app.descriptor.graph, app.descriptor.input_space);
+  ASSERT_TRUE(rates.ok());
+  ftsearch::PenaltySweepOptions options;
+  options.ic_target = 0.6;
+  options.grid_steps = 4;
+  options.time_limit_seconds = 5.0;
+
+  options.penalty_rate = 0.0;
+  auto cheap = ftsearch::SweepPenaltyFrontier(app.descriptor.graph,
+                                              app.descriptor.input_space, *rates,
+                                              app.placement, app.cluster, options);
+  options.penalty_rate = 1e12;  // any shortfall dwarfs the CPU cost
+  auto strict = ftsearch::SweepPenaltyFrontier(app.descriptor.graph,
+                                               app.descriptor.input_space, *rates,
+                                               app.placement, app.cluster, options);
+  ASSERT_TRUE(cheap.ok());
+  ASSERT_TRUE(strict.ok());
+  ASSERT_GE(strict->best_index, 0);
+  const auto& strict_best = strict->frontier[static_cast<size_t>(strict->best_index)];
+  const auto& cheap_best = cheap->frontier[static_cast<size_t>(cheap->best_index)];
+  EXPECT_GE(strict_best.achieved_ic, cheap_best.achieved_ic);
+  // Under an enormous penalty the chosen point is the highest-IC feasible
+  // level of the grid.
+  for (const auto& point : strict->frontier) {
+    EXPECT_GE(strict_best.achieved_ic, point.achieved_ic - 1e-9);
+  }
+}
+
+TEST(PenaltySweepTest, RejectsBadOptions) {
+  const auto app = MakeApp(40);
+  auto rates =
+      model::ExpectedRates::Compute(app.descriptor.graph, app.descriptor.input_space);
+  ASSERT_TRUE(rates.ok());
+  ftsearch::PenaltySweepOptions options;
+  options.ic_target = 1.5;
+  EXPECT_FALSE(ftsearch::SweepPenaltyFrontier(app.descriptor.graph,
+                                              app.descriptor.input_space, *rates,
+                                              app.placement, app.cluster, options)
+                   .ok());
+  options = ftsearch::PenaltySweepOptions{};
+  options.grid_steps = 0;
+  EXPECT_FALSE(ftsearch::SweepPenaltyFrontier(app.descriptor.graph,
+                                              app.descriptor.input_space, *rates,
+                                              app.placement, app.cluster, options)
+                   .ok());
+  options = ftsearch::PenaltySweepOptions{};
+  options.penalty_rate = -1.0;
+  EXPECT_FALSE(ftsearch::SweepPenaltyFrontier(app.descriptor.graph,
+                                              app.descriptor.input_space, *rates,
+                                              app.placement, app.cluster, options)
+                   .ok());
+}
+
+// --------------------------------------------------------------------------
+// Placement local search (§6.iii)
+// --------------------------------------------------------------------------
+
+TEST(PlacementLocalSearchTest, NeverWorsensTheObjective) {
+  const auto app = MakeApp(50);
+  auto rates =
+      model::ExpectedRates::Compute(app.descriptor.graph, app.descriptor.input_space);
+  ASSERT_TRUE(rates.ok());
+
+  placement::PlacementSearchOptions options;
+  options.ic_requirement = 0.5;
+  options.max_iterations = 10;
+  options.ftsearch_time_limit_seconds = 1.0;
+  auto improved =
+      placement::ImprovePlacement(app.descriptor.graph, app.descriptor.input_space,
+                                  *rates, app.cluster, app.placement, options);
+  ASSERT_TRUE(improved.ok()) << improved.status().ToString();
+  EXPECT_TRUE(improved->placement.Validate(app.cluster).ok());
+  EXPECT_GE(improved->evaluated_moves, improved->accepted_moves);
+  ASSERT_FALSE(improved->cost_history.empty());
+  // The accepted-cost trajectory is non-increasing once feasible.
+  for (size_t i = 1; i < improved->cost_history.size(); ++i) {
+    EXPECT_LE(improved->cost_history[i], improved->cost_history[i - 1] + 1e-6);
+  }
+}
+
+TEST(PlacementLocalSearchTest, CanRescueABadInitialPlacement) {
+  // Start from round-robin (load-oblivious); the local search should find
+  // something at least as good as it, typically strictly better or newly
+  // feasible.
+  const auto app = MakeApp(60);
+  auto rates =
+      model::ExpectedRates::Compute(app.descriptor.graph, app.descriptor.input_space);
+  ASSERT_TRUE(rates.ok());
+  auto round_robin = placement::PlaceRoundRobin(app.descriptor.graph, app.cluster, 2);
+  ASSERT_TRUE(round_robin.ok());
+
+  placement::PlacementSearchOptions options;
+  options.ic_requirement = 0.5;
+  options.max_iterations = 20;
+  options.ftsearch_time_limit_seconds = 1.0;
+  options.seed = 7;
+  auto improved =
+      placement::ImprovePlacement(app.descriptor.graph, app.descriptor.input_space,
+                                  *rates, app.cluster, *round_robin, options);
+  ASSERT_TRUE(improved.ok());
+  // The search result on the final placement matches an independent solve.
+  if (improved->feasible) {
+    EXPECT_TRUE(improved->search.strategy.has_value());
+  }
+}
+
+TEST(PlacementLocalSearchTest, ZeroIterationsReturnsInitial) {
+  const auto app = MakeApp(50);
+  auto rates =
+      model::ExpectedRates::Compute(app.descriptor.graph, app.descriptor.input_space);
+  ASSERT_TRUE(rates.ok());
+  placement::PlacementSearchOptions options;
+  options.ic_requirement = 0.5;
+  options.max_iterations = 0;
+  auto improved =
+      placement::ImprovePlacement(app.descriptor.graph, app.descriptor.input_space,
+                                  *rates, app.cluster, app.placement, options);
+  ASSERT_TRUE(improved.ok());
+  EXPECT_EQ(improved->evaluated_moves, 0);
+  EXPECT_EQ(improved->accepted_moves, 0);
+  for (model::ComponentId pe : app.descriptor.graph.Pes()) {
+    for (int r = 0; r < 2; ++r) {
+      EXPECT_EQ(improved->placement.HostOf(pe, r), app.placement.HostOf(pe, r));
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// DOT export
+// --------------------------------------------------------------------------
+
+TEST(DotExportTest, ContainsAllComponentsAndEdges) {
+  const auto app = MakeApp(40, 6, 3);
+  const std::string dot = model::ToDot(app.descriptor.graph);
+  EXPECT_NE(dot.find("digraph application"), std::string::npos);
+  for (const model::Component& c : app.descriptor.graph.components()) {
+    EXPECT_NE(dot.find(StrFormat("n%d [label=\"%s\"", c.id, c.name.c_str())),
+              std::string::npos);
+  }
+  size_t arrow_count = 0;
+  for (size_t pos = 0; (pos = dot.find("->", pos)) != std::string::npos; ++pos) {
+    ++arrow_count;
+  }
+  EXPECT_EQ(arrow_count, app.descriptor.graph.num_edges());
+}
+
+TEST(DotExportTest, StrategyColouring) {
+  const auto app = MakeApp(40, 6, 3);
+  strategy::ActivationStrategy s(app.descriptor.graph.num_components(), 2,
+                                 app.descriptor.input_space.num_configs());
+  const auto pes = app.descriptor.graph.Pes();
+  s.SetActive(pes[0], 1, 0, false);  // partially active -> orange
+  const std::string dot = model::ToDot(app.descriptor.graph, s, 0);
+  EXPECT_NE(dot.find("palegreen"), std::string::npos);
+  EXPECT_NE(dot.find("orange"), std::string::npos);
+  EXPECT_EQ(dot.find("tomato"), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Latency tracking
+// --------------------------------------------------------------------------
+
+TEST(LatencyTest, UnsaturatedPipelineLatencyNearServiceTime) {
+  // source (2 t/s) -> pe (50 ms/tuple) -> sink on an idle host: latency
+  // per tuple ~ 0.05 s, far below the inter-arrival time.
+  model::ApplicationDescriptor app;
+  const auto source = app.graph.AddSource("s");
+  const auto pe = app.graph.AddPe("p");
+  const auto sink = app.graph.AddSink("k");
+  ASSERT_TRUE(app.graph.AddEdge(source, pe, 1.0, 0.05e9).ok());
+  ASSERT_TRUE(app.graph.AddEdge(pe, sink, 1.0, 0.0).ok());
+  model::SourceRateSet r;
+  r.source = source;
+  r.rates = {2.0};
+  r.probabilities = {1.0};
+  ASSERT_TRUE(app.input_space.AddSource(r).ok());
+  ASSERT_TRUE(app.Validate().ok());
+  model::Cluster cluster = model::Cluster::Homogeneous(2, 1e9);
+  model::ReplicaPlacement placement(app.graph.num_components(), 2);
+  ASSERT_TRUE(placement.Assign(pe, 0, 0).ok());
+  ASSERT_TRUE(placement.Assign(pe, 1, 1).ok());
+  strategy::ActivationStrategy strategy(app.graph.num_components(), 2, 1);
+  dsps::InputTrace trace;
+  ASSERT_TRUE(trace.Append(30.0, 0).ok());
+  dsps::RuntimeOptions options;
+  dsps::StreamSimulation sim(app, cluster, placement, strategy, trace, options);
+  ASSERT_TRUE(sim.Run().ok());
+  const auto& latency = sim.metrics().sink_latency;
+  ASSERT_GT(latency.count(), 30u);
+  EXPECT_NEAR(latency.Percentile(50), 0.05, 0.01);
+  EXPECT_LT(latency.max(), 0.2);
+}
+
+TEST(LatencyTest, SaturationInflatesLatencyByQueueDepth) {
+  // 8 t/s into a 0.2 s/tuple operator saturates: queues fill to their
+  // 2-second cap and the steady-state latency approaches queue/service
+  // delay >> service time.
+  model::ApplicationDescriptor app;
+  const auto source = app.graph.AddSource("s");
+  const auto pe = app.graph.AddPe("p");
+  const auto sink = app.graph.AddSink("k");
+  ASSERT_TRUE(app.graph.AddEdge(source, pe, 1.0, 0.2e9).ok());
+  ASSERT_TRUE(app.graph.AddEdge(pe, sink, 1.0, 0.0).ok());
+  model::SourceRateSet r;
+  r.source = source;
+  r.rates = {8.0};
+  r.probabilities = {1.0};
+  ASSERT_TRUE(app.input_space.AddSource(r).ok());
+  ASSERT_TRUE(app.Validate().ok());
+  model::Cluster cluster = model::Cluster::Homogeneous(2, 1e9);
+  model::ReplicaPlacement placement(app.graph.num_components(), 2);
+  ASSERT_TRUE(placement.Assign(pe, 0, 0).ok());
+  ASSERT_TRUE(placement.Assign(pe, 1, 1).ok());
+  strategy::ActivationStrategy strategy(app.graph.num_components(), 2, 1);
+  dsps::InputTrace trace;
+  ASSERT_TRUE(trace.Append(60.0, 0).ok());
+  dsps::RuntimeOptions options;
+  dsps::StreamSimulation sim(app, cluster, placement, strategy, trace, options);
+  ASSERT_TRUE(sim.Run().ok());
+  const auto& latency = sim.metrics().sink_latency;
+  ASSERT_GT(latency.count(), 0u);
+  // 16-tuple queue at 5 tuples/s drain: ~3.2 s of queueing delay.
+  EXPECT_GT(latency.Percentile(90), 1.0);
+  EXPECT_GT(sim.metrics().dropped_tuples, 0u);
+}
+
+TEST(LatencyTest, DisabledTrackingRecordsNothing) {
+  const auto app = MakeApp(40, 6, 3);
+  const auto sr = strategy::MakeStaticReplication(app.descriptor.graph,
+                                                  app.descriptor.input_space, 2);
+  dsps::InputTrace trace;
+  ASSERT_TRUE(trace.Append(10.0, 0).ok());
+  dsps::RuntimeOptions options;
+  options.record_latency = false;
+  dsps::StreamSimulation sim(app.descriptor, app.cluster, app.placement, sr, trace,
+                             options);
+  ASSERT_TRUE(sim.Run().ok());
+  EXPECT_EQ(sim.metrics().sink_latency.count(), 0u);
+  EXPECT_GT(sim.metrics().sink_tuples, 0u);
+}
+
+}  // namespace
+}  // namespace laar

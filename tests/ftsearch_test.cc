@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include "laar/appgen/app_generator.h"
+#include "laar/ftsearch/ft_search.h"
+#include "laar/metrics/cost.h"
+#include "laar/metrics/failure_model.h"
+#include "laar/metrics/ic.h"
+
+namespace laar::ftsearch {
+namespace {
+
+using model::ApplicationGraph;
+using model::Cluster;
+using model::ComponentId;
+using model::ExpectedRates;
+using model::InputSpace;
+using model::ReplicaPlacement;
+using model::SourceRateSet;
+
+/// The Fig. 1 pipeline: IC and cost have closed forms, so the optimum is
+/// checkable by hand.
+struct Fixture {
+  ApplicationGraph graph;
+  InputSpace space;
+  ExpectedRates rates;
+  Cluster cluster = Cluster::Homogeneous(2, 1e9);
+  ReplicaPlacement placement{0, 2};
+  ComponentId source, pe0, pe1, sink;
+
+  Fixture() {
+    source = graph.AddSource("s");
+    pe0 = graph.AddPe("p0");
+    pe1 = graph.AddPe("p1");
+    sink = graph.AddSink("k");
+    EXPECT_TRUE(graph.AddEdge(source, pe0, 1.0, 1e8).ok());
+    EXPECT_TRUE(graph.AddEdge(pe0, pe1, 1.0, 1e8).ok());
+    EXPECT_TRUE(graph.AddEdge(pe1, sink, 1.0, 0.0).ok());
+    EXPECT_TRUE(graph.Validate().ok());
+    SourceRateSet r;
+    r.source = source;
+    r.rates = {4.0, 8.0};
+    r.probabilities = {0.8, 0.2};
+    EXPECT_TRUE(space.AddSource(r).ok());
+    rates = *ExpectedRates::Compute(graph, space);
+    placement = ReplicaPlacement(graph.num_components(), 2);
+    EXPECT_TRUE(placement.Assign(pe0, 0, 0).ok());
+    EXPECT_TRUE(placement.Assign(pe0, 1, 1).ok());
+    EXPECT_TRUE(placement.Assign(pe1, 0, 0).ok());
+    EXPECT_TRUE(placement.Assign(pe1, 1, 1).ok());
+  }
+
+  Result<FtSearchResult> Search(FtSearchOptions options) const {
+    return RunFtSearch(graph, space, rates, placement, cluster, options);
+  }
+};
+
+TEST(FtSearchTest, FindsOptimalForPipeline) {
+  Fixture f;
+  FtSearchOptions options;
+  options.ic_requirement = 0.6;
+  Result<FtSearchResult> result = f.Search(options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->outcome, SearchOutcome::kOptimal);
+  ASSERT_TRUE(result->strategy.has_value());
+  // Optimum: both replicas active at Low (IC needs it), single replicas at
+  // High (CPU needs it). Cost = 0.8*2*(4e8+4e8) + 0.2*(8e8+8e8) = 1.6e9.
+  EXPECT_NEAR(result->best_cost, 1.6e9, 1.0);
+  EXPECT_NEAR(result->best_ic, 2.0 / 3.0, 1e-9);
+  EXPECT_TRUE(metrics::CheckStrategyConstraints(f.graph, f.space, f.rates, f.placement,
+                                                *result->strategy, f.cluster, 0.6)
+                  .ok());
+}
+
+TEST(FtSearchTest, ReportedCostAndIcMatchMetricsModule) {
+  Fixture f;
+  FtSearchOptions options;
+  options.ic_requirement = 0.5;
+  Result<FtSearchResult> result = f.Search(options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->strategy.has_value());
+  const double cost = metrics::CostPerSecond(f.graph, f.space, f.rates, f.placement,
+                                             *result->strategy);
+  EXPECT_NEAR(cost, result->best_cost, 1e-6 * cost);
+  metrics::IcCalculator calc(f.graph, f.space, f.rates);
+  metrics::PessimisticFailureModel pessimistic;
+  EXPECT_NEAR(calc.InternalCompleteness(*result->strategy, pessimistic), result->best_ic,
+              1e-9);
+}
+
+TEST(FtSearchTest, InfeasibleIcGivesNul) {
+  Fixture f;
+  FtSearchOptions options;
+  // IC 1.0 requires both replicas active in High, which overloads: NUL.
+  options.ic_requirement = 1.0;
+  Result<FtSearchResult> result = f.Search(options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, SearchOutcome::kInfeasible);
+  EXPECT_FALSE(result->strategy.has_value());
+}
+
+TEST(FtSearchTest, LowIcStillKeepsCoverage) {
+  Fixture f;
+  FtSearchOptions options;
+  options.ic_requirement = 0.0;
+  Result<FtSearchResult> result = f.Search(options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->outcome, SearchOutcome::kOptimal);
+  // With no IC requirement the optimum is single-replica everywhere:
+  // cost = 0.8*(8e8) + 0.2*(1.6e9) = 0.96e9.
+  EXPECT_NEAR(result->best_cost, 0.96e9, 1.0);
+  EXPECT_TRUE(result->strategy->CheckCoverage(f.graph).ok());
+}
+
+TEST(FtSearchTest, CostMonotoneInIcRequirement) {
+  Fixture f;
+  double previous = -1.0;
+  for (double ic : {0.0, 0.3, 0.5, 0.6, 2.0 / 3.0}) {
+    FtSearchOptions options;
+    options.ic_requirement = ic;
+    Result<FtSearchResult> result = f.Search(options);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->outcome, SearchOutcome::kOptimal) << "ic=" << ic;
+    EXPECT_GE(result->best_cost, previous) << "ic=" << ic;
+    previous = result->best_cost;
+  }
+}
+
+TEST(FtSearchTest, NodeLimitYieldsTimeoutClassification) {
+  Fixture f;
+  FtSearchOptions options;
+  options.ic_requirement = 0.6;
+  options.node_limit = 1;  // below the first stop-check stride
+  Result<FtSearchResult> result = f.Search(options);
+  ASSERT_TRUE(result.ok());
+  // With an immediate abort the search either got lucky (found something
+  // before the first check) or reports TMO; both carry the timed-out flag.
+  EXPECT_TRUE(result->outcome == SearchOutcome::kTimeout ||
+              result->outcome == SearchOutcome::kFeasible);
+}
+
+TEST(FtSearchTest, RejectsBadInputs) {
+  Fixture f;
+  FtSearchOptions options;
+  options.ic_requirement = 1.5;
+  EXPECT_FALSE(f.Search(options).ok());
+
+  // k != 2 unsupported.
+  ReplicaPlacement k3(f.graph.num_components(), 3);
+  FtSearchOptions ok_options;
+  EXPECT_FALSE(
+      RunFtSearch(f.graph, f.space, f.rates, k3, f.cluster, ok_options).ok());
+
+  // Unplaced PEs rejected.
+  ReplicaPlacement unplaced(f.graph.num_components(), 2);
+  EXPECT_FALSE(
+      RunFtSearch(f.graph, f.space, f.rates, unplaced, f.cluster, ok_options).ok());
+}
+
+TEST(FtSearchTest, PruningAblationsPreserveTheOptimum) {
+  Fixture f;
+  FtSearchOptions base;
+  base.ic_requirement = 0.6;
+  Result<FtSearchResult> reference = f.Search(base);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_EQ(reference->outcome, SearchOutcome::kOptimal);
+
+  for (int disabled = 0; disabled < 7; ++disabled) {
+    FtSearchOptions options = base;
+    options.enable_cpu_pruning = disabled != 0;
+    options.enable_ic_pruning = disabled != 1;
+    options.enable_cost_pruning = disabled != 2;
+    options.enable_dom_propagation = disabled != 3;
+    options.try_both_first = disabled != 4;
+    options.tight_ic_bound = disabled != 5;
+    options.seed_greedy = disabled != 6;
+    Result<FtSearchResult> result = f.Search(options);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->outcome, SearchOutcome::kOptimal) << "ablation " << disabled;
+    EXPECT_NEAR(result->best_cost, reference->best_cost, 1.0) << "ablation " << disabled;
+    EXPECT_NEAR(result->best_ic, reference->best_ic, 1e-9) << "ablation " << disabled;
+  }
+}
+
+TEST(FtSearchTest, StatsCountNodesAndPrunes) {
+  Fixture f;
+  FtSearchOptions options;
+  options.ic_requirement = 0.6;
+  Result<FtSearchResult> result = f.Search(options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.nodes_explored, 0u);
+  EXPECT_GT(result->stats.solutions_found, 0u);
+  // The CPU constraint must fire somewhere: SR-in-High branches overload.
+  EXPECT_GT(result->stats.cpu.count, 0u);
+  EXPECT_GT(result->stats.cpu.MeanHeight(), 0.0);
+}
+
+TEST(FtSearchTest, ParallelSearchMatchesSequentialOptimum) {
+  Fixture f;
+  FtSearchOptions sequential;
+  sequential.ic_requirement = 0.6;
+  Result<FtSearchResult> seq = f.Search(sequential);
+  ASSERT_TRUE(seq.ok());
+
+  FtSearchOptions parallel = sequential;
+  parallel.num_threads = 4;
+  parallel.split_depth = 2;
+  Result<FtSearchResult> par = f.Search(parallel);
+  ASSERT_TRUE(par.ok());
+  EXPECT_EQ(par->outcome, SearchOutcome::kOptimal);
+  EXPECT_NEAR(par->best_cost, seq->best_cost, 1.0);
+  EXPECT_NEAR(par->best_ic, seq->best_ic, 1e-9);
+}
+
+TEST(FtSearchTest, GreedySeedMakesTimeoutsFeasible) {
+  // With an immediate node budget, the seeded incumbent is still returned
+  // as a feasible (SOL) strategy; without seeding the run is a bare TMO.
+  Fixture f;
+  FtSearchOptions options;
+  options.ic_requirement = 0.6;
+  options.node_limit = 1;
+
+  options.seed_greedy = true;
+  Result<FtSearchResult> seeded = f.Search(options);
+  ASSERT_TRUE(seeded.ok());
+  EXPECT_EQ(seeded->outcome, SearchOutcome::kFeasible);
+  ASSERT_TRUE(seeded->strategy.has_value());
+  EXPECT_TRUE(metrics::CheckStrategyConstraints(f.graph, f.space, f.rates, f.placement,
+                                                *seeded->strategy, f.cluster, 0.6)
+                  .ok());
+
+  options.seed_greedy = false;
+  Result<FtSearchResult> bare = f.Search(options);
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->outcome, SearchOutcome::kTimeout);
+}
+
+TEST(FtSearchTest, TightAndLooseIcBoundsAgreeOnRandomApps) {
+  appgen::GeneratorOptions generator;
+  generator.num_pes = 8;
+  generator.num_hosts = 4;
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    Result<appgen::GeneratedApplication> app =
+        appgen::GenerateApplication(generator, seed);
+    ASSERT_TRUE(app.ok());
+    auto rates =
+        ExpectedRates::Compute(app->descriptor.graph, app->descriptor.input_space);
+    ASSERT_TRUE(rates.ok());
+    FtSearchOptions tight;
+    tight.ic_requirement = 0.55;
+    FtSearchOptions loose = tight;
+    loose.tight_ic_bound = false;
+    auto a = RunFtSearch(app->descriptor.graph, app->descriptor.input_space, *rates,
+                         app->placement, app->cluster, tight);
+    auto b = RunFtSearch(app->descriptor.graph, app->descriptor.input_space, *rates,
+                         app->placement, app->cluster, loose);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->outcome, b->outcome) << "seed=" << seed;
+    if (a->strategy.has_value() && b->strategy.has_value()) {
+      EXPECT_NEAR(a->best_cost, b->best_cost, 1e-6 * a->best_cost) << "seed=" << seed;
+    }
+    // The tight bound never explores more nodes than the loose one.
+    EXPECT_LE(a->stats.nodes_explored, b->stats.nodes_explored) << "seed=" << seed;
+  }
+}
+
+TEST(FtSearchTest, OutcomeNames) {
+  EXPECT_STREQ(SearchOutcomeName(SearchOutcome::kOptimal), "BST");
+  EXPECT_STREQ(SearchOutcomeName(SearchOutcome::kFeasible), "SOL");
+  EXPECT_STREQ(SearchOutcomeName(SearchOutcome::kInfeasible), "NUL");
+  EXPECT_STREQ(SearchOutcomeName(SearchOutcome::kTimeout), "TMO");
+}
+
+// --------------------------------------------------------------------------
+// Property sweep over generated applications: every solution FT-Search
+// returns satisfies the full constraint system, and the promised IC is a
+// certified lower bound.
+// --------------------------------------------------------------------------
+
+class FtSearchPropertyTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(FtSearchPropertyTest, SolutionsSatisfyAllConstraints) {
+  appgen::GeneratorOptions generator;
+  generator.num_pes = 10;
+  generator.num_hosts = 5;
+  Result<appgen::GeneratedApplication> app =
+      appgen::GenerateApplication(generator, GetParam());
+  ASSERT_TRUE(app.ok()) << app.status().ToString();
+  auto rates = ExpectedRates::Compute(app->descriptor.graph, app->descriptor.input_space);
+  ASSERT_TRUE(rates.ok());
+
+  for (double ic : {0.4, 0.6}) {
+    FtSearchOptions options;
+    options.ic_requirement = ic;
+    options.time_limit_seconds = 20.0;
+    Result<FtSearchResult> result =
+        RunFtSearch(app->descriptor.graph, app->descriptor.input_space, *rates,
+                    app->placement, app->cluster, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    if (!result->strategy.has_value()) continue;  // NUL is legitimate
+    EXPECT_TRUE(metrics::CheckStrategyConstraints(
+                    app->descriptor.graph, app->descriptor.input_space, *rates,
+                    app->placement, *result->strategy, app->cluster, ic)
+                    .ok())
+        << "seed=" << GetParam() << " ic=" << ic;
+    EXPECT_GE(result->best_ic, ic - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FtSearchPropertyTest,
+                         testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace laar::ftsearch

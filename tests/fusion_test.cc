@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "laar/appgen/app_generator.h"
+#include "laar/fusion/fusion.h"
+#include "laar/model/rates.h"
+#include "laar/spl/spl_parser.h"
+
+namespace laar::fusion {
+namespace {
+
+/// Total probability-weighted CPU demand of an application (one replica).
+double TotalExpectedDemand(const model::ApplicationDescriptor& app) {
+  auto rates = model::ExpectedRates::Compute(app.graph, app.input_space);
+  EXPECT_TRUE(rates.ok());
+  double total = 0.0;
+  for (model::ComponentId pe : app.graph.Pes()) {
+    for (model::ConfigId c = 0; c < app.input_space.num_configs(); ++c) {
+      total += app.input_space.Probability(c) * rates->CpuDemand(app.graph, pe, c);
+    }
+  }
+  return total;
+}
+
+TEST(FusionTest, CollapsesAPipelineToOnePe) {
+  auto app = spl::ParseApplication(R"(
+application chain {
+  source s { rate lo = 2 @ 0.5; rate hi = 6 @ 0.5; }
+  pe a; pe b; pe c;
+  sink k;
+  stream s -> a [selectivity = 0.5, cost = 10];
+  stream a -> b [selectivity = 2.0, cost = 20];
+  stream b -> c [selectivity = 0.5, cost = 40];
+  stream c -> k;
+})");
+  ASSERT_TRUE(app.ok());
+  auto result = FuseLinearChains(*app, FusionOptions{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->operators_fused, 2);
+  EXPECT_EQ(result->fused.graph.num_pes(), 1u);
+
+  // Fused edge attributes: selectivity = .5*2*.5 = .5;
+  // cost = 10 + .5*20 + .5*2*40 = 60.
+  const model::Edge& e = result->fused.graph.edges()[0];
+  EXPECT_DOUBLE_EQ(e.selectivity, 0.5);
+  EXPECT_DOUBLE_EQ(e.cpu_cost_cycles, 60.0);
+
+  // Sink rate and total demand preserved.
+  auto before = model::ExpectedRates::Compute(app->graph, app->input_space);
+  auto after =
+      model::ExpectedRates::Compute(result->fused.graph, result->fused.input_space);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  const auto sink_before = app->graph.Sinks()[0];
+  const auto sink_after = result->fused.graph.Sinks()[0];
+  for (model::ConfigId c = 0; c < 2; ++c) {
+    EXPECT_NEAR(after->Rate(sink_after, c), before->Rate(sink_before, c), 1e-9);
+  }
+  EXPECT_NEAR(TotalExpectedDemand(*app), TotalExpectedDemand(result->fused), 1e-6);
+
+  // Group bookkeeping: one group holding all three original PEs.
+  size_t pe_groups = 0;
+  for (size_t i = 0; i < result->groups.size(); ++i) {
+    if (result->fused.graph.IsPe(static_cast<model::ComponentId>(i))) {
+      ++pe_groups;
+      EXPECT_EQ(result->groups[i].size(), 3u);
+    } else {
+      EXPECT_EQ(result->groups[i].size(), 1u);
+    }
+  }
+  EXPECT_EQ(pe_groups, 1u);
+}
+
+TEST(FusionTest, FanOutAndFanInBlockFusion) {
+  // a fans out to b and c; d joins them: no linear chain exists anywhere.
+  auto app = spl::ParseApplication(R"(
+application diamond {
+  source s { rate r = 1 @ 1.0; }
+  pe a; pe b; pe c; pe d;
+  sink k;
+  stream s -> a [cost = 1];
+  stream a -> b [cost = 1];
+  stream a -> c [cost = 1];
+  stream b -> d [cost = 1];
+  stream c -> d [cost = 1];
+  stream d -> k;
+})");
+  ASSERT_TRUE(app.ok());
+  auto result = FuseLinearChains(*app, FusionOptions{});
+  ASSERT_TRUE(result.ok());
+  // s->a is source-to-PE (not fusable); a has out-degree 2; d in-degree 2;
+  // b and c each sit between a (outdeg 2) and d (indeg 2): the b and c
+  // edges ARE chains a->b (indeg(b)=1,outdeg(a)=2 -> no)...
+  EXPECT_EQ(result->operators_fused, 0);
+  EXPECT_EQ(result->fused.graph.num_pes(), 4u);
+}
+
+TEST(FusionTest, PartialChainInsideDag) {
+  // s -> a -> b -> c -> k with an extra s -> c edge: only a->b is a clean
+  // chain (c has in-degree 2).
+  auto app = spl::ParseApplication(R"(
+application partial {
+  source s { rate r = 5 @ 1.0; }
+  pe a; pe b; pe c;
+  sink k;
+  stream s -> a [selectivity = 1.0, cost = 2];
+  stream a -> b [selectivity = 1.0, cost = 4];
+  stream b -> c [selectivity = 0.5, cost = 8];
+  stream s -> c [selectivity = 1.0, cost = 16];
+  stream c -> k;
+})");
+  ASSERT_TRUE(app.ok());
+  auto result = FuseLinearChains(*app, FusionOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->operators_fused, 1);
+  EXPECT_EQ(result->fused.graph.num_pes(), 2u);
+  EXPECT_NEAR(TotalExpectedDemand(*app), TotalExpectedDemand(result->fused), 1e-6);
+}
+
+TEST(FusionTest, DemandCapLimitsFusion) {
+  auto app = spl::ParseApplication(R"(
+application capped {
+  source s { rate r = 10 @ 1.0; }
+  pe a; pe b;
+  sink k;
+  stream s -> a [cost = 100];
+  stream a -> b [cost = 100];
+  stream b -> k;
+})");
+  ASSERT_TRUE(app.ok());
+  // Demands: a = 10*100 = 1000; b = 10*100 = 1000. Cap below the sum.
+  FusionOptions options;
+  options.max_fused_demand_cycles = 1500.0;
+  auto capped = FuseLinearChains(*app, options);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(capped->operators_fused, 0);
+
+  options.max_fused_demand_cycles = 2500.0;
+  auto fused = FuseLinearChains(*app, options);
+  ASSERT_TRUE(fused.ok());
+  EXPECT_EQ(fused->operators_fused, 1);
+}
+
+TEST(FusionTest, GeneratedAppsPreserveSemantics) {
+  appgen::GeneratorOptions generator;
+  generator.num_pes = 16;
+  generator.num_hosts = 8;
+  for (uint64_t seed : {3u, 9u, 27u}) {
+    auto app = appgen::GenerateApplication(generator, seed);
+    if (!app.ok()) continue;
+    auto result = FuseLinearChains(app->descriptor, FusionOptions{});
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_NEAR(TotalExpectedDemand(app->descriptor), TotalExpectedDemand(result->fused),
+                1e-3);
+    // Sink arrival rates preserved in every configuration.
+    auto before =
+        model::ExpectedRates::Compute(app->descriptor.graph, app->descriptor.input_space);
+    auto after =
+        model::ExpectedRates::Compute(result->fused.graph, result->fused.input_space);
+    ASSERT_TRUE(before.ok());
+    ASSERT_TRUE(after.ok());
+    const auto sinks_before = app->descriptor.graph.Sinks();
+    const auto sinks_after = result->fused.graph.Sinks();
+    ASSERT_EQ(sinks_before.size(), sinks_after.size());
+    for (size_t i = 0; i < sinks_before.size(); ++i) {
+      for (model::ConfigId c = 0; c < app->descriptor.input_space.num_configs(); ++c) {
+        EXPECT_NEAR(after->Rate(sinks_after[i], c), before->Rate(sinks_before[i], c),
+                    1e-6 * (1.0 + before->Rate(sinks_before[i], c)))
+            << "seed=" << seed;
+      }
+    }
+    // Every original component appears in exactly one group.
+    size_t total_members = 0;
+    for (const auto& group : result->groups) total_members += group.size();
+    EXPECT_EQ(total_members, app->descriptor.graph.num_components());
+  }
+}
+
+TEST(FusionTest, RejectsBadInputs) {
+  auto app = spl::ParseApplication(R"(
+application tiny {
+  source s { rate r = 1 @ 1.0; }
+  pe a; sink k;
+  stream s -> a [cost = 1];
+  stream a -> k;
+})");
+  ASSERT_TRUE(app.ok());
+  FusionOptions options;
+  options.max_fused_demand_cycles = 0.0;
+  EXPECT_FALSE(FuseLinearChains(*app, options).ok());
+
+  model::ApplicationDescriptor unvalidated;
+  unvalidated.graph.AddSource("s");
+  EXPECT_FALSE(FuseLinearChains(unvalidated, FusionOptions{}).ok());
+}
+
+}  // namespace
+}  // namespace laar::fusion

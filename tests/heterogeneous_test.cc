@@ -1,0 +1,150 @@
+// Coverage for non-uniform deployments: heterogeneous host capacities and
+// replication factors other than 2 in the analytical layer (FT-Search
+// itself is k = 2 only, per §4.5).
+
+#include <gtest/gtest.h>
+
+#include "laar/ftsearch/ft_search.h"
+#include "laar/metrics/cost.h"
+#include "laar/metrics/failure_model.h"
+#include "laar/metrics/ic.h"
+#include "laar/model/rates.h"
+
+namespace laar {
+namespace {
+
+using model::ApplicationGraph;
+using model::Cluster;
+using model::ComponentId;
+using model::ExpectedRates;
+using model::InputSpace;
+using model::ReplicaPlacement;
+using model::SourceRateSet;
+using strategy::ActivationStrategy;
+
+struct Fixture {
+  ApplicationGraph graph;
+  InputSpace space;
+  ComponentId source, pe0, pe1, sink;
+
+  Fixture() {
+    source = graph.AddSource("s");
+    pe0 = graph.AddPe("p0");
+    pe1 = graph.AddPe("p1");
+    sink = graph.AddSink("k");
+    EXPECT_TRUE(graph.AddEdge(source, pe0, 1.0, 1e8).ok());
+    EXPECT_TRUE(graph.AddEdge(pe0, pe1, 1.0, 1e8).ok());
+    EXPECT_TRUE(graph.AddEdge(pe1, sink, 1.0, 0.0).ok());
+    EXPECT_TRUE(graph.Validate().ok());
+    SourceRateSet r;
+    r.source = source;
+    r.rates = {4.0, 8.0};
+    r.probabilities = {0.8, 0.2};
+    EXPECT_TRUE(space.AddSource(r).ok());
+  }
+};
+
+TEST(HeterogeneousClusterTest, FtSearchUsesTheBigHost) {
+  // Host 0 can hold both PEs even at High (2.0e9); host 1 cannot hold one
+  // (0.5e9 < 8 t/s * 1e8 = 0.8e9). The only feasible single-replica
+  // activations at High use the replicas on host 0.
+  Fixture f;
+  Cluster cluster;
+  cluster.AddHost("big", 2.0e9);
+  cluster.AddHost("small", 0.5e9);
+  ReplicaPlacement placement(f.graph.num_components(), 2);
+  ASSERT_TRUE(placement.Assign(f.pe0, 0, 0).ok());
+  ASSERT_TRUE(placement.Assign(f.pe0, 1, 1).ok());
+  ASSERT_TRUE(placement.Assign(f.pe1, 0, 0).ok());
+  ASSERT_TRUE(placement.Assign(f.pe1, 1, 1).ok());
+  auto rates = ExpectedRates::Compute(f.graph, f.space);
+  ASSERT_TRUE(rates.ok());
+
+  ftsearch::FtSearchOptions options;
+  options.ic_requirement = 0.0;
+  auto result =
+      ftsearch::RunFtSearch(f.graph, f.space, *rates, placement, cluster, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->outcome, ftsearch::SearchOutcome::kOptimal);
+  // In High (config 1) both PEs must run replica 0 (the big host); the
+  // small host cannot carry either PE alone.
+  EXPECT_TRUE(result->strategy->IsActive(f.pe0, 0, 1));
+  EXPECT_FALSE(result->strategy->IsActive(f.pe0, 1, 1));
+  EXPECT_TRUE(result->strategy->IsActive(f.pe1, 0, 1));
+  EXPECT_FALSE(result->strategy->IsActive(f.pe1, 1, 1));
+  EXPECT_TRUE(metrics::CheckStrategyConstraints(f.graph, f.space, *rates, placement,
+                                                *result->strategy, cluster, 0.0)
+                  .ok());
+}
+
+TEST(HeterogeneousClusterTest, TinyHostsMakeEverythingInfeasible) {
+  Fixture f;
+  Cluster cluster = Cluster::Homogeneous(2, 0.3e9);  // < Low demand already
+  ReplicaPlacement placement(f.graph.num_components(), 2);
+  ASSERT_TRUE(placement.Assign(f.pe0, 0, 0).ok());
+  ASSERT_TRUE(placement.Assign(f.pe0, 1, 1).ok());
+  ASSERT_TRUE(placement.Assign(f.pe1, 0, 1).ok());
+  ASSERT_TRUE(placement.Assign(f.pe1, 1, 0).ok());
+  auto rates = ExpectedRates::Compute(f.graph, f.space);
+  ASSERT_TRUE(rates.ok());
+  ftsearch::FtSearchOptions options;
+  options.ic_requirement = 0.0;
+  auto result =
+      ftsearch::RunFtSearch(f.graph, f.space, *rates, placement, cluster, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, ftsearch::SearchOutcome::kInfeasible);
+}
+
+TEST(HigherReplicationTest, IcMathSupportsKGreaterThanTwo) {
+  // The analytical layer (IC, cost, loads) is k-generic even though
+  // FT-Search restricts itself to k = 2.
+  Fixture f;
+  auto rates = ExpectedRates::Compute(f.graph, f.space);
+  ASSERT_TRUE(rates.ok());
+  metrics::IcCalculator calc(f.graph, f.space, *rates);
+  metrics::PessimisticFailureModel pessimistic;
+
+  ActivationStrategy k3(f.graph.num_components(), 3, 2);
+  EXPECT_EQ(k3.replication_factor(), 3);
+  EXPECT_NEAR(calc.InternalCompleteness(k3, pessimistic), 1.0, 1e-12);
+
+  // Dropping one of three replicas in High zeroes φ there (Eq. 14 needs
+  // all k active).
+  k3.SetActive(f.pe0, 2, 1, false);
+  k3.SetActive(f.pe1, 2, 1, false);
+  EXPECT_NEAR(calc.InternalCompleteness(k3, pessimistic), 2.0 / 3.0, 1e-12);
+
+  // The independent model credits the two survivors.
+  metrics::IndependentFailureModel independent(0.5);
+  const double ic = calc.InternalCompleteness(k3, independent);
+  EXPECT_GT(ic, 2.0 / 3.0);
+  EXPECT_LT(ic, 1.0);
+
+  // Cost counts all active replicas.
+  ReplicaPlacement placement(f.graph.num_components(), 3);
+  Cluster cluster = Cluster::Homogeneous(3, 1e9);
+  for (ComponentId pe : {f.pe0, f.pe1}) {
+    for (int r = 0; r < 3; ++r) {
+      ASSERT_TRUE(placement.Assign(pe, r, static_cast<model::HostId>(r)).ok());
+    }
+  }
+  const double cost = metrics::CostPerSecond(f.graph, f.space, *rates, placement, k3);
+  // Low: 3 replicas * 2 PEs * 4 t/s * 1e8 = 2.4e9; High: 2 * 2 * 8e8 = 3.2e9.
+  EXPECT_NEAR(cost, 0.8 * 2.4e9 + 0.2 * 3.2e9, 1e-3);
+}
+
+TEST(HigherReplicationTest, FtSearchRefusesKNotTwo) {
+  Fixture f;
+  auto rates = ExpectedRates::Compute(f.graph, f.space);
+  ASSERT_TRUE(rates.ok());
+  Cluster cluster = Cluster::Homogeneous(3, 1e9);
+  ReplicaPlacement placement(f.graph.num_components(), 3);
+  ftsearch::FtSearchOptions options;
+  auto result =
+      ftsearch::RunFtSearch(f.graph, f.space, *rates, placement, cluster, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+}  // namespace
+}  // namespace laar

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "laar/metrics/cost.h"
+#include "laar/metrics/failure_model.h"
+#include "laar/metrics/ic.h"
+
+namespace laar::metrics {
+namespace {
+
+using model::ApplicationGraph;
+using model::Cluster;
+using model::ComponentId;
+using model::ConfigId;
+using model::ExpectedRates;
+using model::InputSpace;
+using model::ReplicaPlacement;
+using model::SourceRateSet;
+using strategy::ActivationStrategy;
+
+/// The Fig. 1 application: source(4 t/s @ .8 | 8 t/s @ .2) -> p0 -> p1,
+/// selectivity 1, 100 ms per tuple on 1 GHz hosts.
+struct Fixture {
+  ApplicationGraph graph;
+  InputSpace space;
+  ExpectedRates rates;
+  ComponentId source, pe0, pe1, sink;
+
+  Fixture() {
+    source = graph.AddSource("s");
+    pe0 = graph.AddPe("p0");
+    pe1 = graph.AddPe("p1");
+    sink = graph.AddSink("k");
+    EXPECT_TRUE(graph.AddEdge(source, pe0, 1.0, 1e8).ok());
+    EXPECT_TRUE(graph.AddEdge(pe0, pe1, 1.0, 1e8).ok());
+    EXPECT_TRUE(graph.AddEdge(pe1, sink, 1.0, 0.0).ok());
+    EXPECT_TRUE(graph.Validate().ok());
+    SourceRateSet r;
+    r.source = source;
+    r.rates = {4.0, 8.0};
+    r.probabilities = {0.8, 0.2};
+    EXPECT_TRUE(space.AddSource(r).ok());
+    rates = *ExpectedRates::Compute(graph, space);
+  }
+
+  ReplicaPlacement PairedPlacement() const {
+    ReplicaPlacement p(graph.num_components(), 2);
+    EXPECT_TRUE(p.Assign(pe0, 0, 0).ok());
+    EXPECT_TRUE(p.Assign(pe0, 1, 1).ok());
+    EXPECT_TRUE(p.Assign(pe1, 0, 0).ok());
+    EXPECT_TRUE(p.Assign(pe1, 1, 1).ok());
+    return p;
+  }
+};
+
+TEST(FailureModelTest, PessimisticRequiresAllActive) {
+  Fixture f;
+  PessimisticFailureModel model;
+  ActivationStrategy s(f.graph.num_components(), 2, 2);
+  EXPECT_DOUBLE_EQ(model.Phi(f.graph, s, f.pe0, 0), 1.0);
+  s.SetActive(f.pe0, 1, 0, false);
+  EXPECT_DOUBLE_EQ(model.Phi(f.graph, s, f.pe0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(model.Phi(f.graph, s, f.pe0, 1), 1.0);
+}
+
+TEST(FailureModelTest, NoFailureNeedsOneActive) {
+  Fixture f;
+  NoFailureModel model;
+  ActivationStrategy s(f.graph.num_components(), 2, 2);
+  s.SetActive(f.pe0, 1, 0, false);
+  EXPECT_DOUBLE_EQ(model.Phi(f.graph, s, f.pe0, 0), 1.0);
+  s.SetActive(f.pe0, 0, 0, false);
+  EXPECT_DOUBLE_EQ(model.Phi(f.graph, s, f.pe0, 0), 0.0);
+}
+
+TEST(FailureModelTest, IndependentModelInterpolates) {
+  Fixture f;
+  IndependentFailureModel model(0.1);
+  ActivationStrategy s(f.graph.num_components(), 2, 2);
+  EXPECT_NEAR(model.Phi(f.graph, s, f.pe0, 0), 1.0 - 0.01, 1e-12);  // two active
+  s.SetActive(f.pe0, 1, 0, false);
+  EXPECT_NEAR(model.Phi(f.graph, s, f.pe0, 0), 0.9, 1e-12);  // one active
+  s.SetActive(f.pe0, 0, 0, false);
+  EXPECT_DOUBLE_EQ(model.Phi(f.graph, s, f.pe0, 0), 0.0);
+}
+
+TEST(IcCalculatorTest, BestCaseMatchesHandComputation) {
+  Fixture f;
+  IcCalculator calc(f.graph, f.space, f.rates);
+  // Per second: p0 receives Δ(src), p1 receives Δ(p0) = Δ(src).
+  // BIC/T = 0.8*(4+4) + 0.2*(8+8) = 9.6.
+  EXPECT_NEAR(calc.BestCase(), 9.6, 1e-12);
+  EXPECT_NEAR(calc.BestCaseOfConfig(0), 8.0, 1e-12);
+  EXPECT_NEAR(calc.BestCaseOfConfig(1), 16.0, 1e-12);
+}
+
+TEST(IcCalculatorTest, FullReplicationHasIcOne) {
+  Fixture f;
+  IcCalculator calc(f.graph, f.space, f.rates);
+  ActivationStrategy sr(f.graph.num_components(), 2, 2);
+  PessimisticFailureModel pessimistic;
+  EXPECT_NEAR(calc.InternalCompleteness(sr, pessimistic), 1.0, 1e-12);
+  NoFailureModel none;
+  EXPECT_NEAR(calc.InternalCompleteness(sr, none), 1.0, 1e-12);
+}
+
+TEST(IcCalculatorTest, SingleReplicaInHighMatchesHandComputation) {
+  Fixture f;
+  IcCalculator calc(f.graph, f.space, f.rates);
+  // Deactivate one replica of both PEs in High: pessimistic φ = 0 there.
+  ActivationStrategy s(f.graph.num_components(), 2, 2);
+  s.SetActive(f.pe0, 1, 1, false);
+  s.SetActive(f.pe1, 0, 1, false);
+  PessimisticFailureModel pessimistic;
+  // FIC/T = 0.8 * (4 + 4) = 6.4  ->  IC = 6.4 / 9.6 = 2/3.
+  EXPECT_NEAR(calc.FailureCase(s, pessimistic), 6.4, 1e-12);
+  EXPECT_NEAR(calc.InternalCompleteness(s, pessimistic), 2.0 / 3.0, 1e-12);
+  // Under no failures the same strategy still processes everything.
+  NoFailureModel none;
+  EXPECT_NEAR(calc.InternalCompleteness(s, none), 1.0, 1e-12);
+}
+
+TEST(IcCalculatorTest, UpstreamLossPropagatesDownstream) {
+  Fixture f;
+  IcCalculator calc(f.graph, f.space, f.rates);
+  // Only p0 loses a replica in High: p1 keeps both, but its inflow Δ̂ is 0
+  // in High (Eq. 7 recursion), so p1 contributes nothing there either.
+  ActivationStrategy s(f.graph.num_components(), 2, 2);
+  s.SetActive(f.pe0, 1, 1, false);
+  PessimisticFailureModel pessimistic;
+  // High config: p0 contributes 0 (φ=0); p1 has φ=1 but Δ̂(p0)=0.
+  // FIC/T = 0.8*(4+4) + 0.2*(8*0 + 0) = 6.4.
+  EXPECT_NEAR(calc.FailureCase(s, pessimistic), 6.4, 1e-12);
+}
+
+TEST(IcCalculatorTest, ExpectedOutputsRecursion) {
+  Fixture f;
+  IcCalculator calc(f.graph, f.space, f.rates);
+  ActivationStrategy s(f.graph.num_components(), 2, 2);
+  s.SetActive(f.pe0, 1, 1, false);
+  PessimisticFailureModel pessimistic;
+  const std::vector<double> high = calc.ExpectedOutputs(s, pessimistic, 1);
+  EXPECT_DOUBLE_EQ(high[f.source], 8.0);
+  EXPECT_DOUBLE_EQ(high[f.pe0], 0.0);
+  EXPECT_DOUBLE_EQ(high[f.pe1], 0.0);
+  EXPECT_DOUBLE_EQ(high[f.sink], 0.0);
+  const std::vector<double> low = calc.ExpectedOutputs(s, pessimistic, 0);
+  EXPECT_DOUBLE_EQ(low[f.pe1], 4.0);
+  EXPECT_DOUBLE_EQ(low[f.sink], 4.0);
+}
+
+TEST(IcCalculatorTest, IndependentModelBoundsPessimisticFromAbove) {
+  Fixture f;
+  IcCalculator calc(f.graph, f.space, f.rates);
+  ActivationStrategy s(f.graph.num_components(), 2, 2);
+  s.SetActive(f.pe0, 1, 1, false);
+  s.SetActive(f.pe1, 1, 1, false);
+  PessimisticFailureModel pessimistic;
+  IndependentFailureModel independent(0.2);
+  EXPECT_GE(calc.InternalCompleteness(s, independent),
+            calc.InternalCompleteness(s, pessimistic));
+}
+
+TEST(CostTest, CostPerSecondMatchesHandComputation) {
+  Fixture f;
+  ReplicaPlacement placement = f.PairedPlacement();
+  ActivationStrategy sr(f.graph.num_components(), 2, 2);
+  // Per replica demand: 4 t/s * 1e8 = 4e8 at Low, 8e8 at High, per PE.
+  // SR cost = 0.8 * 2*(4e8+4e8) + 0.2 * 2*(8e8+8e8) = 1.28e9 + 0.64e9.
+  EXPECT_NEAR(CostPerSecond(f.graph, f.space, f.rates, placement, sr), 1.92e9, 1e-3);
+
+  ActivationStrategy laar = sr;
+  laar.SetActive(f.pe0, 1, 1, false);
+  laar.SetActive(f.pe1, 0, 1, false);
+  // High config now costs half: 0.2 * (8e8+8e8) = 0.32e9.
+  EXPECT_NEAR(CostPerSecond(f.graph, f.space, f.rates, placement, laar), 1.6e9, 1e-3);
+}
+
+TEST(CostTest, HostLoadsRespectPlacementAndStrategy) {
+  Fixture f;
+  Cluster cluster = Cluster::Homogeneous(2, 1e9);
+  ReplicaPlacement placement = f.PairedPlacement();
+  ActivationStrategy sr(f.graph.num_components(), 2, 2);
+  std::vector<double> low = HostLoads(f.graph, f.rates, placement, sr, cluster, 0);
+  EXPECT_NEAR(low[0], 8e8, 1e-3);
+  EXPECT_NEAR(low[1], 8e8, 1e-3);
+  std::vector<double> high = HostLoads(f.graph, f.rates, placement, sr, cluster, 1);
+  EXPECT_NEAR(high[0], 1.6e9, 1e-3);
+  EXPECT_FALSE(IsOverloaded(f.graph, f.rates, placement, sr, cluster, 0));
+  EXPECT_TRUE(IsOverloaded(f.graph, f.rates, placement, sr, cluster, 1));
+
+  // Deactivating replica 0 of p1 and replica 1 of p0 balances both hosts.
+  ActivationStrategy laar = sr;
+  laar.SetActive(f.pe0, 1, 1, false);
+  laar.SetActive(f.pe1, 0, 1, false);
+  std::vector<double> balanced = HostLoads(f.graph, f.rates, placement, laar, cluster, 1);
+  EXPECT_NEAR(balanced[0], 8e8, 1e-3);
+  EXPECT_NEAR(balanced[1], 8e8, 1e-3);
+}
+
+TEST(CostTest, CheckStrategyConstraintsAcceptsAndRejects) {
+  Fixture f;
+  Cluster cluster = Cluster::Homogeneous(2, 1e9);
+  ReplicaPlacement placement = f.PairedPlacement();
+
+  ActivationStrategy laar(f.graph.num_components(), 2, 2);
+  laar.SetActive(f.pe0, 1, 1, false);
+  laar.SetActive(f.pe1, 0, 1, false);
+  // IC = 2/3: feasible at 0.6, infeasible at 0.7.
+  EXPECT_TRUE(CheckStrategyConstraints(f.graph, f.space, f.rates, placement, laar, cluster,
+                                       0.6)
+                  .ok());
+  EXPECT_FALSE(CheckStrategyConstraints(f.graph, f.space, f.rates, placement, laar, cluster,
+                                        0.7)
+                   .ok());
+
+  // SR violates the CPU constraint in High.
+  ActivationStrategy sr(f.graph.num_components(), 2, 2);
+  EXPECT_FALSE(
+      CheckStrategyConstraints(f.graph, f.space, f.rates, placement, sr, cluster, 0.5).ok());
+
+  // Empty coverage violates Eq. 12.
+  ActivationStrategy empty(f.graph.num_components(), 2, 2);
+  empty.SetAll(f.pe0, 0, false);
+  EXPECT_FALSE(
+      CheckStrategyConstraints(f.graph, f.space, f.rates, placement, empty, cluster, 0.0)
+          .ok());
+}
+
+}  // namespace
+}  // namespace laar::metrics

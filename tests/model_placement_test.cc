@@ -1,0 +1,164 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "laar/model/placement.h"
+#include "laar/placement/placement_algorithms.h"
+
+namespace laar::model {
+namespace {
+
+struct Fixture {
+  ApplicationGraph graph;
+  InputSpace space;
+  std::vector<ComponentId> pes;
+};
+
+Fixture MakeChain(int num_pes) {
+  Fixture f;
+  const ComponentId source = f.graph.AddSource("s");
+  ComponentId prev = source;
+  for (int i = 0; i < num_pes; ++i) {
+    const ComponentId pe = f.graph.AddPe("p");
+    EXPECT_TRUE(f.graph.AddEdge(prev, pe, 1.0, 100.0 * (i + 1)).ok());
+    f.pes.push_back(pe);
+    prev = pe;
+  }
+  const ComponentId sink = f.graph.AddSink("k");
+  EXPECT_TRUE(f.graph.AddEdge(prev, sink, 1.0, 0.0).ok());
+  EXPECT_TRUE(f.graph.Validate().ok());
+  SourceRateSet rates;
+  rates.source = source;
+  rates.rates = {2.0, 4.0};
+  rates.probabilities = {0.5, 0.5};
+  EXPECT_TRUE(f.space.AddSource(rates).ok());
+  return f;
+}
+
+TEST(ReplicaPlacementTest, AssignAndLookup) {
+  ReplicaPlacement p(4, 2);
+  EXPECT_EQ(p.replication_factor(), 2);
+  ASSERT_TRUE(p.Assign(1, 0, 0).ok());
+  ASSERT_TRUE(p.Assign(1, 1, 1).ok());
+  EXPECT_EQ(p.HostOf(1, 0), 0);
+  EXPECT_EQ(p.HostOf(1, 1), 1);
+  EXPECT_TRUE(p.IsAssigned(1));
+  EXPECT_FALSE(p.IsAssigned(2));
+}
+
+TEST(ReplicaPlacementTest, RejectsOutOfRange) {
+  ReplicaPlacement p(2, 2);
+  EXPECT_FALSE(p.Assign(5, 0, 0).ok());
+  EXPECT_FALSE(p.Assign(0, 2, 0).ok());
+  EXPECT_FALSE(p.Assign(-1, 0, 0).ok());
+}
+
+TEST(ReplicaPlacementTest, InverseMap) {
+  ReplicaPlacement p(3, 2);
+  ASSERT_TRUE(p.Assign(0, 0, 0).ok());
+  ASSERT_TRUE(p.Assign(0, 1, 1).ok());
+  ASSERT_TRUE(p.Assign(2, 0, 1).ok());
+  ASSERT_TRUE(p.Assign(2, 1, 0).ok());
+  const auto on_host1 = p.ReplicasOn(1);
+  ASSERT_EQ(on_host1.size(), 2u);
+  EXPECT_EQ(on_host1[0], (ReplicaRef{0, 1}));
+  EXPECT_EQ(on_host1[1], (ReplicaRef{2, 0}));
+  EXPECT_EQ(p.AllReplicas().size(), 4u);
+}
+
+TEST(ReplicaPlacementTest, ValidateDetectsPartialPlacement) {
+  Cluster cluster = Cluster::Homogeneous(2, 100.0);
+  ReplicaPlacement p(1, 2);
+  ASSERT_TRUE(p.Assign(0, 0, 0).ok());
+  EXPECT_FALSE(p.Validate(cluster).ok());
+}
+
+TEST(ReplicaPlacementTest, ValidateDetectsAntiAffinityViolation) {
+  Cluster cluster = Cluster::Homogeneous(2, 100.0);
+  ReplicaPlacement p(1, 2);
+  ASSERT_TRUE(p.Assign(0, 0, 1).ok());
+  ASSERT_TRUE(p.Assign(0, 1, 1).ok());
+  EXPECT_FALSE(p.Validate(cluster).ok());
+  EXPECT_TRUE(p.Validate(cluster, /*require_anti_affinity=*/false).ok());
+}
+
+TEST(ReplicaPlacementTest, ValidateDetectsUnknownHost) {
+  Cluster cluster = Cluster::Homogeneous(2, 100.0);
+  ReplicaPlacement p(1, 2);
+  ASSERT_TRUE(p.Assign(0, 0, 0).ok());
+  ASSERT_TRUE(p.Assign(0, 1, 7).ok());
+  EXPECT_FALSE(p.Validate(cluster).ok());
+}
+
+TEST(ClusterTest, HomogeneousConstruction) {
+  Cluster cluster = Cluster::Homogeneous(3, 50.0);
+  EXPECT_EQ(cluster.num_hosts(), 3u);
+  EXPECT_DOUBLE_EQ(cluster.TotalCapacity(), 150.0);
+  EXPECT_TRUE(cluster.Validate().ok());
+  EXPECT_EQ(cluster.host(1).id, 1);
+}
+
+TEST(ClusterTest, ValidateRejectsEmptyOrNonPositive) {
+  Cluster empty;
+  EXPECT_FALSE(empty.Validate().ok());
+  Cluster bad;
+  bad.AddHost("h", 0.0);
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(PlaceRoundRobinTest, AntiAffinityAndFullCoverage) {
+  Fixture f = MakeChain(6);
+  Cluster cluster = Cluster::Homogeneous(4, 1e6);
+  auto placement = placement::PlaceRoundRobin(f.graph, cluster, 2);
+  ASSERT_TRUE(placement.ok());
+  EXPECT_TRUE(placement->Validate(cluster).ok());
+  for (ComponentId pe : f.pes) {
+    EXPECT_NE(placement->HostOf(pe, 0), placement->HostOf(pe, 1));
+  }
+}
+
+TEST(PlaceRoundRobinTest, FailsWithTooFewHosts) {
+  Fixture f = MakeChain(2);
+  Cluster cluster = Cluster::Homogeneous(1, 1e6);
+  EXPECT_FALSE(placement::PlaceRoundRobin(f.graph, cluster, 2).ok());
+}
+
+TEST(PlaceBalancedTest, SpreadsLoadEvenly) {
+  Fixture f = MakeChain(8);
+  Cluster cluster = Cluster::Homogeneous(4, 1e6);
+  auto rates = ExpectedRates::Compute(f.graph, f.space);
+  ASSERT_TRUE(rates.ok());
+  auto placement = placement::PlaceBalanced(f.graph, f.space, *rates, cluster, 2);
+  ASSERT_TRUE(placement.ok());
+  EXPECT_TRUE(placement->Validate(cluster).ok());
+
+  // Expected per-host demand (all replicas active, probability-weighted)
+  // should be close to uniform: max/min <= 2 for this simple chain.
+  std::vector<double> load(cluster.num_hosts(), 0.0);
+  for (ComponentId pe : f.pes) {
+    double demand = 0.0;
+    for (ConfigId c = 0; c < f.space.num_configs(); ++c) {
+      demand += f.space.Probability(c) * rates->CpuDemand(f.graph, pe, c);
+    }
+    for (int r = 0; r < 2; ++r) load[static_cast<size_t>(placement->HostOf(pe, r))] += demand;
+  }
+  const double max_load = *std::max_element(load.begin(), load.end());
+  const double min_load = *std::min_element(load.begin(), load.end());
+  EXPECT_GT(min_load, 0.0);
+  EXPECT_LE(max_load / min_load, 2.0);
+}
+
+TEST(PlaceBalancedTest, RequiresValidatedGraph) {
+  ApplicationGraph g;
+  g.AddSource("s");
+  Cluster cluster = Cluster::Homogeneous(2, 1e6);
+  InputSpace space;
+  Fixture f = MakeChain(2);
+  auto rates = ExpectedRates::Compute(f.graph, f.space);
+  ASSERT_TRUE(rates.ok());
+  EXPECT_FALSE(placement::PlaceBalanced(g, f.space, *rates, cluster, 2).ok());
+}
+
+}  // namespace
+}  // namespace laar::model

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "laar/model/rates.h"
+
+namespace laar::model {
+namespace {
+
+struct Fixture {
+  ApplicationGraph graph;
+  InputSpace space;
+  ComponentId source, pe0, pe1, sink;
+};
+
+// source(4/8 t/s) -> pe0 (sel .5, cost 10) -> pe1 (sel 2, cost 20) -> sink
+Fixture MakePipeline() {
+  Fixture f;
+  f.source = f.graph.AddSource("s");
+  f.pe0 = f.graph.AddPe("p0");
+  f.pe1 = f.graph.AddPe("p1");
+  f.sink = f.graph.AddSink("k");
+  EXPECT_TRUE(f.graph.AddEdge(f.source, f.pe0, 0.5, 10.0).ok());
+  EXPECT_TRUE(f.graph.AddEdge(f.pe0, f.pe1, 2.0, 20.0).ok());
+  EXPECT_TRUE(f.graph.AddEdge(f.pe1, f.sink, 1.0, 0.0).ok());
+  EXPECT_TRUE(f.graph.Validate().ok());
+  SourceRateSet rates;
+  rates.source = f.source;
+  rates.rates = {4.0, 8.0};
+  rates.probabilities = {0.8, 0.2};
+  EXPECT_TRUE(f.space.AddSource(rates).ok());
+  return f;
+}
+
+TEST(ExpectedRatesTest, LinearPropagationThroughPipeline) {
+  Fixture f = MakePipeline();
+  Result<ExpectedRates> rates = ExpectedRates::Compute(f.graph, f.space);
+  ASSERT_TRUE(rates.ok());
+  // Config 0 (rate 4): pe0 out = 4 * .5 = 2; pe1 out = 2 * 2 = 4; sink in 4.
+  EXPECT_DOUBLE_EQ(rates->Rate(f.source, 0), 4.0);
+  EXPECT_DOUBLE_EQ(rates->Rate(f.pe0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(rates->Rate(f.pe1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(rates->Rate(f.sink, 0), 4.0);
+  // Config 1 (rate 8): everything doubles (linear load model).
+  EXPECT_DOUBLE_EQ(rates->Rate(f.pe1, 1), 8.0);
+}
+
+TEST(ExpectedRatesTest, ArrivalRateSumsPredecessorOutputs) {
+  Fixture f = MakePipeline();
+  Result<ExpectedRates> rates = ExpectedRates::Compute(f.graph, f.space);
+  ASSERT_TRUE(rates.ok());
+  EXPECT_DOUBLE_EQ(rates->ArrivalRate(f.graph, f.pe0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(rates->ArrivalRate(f.graph, f.pe1, 0), 2.0);
+}
+
+TEST(ExpectedRatesTest, CpuDemandWeighsByCost) {
+  Fixture f = MakePipeline();
+  Result<ExpectedRates> rates = ExpectedRates::Compute(f.graph, f.space);
+  ASSERT_TRUE(rates.ok());
+  // pe0: 4 t/s * 10 cycles = 40 cycles/s. pe1: 2 t/s * 20 = 40.
+  EXPECT_DOUBLE_EQ(rates->CpuDemand(f.graph, f.pe0, 0), 40.0);
+  EXPECT_DOUBLE_EQ(rates->CpuDemand(f.graph, f.pe1, 0), 40.0);
+  EXPECT_DOUBLE_EQ(rates->CpuDemand(f.graph, f.pe0, 1), 80.0);
+}
+
+TEST(ExpectedRatesTest, FanInAggregates) {
+  // Two sources into one PE.
+  ApplicationGraph g;
+  const ComponentId s0 = g.AddSource("s0");
+  const ComponentId s1 = g.AddSource("s1");
+  const ComponentId pe = g.AddPe("p");
+  const ComponentId sink = g.AddSink("k");
+  ASSERT_TRUE(g.AddEdge(s0, pe, 1.0, 5.0).ok());
+  ASSERT_TRUE(g.AddEdge(s1, pe, 0.5, 3.0).ok());
+  ASSERT_TRUE(g.AddEdge(pe, sink, 1.0, 0.0).ok());
+  ASSERT_TRUE(g.Validate().ok());
+  InputSpace space;
+  SourceRateSet r0, r1;
+  r0.source = s0;
+  r0.rates = {10.0};
+  r0.probabilities = {1.0};
+  r1.source = s1;
+  r1.rates = {20.0};
+  r1.probabilities = {1.0};
+  ASSERT_TRUE(space.AddSource(r0).ok());
+  ASSERT_TRUE(space.AddSource(r1).ok());
+  Result<ExpectedRates> rates = ExpectedRates::Compute(g, space);
+  ASSERT_TRUE(rates.ok());
+  EXPECT_DOUBLE_EQ(rates->Rate(pe, 0), 10.0 * 1.0 + 20.0 * 0.5);
+  EXPECT_DOUBLE_EQ(rates->ArrivalRate(g, pe, 0), 30.0);
+  EXPECT_DOUBLE_EQ(rates->CpuDemand(g, pe, 0), 10.0 * 5.0 + 20.0 * 3.0);
+}
+
+TEST(ExpectedRatesTest, SinkWithMultipleInputsAccumulatesWithoutSelectivity) {
+  ApplicationGraph g;
+  const ComponentId s = g.AddSource("s");
+  const ComponentId a = g.AddPe("a");
+  const ComponentId b = g.AddPe("b");
+  const ComponentId sink = g.AddSink("k");
+  ASSERT_TRUE(g.AddEdge(s, a, 1.0, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(s, b, 2.0, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(a, sink, 1.0, 0.0).ok());
+  ASSERT_TRUE(g.AddEdge(b, sink, 1.0, 0.0).ok());
+  ASSERT_TRUE(g.Validate().ok());
+  InputSpace space;
+  SourceRateSet r;
+  r.source = s;
+  r.rates = {6.0};
+  r.probabilities = {1.0};
+  ASSERT_TRUE(space.AddSource(r).ok());
+  Result<ExpectedRates> rates = ExpectedRates::Compute(g, space);
+  ASSERT_TRUE(rates.ok());
+  EXPECT_DOUBLE_EQ(rates->Rate(sink, 0), 6.0 + 12.0);
+}
+
+TEST(ExpectedRatesTest, RequiresValidatedGraph) {
+  Fixture f = MakePipeline();
+  ApplicationGraph unvalidated;
+  unvalidated.AddSource("s");
+  EXPECT_FALSE(ExpectedRates::Compute(unvalidated, f.space).ok());
+}
+
+TEST(ExpectedRatesTest, RequiresRateSetForEverySource) {
+  ApplicationGraph g;
+  const ComponentId s0 = g.AddSource("s0");
+  const ComponentId s1 = g.AddSource("s1");
+  const ComponentId pe = g.AddPe("p");
+  const ComponentId sink = g.AddSink("k");
+  ASSERT_TRUE(g.AddEdge(s0, pe, 1, 1).ok());
+  ASSERT_TRUE(g.AddEdge(s1, pe, 1, 1).ok());
+  ASSERT_TRUE(g.AddEdge(pe, sink, 1, 0).ok());
+  ASSERT_TRUE(g.Validate().ok());
+  InputSpace space;
+  SourceRateSet r;
+  r.source = s0;
+  r.rates = {1.0};
+  r.probabilities = {1.0};
+  ASSERT_TRUE(space.AddSource(r).ok());
+  EXPECT_FALSE(ExpectedRates::Compute(g, space).ok());
+}
+
+}  // namespace
+}  // namespace laar::model

@@ -1,0 +1,127 @@
+// Regression tests for the Rate Monitor / HAController loop (§4.6),
+// including the measurement-quantization tolerance (see
+// RuntimeOptions::monitor_tolerance_tuples).
+
+#include <gtest/gtest.h>
+
+#include "laar/dsps/stream_simulation.h"
+#include "laar/dsps/trace.h"
+#include "laar/model/descriptor.h"
+#include "laar/strategy/activation_strategy.h"
+
+namespace laar::dsps {
+namespace {
+
+using model::ApplicationDescriptor;
+using model::Cluster;
+using model::ComponentId;
+using model::ReplicaPlacement;
+using model::SourceRateSet;
+using strategy::ActivationStrategy;
+
+/// One-PE app with a *non-integer* Low rate equal to a configuration level:
+/// the worst case for window-count rate estimation.
+struct Fixture {
+  ApplicationDescriptor app;
+  Cluster cluster = Cluster::Homogeneous(2, 1e9);
+  ReplicaPlacement placement{0, 2};
+  ComponentId source, pe, sink;
+
+  Fixture() {
+    source = app.graph.AddSource("s");
+    pe = app.graph.AddPe("p");
+    sink = app.graph.AddSink("k");
+    EXPECT_TRUE(app.graph.AddEdge(source, pe, 1.0, 0.05e9).ok());
+    EXPECT_TRUE(app.graph.AddEdge(pe, sink, 1.0, 0.0).ok());
+    EXPECT_TRUE(app.graph.Validate().ok());
+    SourceRateSet r;
+    r.source = source;
+    r.rates = {7.3, 14.6};  // deliberately non-integer
+    r.labels = {"Low", "High"};
+    r.probabilities = {0.8, 0.2};
+    EXPECT_TRUE(app.input_space.AddSource(r).ok());
+    EXPECT_TRUE(app.Validate().ok());
+    placement = ReplicaPlacement(app.graph.num_components(), 2);
+    EXPECT_TRUE(placement.Assign(pe, 0, 0).ok());
+    EXPECT_TRUE(placement.Assign(pe, 1, 1).ok());
+  }
+
+  /// Both replicas active at Low, only replica 0 at High: any spurious
+  /// switch to High shows up as deactivation churn on replica 1.
+  ActivationStrategy Strategy() const {
+    ActivationStrategy s(app.graph.num_components(), 2, 2);
+    s.SetActive(pe, 1, 1, false);
+    return s;
+  }
+};
+
+TEST(MonitorTest, NonIntegerRatesDoNotFlapWithTolerance) {
+  Fixture f;
+  InputTrace trace;
+  ASSERT_TRUE(trace.Append(120.0, 0).ok());  // Low throughout
+  RuntimeOptions options;                    // tolerance defaults to 1 tuple
+  const ActivationStrategy strategy = f.Strategy();
+  StreamSimulation simulation(f.app, f.cluster, f.placement, strategy, trace, options);
+  ASSERT_TRUE(simulation.Run().ok());
+  const SimulationMetrics& m = simulation.metrics();
+  // Replica 1 stays active the whole run: it processes (about) everything
+  // and ignores (nearly) nothing.
+  const ReplicaMetrics& secondary = m.replicas[f.pe][1];
+  EXPECT_LE(secondary.tuples_ignored, 4u);
+  EXPECT_GE(secondary.tuples_processed, m.source_tuples - 8);
+  EXPECT_EQ(m.dropped_tuples, 0u);
+}
+
+TEST(MonitorTest, ZeroToleranceFlapsOnQuantizationNoise) {
+  // The regression this guards against: without the tolerance, a window
+  // occasionally counts ⌈7.3⌉ = 8 tuples, 8 > 7.3 is not dominated by Low,
+  // and the controller flaps to High — deactivating replica 1 mid-Low.
+  Fixture f;
+  InputTrace trace;
+  ASSERT_TRUE(trace.Append(120.0, 0).ok());
+  RuntimeOptions options;
+  options.monitor_tolerance_tuples = 0.0;
+  const ActivationStrategy strategy = f.Strategy();
+  StreamSimulation simulation(f.app, f.cluster, f.placement, strategy, trace, options);
+  ASSERT_TRUE(simulation.Run().ok());
+  const ReplicaMetrics& secondary = simulation.metrics().replicas[f.pe][1];
+  EXPECT_GT(secondary.tuples_ignored, 20u);  // churn is visible
+}
+
+TEST(MonitorTest, GenuineRateChangeStillDetectedPromptly) {
+  Fixture f;
+  auto trace = InputTrace::Step(0, 1, 60.0, 120.0);
+  ASSERT_TRUE(trace.ok());
+  RuntimeOptions options;
+  const ActivationStrategy strategy = f.Strategy();
+  StreamSimulation simulation(f.app, f.cluster, f.placement, strategy, *trace, options);
+  ASSERT_TRUE(simulation.Run().ok());
+  const SimulationMetrics& m = simulation.metrics();
+  // After the step, replica 1 must be deactivated: its processing stops
+  // within a few monitor periods.
+  const ReplicaMetrics& secondary = m.replicas[f.pe][1];
+  const ReplicaMetrics& primary = m.replicas[f.pe][0];
+  // Primary processed the whole trace; secondary only the Low part
+  // (~7.3 * 60 tuples) plus a short detection window.
+  EXPECT_GE(primary.tuples_processed, m.source_tuples - 8);
+  EXPECT_LE(secondary.tuples_processed, static_cast<uint64_t>(7.3 * 60 + 14.6 * 5));
+  EXPECT_GE(secondary.tuples_processed, static_cast<uint64_t>(7.3 * 60 * 0.9));
+}
+
+TEST(MonitorTest, DisabledDynamicControlNeverSwitches) {
+  Fixture f;
+  auto trace = InputTrace::Step(0, 1, 30.0, 60.0);
+  ASSERT_TRUE(trace.ok());
+  RuntimeOptions options;
+  options.dynamic_control = false;
+  const ActivationStrategy strategy = f.Strategy();
+  StreamSimulation simulation(f.app, f.cluster, f.placement, strategy, *trace, options);
+  ASSERT_TRUE(simulation.Run().ok());
+  // Replica 1 keeps processing during High (the Low activation persists).
+  const ReplicaMetrics& secondary = simulation.metrics().replicas[f.pe][1];
+  EXPECT_GE(secondary.tuples_processed,
+            simulation.metrics().source_tuples - 8);
+}
+
+}  // namespace
+}  // namespace laar::dsps

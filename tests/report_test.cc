@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "laar/runtime/report.h"
+
+namespace laar::runtime {
+namespace {
+
+AppExperimentRecord MakeRecord(uint64_t seed) {
+  AppExperimentRecord record;
+  record.app_seed = seed;
+  VariantMeasurement nr;
+  nr.variant = "NR";
+  nr.cpu_cycles = 1.5e11;
+  nr.dropped = 0;
+  nr.processed_best = 123456;
+  nr.processed_worst = 0;
+  nr.peak_output_rate = 42.5;
+  record.variants.push_back(nr);
+  VariantMeasurement l6;
+  l6.variant = "L.6";
+  l6.cpu_cycles = 2.25e11;
+  l6.dropped = 7;
+  l6.processed_best = 123450;
+  l6.processed_worst = 76543;
+  l6.processed_crash = 120000;
+  l6.peak_output_rate = 42.1;
+  l6.promised_ic = 0.6123;
+  record.variants.push_back(l6);
+  return record;
+}
+
+TEST(ReportTest, RecordJsonRoundTrip) {
+  const AppExperimentRecord record = MakeRecord(99);
+  auto loaded = RecordFromJson(RecordToJson(record));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->app_seed, 99u);
+  ASSERT_EQ(loaded->variants.size(), 2u);
+  const VariantMeasurement* l6 = loaded->Find("L.6");
+  ASSERT_NE(l6, nullptr);
+  EXPECT_DOUBLE_EQ(l6->cpu_cycles, 2.25e11);
+  EXPECT_EQ(l6->dropped, 7u);
+  EXPECT_EQ(l6->processed_worst, 76543u);
+  EXPECT_EQ(l6->processed_crash, 120000u);
+  EXPECT_DOUBLE_EQ(l6->promised_ic, 0.6123);
+}
+
+TEST(ReportTest, CorpusJsonRoundTrip) {
+  std::vector<AppExperimentRecord> corpus = {MakeRecord(1), MakeRecord(2), MakeRecord(3)};
+  auto loaded = CorpusFromJson(CorpusToJson(corpus));
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_EQ((*loaded)[2].app_seed, 3u);
+  EXPECT_EQ((*loaded)[1].variants.size(), 2u);
+}
+
+TEST(ReportTest, CsvHasHeaderAndRows) {
+  std::vector<AppExperimentRecord> corpus = {MakeRecord(5)};
+  const std::string csv = CorpusToCsv(corpus);
+  EXPECT_EQ(csv.find("app_seed,variant,"), 0u);
+  // 1 header + 2 variant rows.
+  size_t lines = 0;
+  for (char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 3u);
+  EXPECT_NE(csv.find("5,NR,"), std::string::npos);
+  EXPECT_NE(csv.find("5,L.6,"), std::string::npos);
+}
+
+TEST(ReportTest, FromJsonRejectsGarbage) {
+  EXPECT_FALSE(RecordFromJson(json::Value::Int(1)).ok());
+  json::Value missing = json::Value::MakeObject();
+  EXPECT_FALSE(RecordFromJson(missing).ok());
+  json::Value no_records = json::Value::MakeObject();
+  EXPECT_FALSE(CorpusFromJson(no_records).ok());
+}
+
+}  // namespace
+}  // namespace laar::runtime

@@ -1,0 +1,132 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "laar/sim/simulator.h"
+
+namespace laar::sim {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.ScheduleAt(3.0, [&] { order.push_back(3); });
+  simulator.ScheduleAt(1.0, [&] { order.push_back(1); });
+  simulator.ScheduleAt(2.0, [&] { order.push_back(2); });
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(simulator.now(), 3.0);
+  EXPECT_EQ(simulator.events_processed(), 3u);
+}
+
+TEST(SimulatorTest, EqualTimestampsFireInSchedulingOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    simulator.ScheduleAt(1.0, [&order, i] { order.push_back(i); });
+  }
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator simulator;
+  double fired_at = -1.0;
+  simulator.ScheduleAt(2.0, [&] {
+    simulator.ScheduleAfter(0.5, [&] { fired_at = simulator.now(); });
+  });
+  simulator.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 2.5);
+}
+
+TEST(SimulatorTest, PastTimesClampToNow) {
+  Simulator simulator;
+  double fired_at = -1.0;
+  simulator.ScheduleAt(5.0, [&] {
+    simulator.ScheduleAt(1.0, [&] { fired_at = simulator.now(); });
+  });
+  simulator.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+  Simulator other;
+  other.ScheduleAfter(-3.0, [] {});
+  other.Run();
+  EXPECT_DOUBLE_EQ(other.now(), 0.0);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator simulator;
+  bool fired = false;
+  const EventId id = simulator.ScheduleAt(1.0, [&] { fired = true; });
+  simulator.Cancel(id);
+  simulator.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(simulator.events_processed(), 0u);
+}
+
+TEST(SimulatorTest, CancelOneOfMany) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.ScheduleAt(1.0, [&] { order.push_back(1); });
+  const EventId id = simulator.ScheduleAt(2.0, [&] { order.push_back(2); });
+  simulator.ScheduleAt(3.0, [&] { order.push_back(3); });
+  simulator.Cancel(id);
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtHorizon) {
+  Simulator simulator;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    simulator.ScheduleAt(t, [&fired, &simulator] { fired.push_back(simulator.now()); });
+  }
+  simulator.RunUntil(2.5);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(simulator.now(), 2.5);
+  EXPECT_EQ(simulator.pending_events(), 2u);
+  simulator.RunUntil(10.0);
+  EXPECT_EQ(fired.size(), 4u);
+  EXPECT_DOUBLE_EQ(simulator.now(), 10.0);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesTimeWithEmptyQueue) {
+  Simulator simulator;
+  simulator.RunUntil(7.0);
+  EXPECT_DOUBLE_EQ(simulator.now(), 7.0);
+}
+
+TEST(SimulatorTest, EventsCanScheduleChains) {
+  Simulator simulator;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 10) simulator.ScheduleAfter(1.0, tick);
+  };
+  simulator.ScheduleAfter(1.0, tick);
+  simulator.Run();
+  EXPECT_EQ(count, 10);
+  EXPECT_DOUBLE_EQ(simulator.now(), 10.0);
+}
+
+TEST(SimulatorTest, StepExecutesExactlyOne) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.ScheduleAt(1.0, [&] { ++fired; });
+  simulator.ScheduleAt(2.0, [&] { ++fired; });
+  EXPECT_TRUE(simulator.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(simulator.Step());
+  EXPECT_FALSE(simulator.Step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, CancelInsideEarlierEvent) {
+  Simulator simulator;
+  bool fired = false;
+  EventId later = simulator.ScheduleAt(2.0, [&] { fired = true; });
+  simulator.ScheduleAt(1.0, [&] { simulator.Cancel(later); });
+  simulator.Run();
+  EXPECT_FALSE(fired);
+}
+
+}  // namespace
+}  // namespace laar::sim

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "laar/appgen/app_generator.h"
+#include "laar/model/rates.h"
+#include "laar/model/transform.h"
+
+namespace laar::model {
+namespace {
+
+appgen::GeneratedApplication MakeApp() {
+  appgen::GeneratorOptions options;
+  options.num_pes = 8;
+  options.num_hosts = 4;
+  for (uint64_t seed = 1;; ++seed) {
+    auto app = appgen::GenerateApplication(options, seed);
+    if (app.ok()) return std::move(*app);
+  }
+}
+
+TEST(TransformTest, ScaleCpuCostsScalesEveryEdge) {
+  const auto app = MakeApp();
+  auto scaled = ScaleCpuCosts(app.descriptor, 1.25);
+  ASSERT_TRUE(scaled.ok()) << scaled.status().ToString();
+  ASSERT_EQ(scaled->graph.num_edges(), app.descriptor.graph.num_edges());
+  for (size_t i = 0; i < app.descriptor.graph.num_edges(); ++i) {
+    const Edge& before = app.descriptor.graph.edges()[i];
+    const Edge& after = scaled->graph.edges()[i];
+    EXPECT_DOUBLE_EQ(after.cpu_cost_cycles, before.cpu_cost_cycles * 1.25);
+    EXPECT_DOUBLE_EQ(after.selectivity, before.selectivity);
+  }
+  // Rates (tuple flow) are untouched; CPU demand scales linearly.
+  auto before_rates = ExpectedRates::Compute(app.descriptor.graph,
+                                             app.descriptor.input_space);
+  auto after_rates = ExpectedRates::Compute(scaled->graph, scaled->input_space);
+  ASSERT_TRUE(before_rates.ok());
+  ASSERT_TRUE(after_rates.ok());
+  for (ComponentId pe : app.descriptor.graph.Pes()) {
+    EXPECT_DOUBLE_EQ(after_rates->Rate(pe, 0), before_rates->Rate(pe, 0));
+    EXPECT_NEAR(after_rates->CpuDemand(scaled->graph, pe, 0),
+                1.25 * before_rates->CpuDemand(app.descriptor.graph, pe, 0), 1e-3);
+  }
+}
+
+TEST(TransformTest, ScaleSourceRatesScalesFlowLinearly) {
+  const auto app = MakeApp();
+  auto scaled = ScaleSourceRates(app.descriptor, 2.0);
+  ASSERT_TRUE(scaled.ok());
+  auto before_rates = ExpectedRates::Compute(app.descriptor.graph,
+                                             app.descriptor.input_space);
+  auto after_rates = ExpectedRates::Compute(scaled->graph, scaled->input_space);
+  ASSERT_TRUE(before_rates.ok());
+  ASSERT_TRUE(after_rates.ok());
+  // The linear load model: doubling input rates doubles every component's
+  // rate and every PE's CPU demand.
+  for (const Component& c : app.descriptor.graph.components()) {
+    for (ConfigId cfg = 0; cfg < app.descriptor.input_space.num_configs(); ++cfg) {
+      EXPECT_NEAR(after_rates->Rate(c.id, cfg), 2.0 * before_rates->Rate(c.id, cfg),
+                  1e-9 * (1.0 + before_rates->Rate(c.id, cfg)));
+    }
+  }
+  // Probabilities and labels preserved.
+  EXPECT_EQ(scaled->input_space.source_rates(0).labels,
+            app.descriptor.input_space.source_rates(0).labels);
+  EXPECT_EQ(scaled->input_space.source_rates(0).probabilities,
+            app.descriptor.input_space.source_rates(0).probabilities);
+}
+
+TEST(TransformTest, RejectsNonPositiveFactors) {
+  const auto app = MakeApp();
+  EXPECT_FALSE(ScaleCpuCosts(app.descriptor, 0.0).ok());
+  EXPECT_FALSE(ScaleCpuCosts(app.descriptor, -1.0).ok());
+  EXPECT_FALSE(ScaleSourceRates(app.descriptor, 0.0).ok());
+}
+
+TEST(TransformTest, IdentityFactorRoundTrips) {
+  const auto app = MakeApp();
+  auto same = ScaleCpuCosts(app.descriptor, 1.0);
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(same->ToJson().Dump(), app.descriptor.ToJson().Dump());
+}
+
+}  // namespace
+}  // namespace laar::model

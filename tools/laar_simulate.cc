@@ -1,0 +1,124 @@
+// laar_simulate — the on-line half of the LAAR workflow: replay an input
+// trace against a deployed application under a replica activation strategy
+// and report the §5.3 metrics.
+//
+// Usage:
+//   laar_simulate --app=app.json --strategy=strategy.json
+//                 [--hosts=12] [--capacity=1e9]
+//                 [--trace-seconds=300] [--high-fraction=0.333] [--cycles=3]
+//                 [--crash-host=H --crash-at=T --crash-duration=16]
+//                 [--worst-case] [--placement=balanced|roundrobin]
+
+#include <cstdio>
+#include <string>
+
+#include "laar/common/flags.h"
+#include "laar/dsps/stream_simulation.h"
+#include "laar/model/descriptor.h"
+#include "laar/placement/placement_algorithms.h"
+#include "laar/runtime/experiment.h"
+
+int main(int argc, char** argv) {
+  laar::Flags flags(argc, argv);
+  const std::string app_path = flags.GetString("app", "");
+  const std::string strategy_path = flags.GetString("strategy", "");
+  if (app_path.empty() || strategy_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: laar_simulate --app=app.json --strategy=strategy.json\n"
+                 "       [--hosts=N] [--capacity=C] [--trace-seconds=S]\n"
+                 "       [--high-fraction=F] [--cycles=N] [--worst-case]\n"
+                 "       [--crash-host=H --crash-at=T --crash-duration=16]\n");
+    return 2;
+  }
+
+  auto app = laar::model::ApplicationDescriptor::LoadFromFile(app_path);
+  if (!app.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", app_path.c_str(),
+                 app.status().ToString().c_str());
+    return 1;
+  }
+  auto strategy = laar::strategy::ActivationStrategy::LoadFromFile(strategy_path);
+  if (!strategy.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", strategy_path.c_str(),
+                 strategy.status().ToString().c_str());
+    return 1;
+  }
+
+  const laar::model::Cluster cluster = laar::model::Cluster::Homogeneous(
+      flags.GetInt("hosts", 12), flags.GetDouble("capacity", 1e9));
+  auto rates = laar::model::ExpectedRates::Compute(app->graph, app->input_space);
+  if (!rates.ok()) {
+    std::fprintf(stderr, "rate analysis failed: %s\n", rates.status().ToString().c_str());
+    return 1;
+  }
+  const std::string placement_kind = flags.GetString("placement", "balanced");
+  auto placement =
+      placement_kind == "roundrobin"
+          ? laar::placement::PlaceRoundRobin(app->graph, cluster, 2)
+          : laar::placement::PlaceBalanced(app->graph, app->input_space, *rates, cluster,
+                                           2);
+  if (!placement.ok()) {
+    std::fprintf(stderr, "placement failed: %s\n",
+                 placement.status().ToString().c_str());
+    return 1;
+  }
+
+  auto trace = laar::runtime::MakeExperimentTrace(
+      app->input_space, flags.GetDouble("trace-seconds", 300.0),
+      flags.GetDouble("high-fraction", 1.0 / 3.0), flags.GetInt("cycles", 3));
+  if (!trace.ok()) {
+    std::fprintf(stderr, "trace construction failed: %s\n",
+                 trace.status().ToString().c_str());
+    return 1;
+  }
+
+  laar::dsps::RuntimeOptions runtime;
+  laar::dsps::StreamSimulation simulation(*app, cluster, *placement, *strategy, *trace,
+                                          runtime);
+  if (flags.Has("worst-case")) {
+    const auto survivors = laar::runtime::ChooseWorstCaseSurvivors(
+        app->graph, app->input_space, *strategy);
+    for (laar::model::ComponentId pe : app->graph.Pes()) {
+      for (int r = 0; r < strategy->replication_factor(); ++r) {
+        if (r != survivors[static_cast<size_t>(pe)]) {
+          simulation.InjectPermanentReplicaFailure(pe, r).CheckOK();
+        }
+      }
+    }
+  }
+  if (flags.Has("crash-host")) {
+    const laar::Status status = simulation.ScheduleHostCrash(
+        static_cast<laar::model::HostId>(flags.GetInt("crash-host", 0)),
+        flags.GetDouble("crash-at", 10.0), flags.GetDouble("crash-duration", 16.0));
+    if (!status.ok()) {
+      std::fprintf(stderr, "crash injection failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  const laar::Status status = simulation.Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  const laar::dsps::SimulationMetrics& m = simulation.metrics();
+  std::printf("duration            %10.1f s\n", m.duration);
+  std::printf("source tuples       %10llu\n",
+              static_cast<unsigned long long>(m.source_tuples));
+  std::printf("sink tuples         %10llu\n",
+              static_cast<unsigned long long>(m.sink_tuples));
+  std::printf("dropped (overflow)  %10llu\n",
+              static_cast<unsigned long long>(m.dropped_tuples));
+  std::printf("tuples processed    %10llu\n",
+              static_cast<unsigned long long>(m.TotalProcessed()));
+  std::printf("CPU consumed        %10.2f core-s (at %.3g cycles/s)\n",
+              m.TotalCpuCycles() / flags.GetDouble("capacity", 1e9),
+              flags.GetDouble("capacity", 1e9));
+  if (m.sink_latency.count() > 0) {
+    std::printf("sink latency        p50=%.3fs p95=%.3fs p99=%.3fs max=%.3fs\n",
+                m.sink_latency.Percentile(50), m.sink_latency.Percentile(95),
+                m.sink_latency.Percentile(99), m.sink_latency.max());
+  }
+  return 0;
+}

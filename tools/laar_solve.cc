@@ -1,0 +1,88 @@
+// laar_solve — the off-line half of the LAAR workflow (Fig. 7): run
+// FT-Search on an application descriptor and write the replica activation
+// strategy the HAController consumes at runtime.
+//
+// Usage:
+//   laar_solve --app=app.json --out=strategy.json --ic=0.7
+//              [--hosts=12] [--capacity=1e9] [--time-limit=600]
+//              [--threads=1] [--placement=balanced|roundrobin]
+
+#include <cstdio>
+#include <string>
+
+#include "laar/common/flags.h"
+#include "laar/ftsearch/ft_search.h"
+#include "laar/metrics/cost.h"
+#include "laar/model/descriptor.h"
+#include "laar/placement/placement_algorithms.h"
+#include "laar/strategy/describe.h"
+
+int main(int argc, char** argv) {
+  laar::Flags flags(argc, argv);
+  const std::string app_path = flags.GetString("app", "");
+  const std::string out_path = flags.GetString("out", "");
+  if (app_path.empty() || out_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: laar_solve --app=app.json --out=strategy.json --ic=0.7\n"
+                 "       [--hosts=N] [--capacity=CYCLES_PER_SEC] [--time-limit=SECONDS]\n"
+                 "       [--threads=N] [--placement=balanced|roundrobin]\n");
+    return 2;
+  }
+
+  auto app = laar::model::ApplicationDescriptor::LoadFromFile(app_path);
+  if (!app.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", app_path.c_str(),
+                 app.status().ToString().c_str());
+    return 1;
+  }
+
+  const laar::model::Cluster cluster = laar::model::Cluster::Homogeneous(
+      flags.GetInt("hosts", 12), flags.GetDouble("capacity", 1e9));
+  auto rates = laar::model::ExpectedRates::Compute(app->graph, app->input_space);
+  if (!rates.ok()) {
+    std::fprintf(stderr, "rate analysis failed: %s\n", rates.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::string placement_kind = flags.GetString("placement", "balanced");
+  auto placement =
+      placement_kind == "roundrobin"
+          ? laar::placement::PlaceRoundRobin(app->graph, cluster, 2)
+          : laar::placement::PlaceBalanced(app->graph, app->input_space, *rates, cluster,
+                                           2);
+  if (!placement.ok()) {
+    std::fprintf(stderr, "placement failed: %s\n",
+                 placement.status().ToString().c_str());
+    return 1;
+  }
+
+  laar::ftsearch::FtSearchOptions options;
+  options.ic_requirement = flags.GetDouble("ic", 0.7);
+  options.time_limit_seconds = flags.GetDouble("time-limit", 600.0);
+  options.num_threads = flags.GetInt("threads", 1);
+  auto result = laar::ftsearch::RunFtSearch(app->graph, app->input_space, *rates,
+                                            *placement, cluster, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "FT-Search failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("FT-Search: %s\n", result->ToString().c_str());
+  if (!result->strategy.has_value()) {
+    std::fprintf(stderr, "no feasible strategy (outcome %s)\n",
+                 laar::ftsearch::SearchOutcomeName(result->outcome));
+    return 3;
+  }
+
+  const laar::Status status = result->strategy->SaveToFile(out_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: IC >= %.4f at %.4g cycles/s (%s)\n", out_path.c_str(),
+              result->best_ic, result->best_cost,
+              laar::ftsearch::SearchOutcomeName(result->outcome));
+  std::printf("%s", laar::strategy::Describe(app->graph, app->input_space,
+                                             *result->strategy)
+                        .c_str());
+  return 0;
+}

@@ -1,0 +1,54 @@
+# End-to-end smoke test of the CLI workflow:
+#   laar_generate -> laar_solve -> laar_simulate (normal + worst case).
+# Seed 6 with 12 PEs on 6 hosts is a known FT-Search-solvable instance at
+# IC 0.6 (generation is deterministic, so this is stable).
+
+set(APP ${WORKDIR}/pipeline_app.json)
+set(STRATEGY ${WORKDIR}/pipeline_strategy.json)
+
+execute_process(
+  COMMAND ${GEN} --out=${APP} --pes=12 --hosts=6 --seed=6
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "laar_generate failed with ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${SOLVE} --app=${APP} --out=${STRATEGY} --ic=0.6 --hosts=6 --time-limit=10
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "laar_solve failed with ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${SIM} --app=${APP} --strategy=${STRATEGY} --hosts=6 --trace-seconds=60
+  OUTPUT_VARIABLE out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "laar_simulate failed with ${rc}")
+endif()
+if(NOT out MATCHES "tuples processed")
+  message(FATAL_ERROR "laar_simulate output missing metrics:\n${out}")
+endif()
+if(out MATCHES "dropped \\(overflow\\)[ ]+0[^0-9]")
+  message(STATUS "no drops in the best case, as expected")
+endif()
+
+execute_process(
+  COMMAND ${SIM} --app=${APP} --strategy=${STRATEGY} --hosts=6 --trace-seconds=60
+          --worst-case
+  OUTPUT_VARIABLE worst_out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "laar_simulate --worst-case failed with ${rc}")
+endif()
+
+# Extract the processed counts and check worst <= best.
+string(REGEX MATCH "tuples processed[ ]+([0-9]+)" _ ${out})
+set(best ${CMAKE_MATCH_1})
+string(REGEX MATCH "tuples processed[ ]+([0-9]+)" _ ${worst_out})
+set(worst ${CMAKE_MATCH_1})
+if(worst GREATER best)
+  message(FATAL_ERROR "worst-case processed ${worst} > best-case ${best}")
+endif()
+message(STATUS "pipeline OK: best=${best} worst=${worst}")
