@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_failuremodel.dir/ablation_failuremodel.cc.o"
+  "CMakeFiles/ablation_failuremodel.dir/ablation_failuremodel.cc.o.d"
+  "ablation_failuremodel"
+  "ablation_failuremodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_failuremodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

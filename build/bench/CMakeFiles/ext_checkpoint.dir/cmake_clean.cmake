@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_checkpoint.dir/ext_checkpoint.cc.o"
+  "CMakeFiles/ext_checkpoint.dir/ext_checkpoint.cc.o.d"
+  "ext_checkpoint"
+  "ext_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

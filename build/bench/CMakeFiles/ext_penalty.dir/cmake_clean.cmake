@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_penalty.dir/ext_penalty.cc.o"
+  "CMakeFiles/ext_penalty.dir/ext_penalty.cc.o.d"
+  "ext_penalty"
+  "ext_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

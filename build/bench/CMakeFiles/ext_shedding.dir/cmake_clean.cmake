@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_shedding.dir/ext_shedding.cc.o"
+  "CMakeFiles/ext_shedding.dir/ext_shedding.cc.o.d"
+  "ext_shedding"
+  "ext_shedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_shedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

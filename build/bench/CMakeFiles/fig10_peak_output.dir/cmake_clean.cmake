@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_peak_output.dir/fig10_peak_output.cc.o"
+  "CMakeFiles/fig10_peak_output.dir/fig10_peak_output.cc.o.d"
+  "fig10_peak_output"
+  "fig10_peak_output.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_peak_output.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

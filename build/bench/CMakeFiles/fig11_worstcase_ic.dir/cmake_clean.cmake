@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_worstcase_ic.dir/fig11_worstcase_ic.cc.o"
+  "CMakeFiles/fig11_worstcase_ic.dir/fig11_worstcase_ic.cc.o.d"
+  "fig11_worstcase_ic"
+  "fig11_worstcase_ic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_worstcase_ic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

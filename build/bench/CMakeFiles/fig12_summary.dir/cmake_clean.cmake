@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_summary.dir/fig12_summary.cc.o"
+  "CMakeFiles/fig12_summary.dir/fig12_summary.cc.o.d"
+  "fig12_summary"
+  "fig12_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_pipeline.dir/fig3_pipeline.cc.o"
+  "CMakeFiles/fig3_pipeline.dir/fig3_pipeline.cc.o.d"
+  "fig3_pipeline"
+  "fig3_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

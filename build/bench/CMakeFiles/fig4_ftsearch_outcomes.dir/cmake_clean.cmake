@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ftsearch_outcomes.dir/fig4_ftsearch_outcomes.cc.o"
+  "CMakeFiles/fig4_ftsearch_outcomes.dir/fig4_ftsearch_outcomes.cc.o.d"
+  "fig4_ftsearch_outcomes"
+  "fig4_ftsearch_outcomes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ftsearch_outcomes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_first_vs_optimal.dir/fig5_first_vs_optimal.cc.o"
+  "CMakeFiles/fig5_first_vs_optimal.dir/fig5_first_vs_optimal.cc.o.d"
+  "fig5_first_vs_optimal"
+  "fig5_first_vs_optimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_first_vs_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_pruning.dir/fig6_pruning.cc.o"
+  "CMakeFiles/fig6_pruning.dir/fig6_pruning.cc.o.d"
+  "fig6_pruning"
+  "fig6_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

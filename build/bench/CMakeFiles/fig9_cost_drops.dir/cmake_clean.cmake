@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_cost_drops.dir/fig9_cost_drops.cc.o"
+  "CMakeFiles/fig9_cost_drops.dir/fig9_cost_drops.cc.o.d"
+  "fig9_cost_drops"
+  "fig9_cost_drops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_cost_drops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

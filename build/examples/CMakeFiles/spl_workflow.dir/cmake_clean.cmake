@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spl_workflow.dir/spl_workflow.cpp.o"
+  "CMakeFiles/spl_workflow.dir/spl_workflow.cpp.o.d"
+  "spl_workflow"
+  "spl_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spl_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/laar/appgen/app_generator.cc" "src/CMakeFiles/laar.dir/laar/appgen/app_generator.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/appgen/app_generator.cc.o.d"
+  "/root/repo/src/laar/common/logging.cc" "src/CMakeFiles/laar.dir/laar/common/logging.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/common/logging.cc.o.d"
+  "/root/repo/src/laar/common/rng.cc" "src/CMakeFiles/laar.dir/laar/common/rng.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/common/rng.cc.o.d"
+  "/root/repo/src/laar/common/stats.cc" "src/CMakeFiles/laar.dir/laar/common/stats.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/common/stats.cc.o.d"
+  "/root/repo/src/laar/common/status.cc" "src/CMakeFiles/laar.dir/laar/common/status.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/common/status.cc.o.d"
+  "/root/repo/src/laar/common/strings.cc" "src/CMakeFiles/laar.dir/laar/common/strings.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/common/strings.cc.o.d"
+  "/root/repo/src/laar/configindex/config_index.cc" "src/CMakeFiles/laar.dir/laar/configindex/config_index.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/configindex/config_index.cc.o.d"
+  "/root/repo/src/laar/dsps/sim_metrics.cc" "src/CMakeFiles/laar.dir/laar/dsps/sim_metrics.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/dsps/sim_metrics.cc.o.d"
+  "/root/repo/src/laar/dsps/stream_simulation.cc" "src/CMakeFiles/laar.dir/laar/dsps/stream_simulation.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/dsps/stream_simulation.cc.o.d"
+  "/root/repo/src/laar/dsps/trace.cc" "src/CMakeFiles/laar.dir/laar/dsps/trace.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/dsps/trace.cc.o.d"
+  "/root/repo/src/laar/exec/thread_pool.cc" "src/CMakeFiles/laar.dir/laar/exec/thread_pool.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/exec/thread_pool.cc.o.d"
+  "/root/repo/src/laar/ftsearch/ft_search.cc" "src/CMakeFiles/laar.dir/laar/ftsearch/ft_search.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/ftsearch/ft_search.cc.o.d"
+  "/root/repo/src/laar/ftsearch/penalty_sweep.cc" "src/CMakeFiles/laar.dir/laar/ftsearch/penalty_sweep.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/ftsearch/penalty_sweep.cc.o.d"
+  "/root/repo/src/laar/fusion/fusion.cc" "src/CMakeFiles/laar.dir/laar/fusion/fusion.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/fusion/fusion.cc.o.d"
+  "/root/repo/src/laar/json/json.cc" "src/CMakeFiles/laar.dir/laar/json/json.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/json/json.cc.o.d"
+  "/root/repo/src/laar/metrics/cost.cc" "src/CMakeFiles/laar.dir/laar/metrics/cost.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/metrics/cost.cc.o.d"
+  "/root/repo/src/laar/metrics/failure_model.cc" "src/CMakeFiles/laar.dir/laar/metrics/failure_model.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/metrics/failure_model.cc.o.d"
+  "/root/repo/src/laar/metrics/ic.cc" "src/CMakeFiles/laar.dir/laar/metrics/ic.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/metrics/ic.cc.o.d"
+  "/root/repo/src/laar/model/cluster.cc" "src/CMakeFiles/laar.dir/laar/model/cluster.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/model/cluster.cc.o.d"
+  "/root/repo/src/laar/model/descriptor.cc" "src/CMakeFiles/laar.dir/laar/model/descriptor.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/model/descriptor.cc.o.d"
+  "/root/repo/src/laar/model/discretize.cc" "src/CMakeFiles/laar.dir/laar/model/discretize.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/model/discretize.cc.o.d"
+  "/root/repo/src/laar/model/dot.cc" "src/CMakeFiles/laar.dir/laar/model/dot.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/model/dot.cc.o.d"
+  "/root/repo/src/laar/model/graph.cc" "src/CMakeFiles/laar.dir/laar/model/graph.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/model/graph.cc.o.d"
+  "/root/repo/src/laar/model/input_space.cc" "src/CMakeFiles/laar.dir/laar/model/input_space.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/model/input_space.cc.o.d"
+  "/root/repo/src/laar/model/placement.cc" "src/CMakeFiles/laar.dir/laar/model/placement.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/model/placement.cc.o.d"
+  "/root/repo/src/laar/model/rates.cc" "src/CMakeFiles/laar.dir/laar/model/rates.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/model/rates.cc.o.d"
+  "/root/repo/src/laar/model/transform.cc" "src/CMakeFiles/laar.dir/laar/model/transform.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/model/transform.cc.o.d"
+  "/root/repo/src/laar/placement/local_search.cc" "src/CMakeFiles/laar.dir/laar/placement/local_search.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/placement/local_search.cc.o.d"
+  "/root/repo/src/laar/placement/placement_algorithms.cc" "src/CMakeFiles/laar.dir/laar/placement/placement_algorithms.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/placement/placement_algorithms.cc.o.d"
+  "/root/repo/src/laar/runtime/experiment.cc" "src/CMakeFiles/laar.dir/laar/runtime/experiment.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/runtime/experiment.cc.o.d"
+  "/root/repo/src/laar/runtime/report.cc" "src/CMakeFiles/laar.dir/laar/runtime/report.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/runtime/report.cc.o.d"
+  "/root/repo/src/laar/runtime/variants.cc" "src/CMakeFiles/laar.dir/laar/runtime/variants.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/runtime/variants.cc.o.d"
+  "/root/repo/src/laar/sim/simulator.cc" "src/CMakeFiles/laar.dir/laar/sim/simulator.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/sim/simulator.cc.o.d"
+  "/root/repo/src/laar/spl/spl_parser.cc" "src/CMakeFiles/laar.dir/laar/spl/spl_parser.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/spl/spl_parser.cc.o.d"
+  "/root/repo/src/laar/strategy/activation_strategy.cc" "src/CMakeFiles/laar.dir/laar/strategy/activation_strategy.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/strategy/activation_strategy.cc.o.d"
+  "/root/repo/src/laar/strategy/baselines.cc" "src/CMakeFiles/laar.dir/laar/strategy/baselines.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/strategy/baselines.cc.o.d"
+  "/root/repo/src/laar/strategy/describe.cc" "src/CMakeFiles/laar.dir/laar/strategy/describe.cc.o" "gcc" "src/CMakeFiles/laar.dir/laar/strategy/describe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appgen_test.dir/appgen_test.cc.o"
+  "CMakeFiles/appgen_test.dir/appgen_test.cc.o.d"
+  "appgen_test"
+  "appgen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

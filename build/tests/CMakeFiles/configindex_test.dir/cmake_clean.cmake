@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/configindex_test.dir/configindex_test.cc.o"
+  "CMakeFiles/configindex_test.dir/configindex_test.cc.o.d"
+  "configindex_test"
+  "configindex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/configindex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

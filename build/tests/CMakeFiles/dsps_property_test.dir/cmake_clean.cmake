@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsps_property_test.dir/dsps_property_test.cc.o"
+  "CMakeFiles/dsps_property_test.dir/dsps_property_test.cc.o.d"
+  "dsps_property_test"
+  "dsps_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsps_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftsearch_test.dir/ftsearch_test.cc.o"
+  "CMakeFiles/ftsearch_test.dir/ftsearch_test.cc.o.d"
+  "ftsearch_test"
+  "ftsearch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftsearch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

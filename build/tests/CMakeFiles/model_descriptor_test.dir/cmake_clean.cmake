@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_descriptor_test.dir/model_descriptor_test.cc.o"
+  "CMakeFiles/model_descriptor_test.dir/model_descriptor_test.cc.o.d"
+  "model_descriptor_test"
+  "model_descriptor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_descriptor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

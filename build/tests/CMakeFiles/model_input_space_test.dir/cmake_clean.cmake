@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_input_space_test.dir/model_input_space_test.cc.o"
+  "CMakeFiles/model_input_space_test.dir/model_input_space_test.cc.o.d"
+  "model_input_space_test"
+  "model_input_space_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_input_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_placement_test.dir/model_placement_test.cc.o"
+  "CMakeFiles/model_placement_test.dir/model_placement_test.cc.o.d"
+  "model_placement_test"
+  "model_placement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_placement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

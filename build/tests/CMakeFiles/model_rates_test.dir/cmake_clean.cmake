@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_rates_test.dir/model_rates_test.cc.o"
+  "CMakeFiles/model_rates_test.dir/model_rates_test.cc.o.d"
+  "model_rates_test"
+  "model_rates_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_rates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

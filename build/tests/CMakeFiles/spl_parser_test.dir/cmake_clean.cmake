@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spl_parser_test.dir/spl_parser_test.cc.o"
+  "CMakeFiles/spl_parser_test.dir/spl_parser_test.cc.o.d"
+  "spl_parser_test"
+  "spl_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spl_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

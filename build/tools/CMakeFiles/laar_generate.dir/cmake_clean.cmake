@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laar_generate.dir/laar_generate.cc.o"
+  "CMakeFiles/laar_generate.dir/laar_generate.cc.o.d"
+  "laar_generate"
+  "laar_generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laar_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laar_inspect.dir/laar_inspect.cc.o"
+  "CMakeFiles/laar_inspect.dir/laar_inspect.cc.o.d"
+  "laar_inspect"
+  "laar_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laar_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laar_simulate.dir/laar_simulate.cc.o"
+  "CMakeFiles/laar_simulate.dir/laar_simulate.cc.o.d"
+  "laar_simulate"
+  "laar_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laar_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

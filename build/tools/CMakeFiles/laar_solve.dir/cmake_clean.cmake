@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laar_solve.dir/laar_solve.cc.o"
+  "CMakeFiles/laar_solve.dir/laar_solve.cc.o.d"
+  "laar_solve"
+  "laar_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laar_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
