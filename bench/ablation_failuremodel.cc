@@ -7,19 +7,33 @@
 // head-room a less adversarial model would certify.
 
 #include <cstdio>
+#include <optional>
 
 #include "bench/bench_util.h"
 #include "bench/experiment_corpus.h"
 #include "laar/common/stats.h"
+#include "laar/exec/parallel.h"
 #include "laar/metrics/failure_model.h"
 #include "laar/metrics/ic.h"
 #include "laar/runtime/variants.h"
+
+namespace {
+
+struct ModelBounds {
+  double pessimistic = 0.0;
+  double independent_10 = 0.0;
+  double independent_50 = 0.0;
+  double independent_90 = 0.0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   laar::bench::Flags flags(argc, argv);
   const int num_apps = flags.GetInt("apps", 10);
   const uint64_t seed_base = flags.GetUint64("seed", 9000);
   const double time_limit = flags.GetDouble("time-limit", 5.0);
+  const int jobs = laar::bench::JobsFromFlags(flags);
 
   laar::bench::PrintHeader(
       "Ablation", "failure-model bounds for L.x strategies (§6.i)",
@@ -34,36 +48,42 @@ int main(int argc, char** argv) {
   laar::SampleStats independent_50;
   laar::SampleStats independent_90;
 
-  uint64_t seed = seed_base;
-  int solved = 0;
-  while (solved < num_apps) {
-    ++seed;
-    laar::appgen::GeneratorOptions generator;
-    generator.num_pes = 12;
-    generator.num_hosts = 6;
-    auto app = laar::appgen::GenerateApplication(generator, seed);
-    if (!app.ok()) continue;
-    laar::runtime::VariantBuildOptions build;
-    build.laar_ic_requirements = {0.6};
-    build.ftsearch_time_limit_seconds = time_limit;
-    auto variants = laar::runtime::BuildVariants(*app, build);
-    if (!variants.ok()) continue;
-    ++solved;
+  const auto kept = laar::CollectUsableSeeds<ModelBounds>(
+      num_apps, seed_base, jobs, num_apps * 1000,
+      [time_limit](uint64_t seed) -> std::optional<ModelBounds> {
+        laar::appgen::GeneratorOptions generator;
+        generator.num_pes = 12;
+        generator.num_hosts = 6;
+        auto app = laar::appgen::GenerateApplication(generator, seed);
+        if (!app.ok()) return std::nullopt;
+        laar::runtime::VariantBuildOptions build;
+        build.laar_ic_requirements = {0.6};
+        build.ftsearch_time_limit_seconds = time_limit;
+        auto variants = laar::runtime::BuildVariants(*app, build);
+        if (!variants.ok()) return std::nullopt;
 
-    auto rates = laar::model::ExpectedRates::Compute(app->descriptor.graph,
-                                                     app->descriptor.input_space);
-    rates.status().CheckOK();
-    laar::metrics::IcCalculator calc(app->descriptor.graph, app->descriptor.input_space,
-                                     *rates);
-    const auto& strategy = variants->back().strategy;  // the L.6 variant
-    laar::metrics::PessimisticFailureModel pessimistic;
-    pessimistic_ic.Add(calc.InternalCompleteness(strategy, pessimistic));
-    independent_10.Add(calc.InternalCompleteness(
-        strategy, laar::metrics::IndependentFailureModel(0.1)));
-    independent_50.Add(calc.InternalCompleteness(
-        strategy, laar::metrics::IndependentFailureModel(0.5)));
-    independent_90.Add(calc.InternalCompleteness(
-        strategy, laar::metrics::IndependentFailureModel(0.9)));
+        auto rates = laar::model::ExpectedRates::Compute(app->descriptor.graph,
+                                                         app->descriptor.input_space);
+        rates.status().CheckOK();
+        laar::metrics::IcCalculator calc(app->descriptor.graph,
+                                         app->descriptor.input_space, *rates);
+        const auto& strategy = variants->back().strategy;  // the L.6 variant
+        ModelBounds bounds;
+        laar::metrics::PessimisticFailureModel pessimistic;
+        bounds.pessimistic = calc.InternalCompleteness(strategy, pessimistic);
+        bounds.independent_10 = calc.InternalCompleteness(
+            strategy, laar::metrics::IndependentFailureModel(0.1));
+        bounds.independent_50 = calc.InternalCompleteness(
+            strategy, laar::metrics::IndependentFailureModel(0.5));
+        bounds.independent_90 = calc.InternalCompleteness(
+            strategy, laar::metrics::IndependentFailureModel(0.9));
+        return bounds;
+      });
+  for (const auto& probe : kept) {
+    pessimistic_ic.Add(probe.value.pessimistic);
+    independent_10.Add(probe.value.independent_10);
+    independent_50.Add(probe.value.independent_50);
+    independent_90.Add(probe.value.independent_90);
   }
 
   std::printf("%-24s %10s %10s %10s\n", "model", "mean IC", "min IC", "max IC");

@@ -5,11 +5,13 @@
 // the explored-node count shows how much work each rule saves.
 
 #include <cstdio>
+#include <optional>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "laar/appgen/app_generator.h"
 #include "laar/common/stats.h"
+#include "laar/exec/parallel.h"
 #include "laar/ftsearch/ft_search.h"
 #include "laar/model/rates.h"
 
@@ -37,41 +39,52 @@ int main(int argc, char** argv) {
   const double ic = flags.GetDouble("ic", 0.6);
   const double time_limit = flags.GetDouble("time-limit", 3.0);
   const uint64_t seed_base = flags.GetUint64("seed", 7000);
+  const int jobs = laar::ResolveJobs(laar::bench::JobsFromFlags(flags));
 
   laar::bench::PrintHeader("Ablation", "FT-Search pruning rules disabled one at a time",
                            "identical optima; more nodes without each rule");
 
   // Collect a corpus of solvable instances first so every configuration
-  // sees the same problems.
+  // sees the same problems (parallel over --jobs workers).
   struct Instance {
     laar::appgen::GeneratedApplication app;
     laar::model::ExpectedRates rates;
   };
+  auto kept = laar::CollectUsableSeeds<Instance>(
+      num_apps, seed_base, jobs, num_apps * 1000,
+      [](uint64_t seed) -> std::optional<Instance> {
+        laar::appgen::GeneratorOptions generator;
+        generator.num_pes = 10;
+        generator.num_hosts = 5;
+        auto app = laar::appgen::GenerateApplication(generator, seed);
+        if (!app.ok()) return std::nullopt;
+        auto rates = laar::model::ExpectedRates::Compute(app->descriptor.graph,
+                                                         app->descriptor.input_space);
+        if (!rates.ok()) return std::nullopt;
+        return Instance{std::move(*app), std::move(*rates)};
+      });
   std::vector<Instance> instances;
-  uint64_t seed = seed_base;
-  while (static_cast<int>(instances.size()) < num_apps) {
-    ++seed;
-    laar::appgen::GeneratorOptions generator;
-    generator.num_pes = 10;
-    generator.num_hosts = 5;
-    auto app = laar::appgen::GenerateApplication(generator, seed);
-    if (!app.ok()) continue;
-    auto rates = laar::model::ExpectedRates::Compute(app->descriptor.graph,
-                                                     app->descriptor.input_space);
-    if (!rates.ok()) continue;
-    instances.push_back(Instance{std::move(*app), std::move(*rates)});
-  }
+  instances.reserve(kept.size());
+  for (auto& probe : kept) instances.push_back(std::move(probe.value));
+
+  std::optional<laar::ThreadPool> pool;
+  if (jobs > 1) pool.emplace(static_cast<size_t>(jobs));
 
   std::printf("%-8s %14s %14s %12s %10s\n", "config", "nodes(sum)", "prunes(sum)",
               "time(sum s)", "optima");
   std::vector<double> reference_costs;
   for (const Config& config : kConfigs) {
-    uint64_t nodes = 0;
-    uint64_t prunes = 0;
-    double seconds = 0.0;
-    int optima = 0;
-    std::vector<double> costs;
-    for (const Instance& instance : instances) {
+    struct PerInstance {
+      uint64_t nodes = 0;
+      uint64_t prunes = 0;
+      double seconds = 0.0;
+      bool ok = false;
+      bool optimal = false;
+      double cost = -1.0;
+    };
+    std::vector<PerInstance> results(instances.size());
+    const auto run_one = [&](size_t i) {
+      const Instance& instance = instances[i];
       laar::ftsearch::FtSearchOptions options;
       options.ic_requirement = ic;
       options.time_limit_seconds = time_limit;
@@ -79,17 +92,34 @@ int main(int argc, char** argv) {
       auto result = laar::ftsearch::RunFtSearch(
           instance.app.descriptor.graph, instance.app.descriptor.input_space,
           instance.rates, instance.app.placement, instance.app.cluster, options);
-      if (!result.ok()) continue;
-      nodes += result->stats.nodes_explored;
-      prunes += result->stats.cpu.count + result->stats.compl_.count +
-                result->stats.cost.count + result->stats.dom.count;
-      seconds += result->total_seconds;
+      if (!result.ok()) return;
+      results[i].ok = true;
+      results[i].nodes = result->stats.nodes_explored;
+      results[i].prunes = result->stats.cpu.count + result->stats.compl_.count +
+                          result->stats.cost.count + result->stats.dom.count;
+      results[i].seconds = result->total_seconds;
       if (result->outcome == laar::ftsearch::SearchOutcome::kOptimal) {
-        ++optima;
-        costs.push_back(result->best_cost);
-      } else {
-        costs.push_back(-1.0);
+        results[i].optimal = true;
+        results[i].cost = result->best_cost;
       }
+    };
+    if (pool.has_value()) {
+      pool->ParallelFor(instances.size(), run_one);
+    } else {
+      for (size_t i = 0; i < instances.size(); ++i) run_one(i);
+    }
+    uint64_t nodes = 0;
+    uint64_t prunes = 0;
+    double seconds = 0.0;
+    int optima = 0;
+    std::vector<double> costs;
+    for (const PerInstance& r : results) {
+      if (!r.ok) continue;
+      nodes += r.nodes;
+      prunes += r.prunes;
+      seconds += r.seconds;
+      if (r.optimal) ++optima;
+      costs.push_back(r.cost);
     }
     std::printf("%-8s %14llu %14llu %12.3f %10d\n", config.name,
                 static_cast<unsigned long long>(nodes),

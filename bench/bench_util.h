@@ -10,6 +10,11 @@ namespace laar::bench {
 
 using laar::Flags;
 
+/// Worker threads for the corpus/instance fan-out, from the shared
+/// `--jobs=N` flag (1 = serial, 0 = hardware concurrency; bare `--jobs`
+/// means 1, i.e. serial). Records are identical for any value.
+inline int JobsFromFlags(const Flags& flags) { return flags.GetInt("jobs", 1); }
+
 /// Prints one box-plot row in a fixed-width table.
 inline void PrintBoxRow(const char* label, const SampleStats& stats) {
   const BoxPlot box = stats.Summarize();

@@ -1,10 +1,10 @@
 #ifndef LAAR_BENCH_EXPERIMENT_CORPUS_H_
 #define LAAR_BENCH_EXPERIMENT_CORPUS_H_
 
-#include <cstdio>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "laar/runtime/corpus.h"
 #include "laar/runtime/experiment.h"
 
 namespace laar::bench {
@@ -15,8 +15,12 @@ namespace laar::bench {
 ///   --pes=N             PEs per application (default 24, as in the paper)
 ///   --hosts=N           cluster hosts (default 12)
 ///   --trace-seconds=S   trace length (default 120; the paper uses 300)
-///   --time-limit=S      FT-Search budget per L.x variant (default 5)
+///   --node-limit=N      FT-Search node budget per L.x variant (default 2M;
+///                       0 = unlimited)
+///   --time-limit=S      FT-Search wall-clock budget per L.x variant
+///                       (default 0 = unlimited; the node budget governs)
 ///   --seed=S            corpus base seed
+///   --jobs=N            parallel corpus workers (default 1; 0 = all cores)
 ///   --crash             also run the host-crash scenario
 inline runtime::HarnessOptions HarnessFromFlags(const Flags& flags) {
   runtime::HarnessOptions options;
@@ -27,9 +31,15 @@ inline runtime::HarnessOptions HarnessFromFlags(const Flags& flags) {
   options.generator.high_overload_max = 1.15;
   options.variants.laar_ic_requirements = {0.5, 0.6, 0.7};
   // Infeasibility is proven in milliseconds and good feasible solutions
-  // appear almost immediately (greedy seeding + tight IC bound); the limit
-  // only caps optimality proofs, so it can be short.
-  options.variants.ftsearch_time_limit_seconds = flags.GetDouble("time-limit", 1.0);
+  // appear almost immediately (greedy seeding + tight IC bound); the budget
+  // only caps optimality proofs, so it can be small. A *node* budget rather
+  // than a wall-clock one keeps the outcome — and therefore which seeds the
+  // corpus skips as unsolvable — independent of machine load, so --jobs=N
+  // reproduces the --jobs=1 records exactly. --time-limit restores a
+  // wall-clock cap, at the price of that invariance.
+  options.variants.ftsearch_node_limit =
+      static_cast<uint64_t>(flags.GetInt("node-limit", 2000000));
+  options.variants.ftsearch_time_limit_seconds = flags.GetDouble("time-limit", 0.0);
   options.trace_seconds = flags.GetDouble("trace-seconds", 120.0);
   options.trace_cycles = flags.GetInt("trace-cycles", 3);
   options.run_worst_case = true;
@@ -38,28 +48,18 @@ inline runtime::HarnessOptions HarnessFromFlags(const Flags& flags) {
 }
 
 /// Runs the harness over `num_apps` usable seeds (instances where FT-Search
-/// proves some L.x infeasible are skipped, like the paper's corpus).
+/// proves some L.x infeasible are skipped, like the paper's corpus), fanning
+/// the applications out over `jobs` workers. Records are identical for any
+/// `jobs` value; see `runtime::RunCorpus`.
 inline std::vector<runtime::AppExperimentRecord> RunExperimentCorpus(
     const runtime::HarnessOptions& options, int num_apps, uint64_t seed_base,
-    bool verbose = true) {
-  std::vector<runtime::AppExperimentRecord> records;
-  uint64_t seed = seed_base;
-  int skipped = 0;
-  while (static_cast<int>(records.size()) < num_apps && skipped < num_apps * 20) {
-    ++seed;
-    Result<runtime::AppExperimentRecord> record =
-        runtime::RunAppExperiment(options, seed);
-    if (!record.ok()) {
-      ++skipped;
-      continue;
-    }
-    records.push_back(std::move(*record));
-    if (verbose) {
-      std::fprintf(stderr, "  [corpus] app %zu/%d (seed %llu)\n", records.size(),
-                   num_apps, static_cast<unsigned long long>(seed));
-    }
-  }
-  return records;
+    bool verbose = true, int jobs = 1) {
+  runtime::CorpusOptions corpus;
+  corpus.num_apps = num_apps;
+  corpus.seed_base = seed_base;
+  corpus.jobs = jobs;
+  corpus.verbose = verbose;
+  return runtime::RunExperimentCorpus(options, corpus);
 }
 
 /// The variant labels in the paper's plotting order.

@@ -15,19 +15,33 @@
 
 #include <cstdio>
 #include <map>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "bench/experiment_corpus.h"
 #include "laar/common/stats.h"
+#include "laar/exec/parallel.h"
 #include "laar/model/transform.h"
 #include "laar/runtime/experiment.h"
 #include "laar/runtime/variants.h"
+
+namespace {
+
+struct VariantRow {
+  std::string name;
+  double cost_vs_nr = 0.0;
+  double crash_ic = 0.0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   laar::bench::Flags flags(argc, argv);
   const int num_apps = flags.GetInt("apps", 6);
   const uint64_t seed_base = flags.GetUint64("seed", 63000);
+  const int jobs = laar::bench::JobsFromFlags(flags);
   /// Steady-state checkpointing overhead as a CPU fraction ([18] reports
   /// single-digit percentages for language-level checkpointing).
   const double overhead = flags.GetDouble("overhead", 0.05);
@@ -37,24 +51,20 @@ int main(int argc, char** argv) {
                            "ride through failures at higher cost");
 
   auto options = laar::bench::HarnessFromFlags(flags);
+  if (jobs != 1) options.variants.ftsearch_threads = 1;
   std::map<std::string, laar::SampleStats> cost_vs_nr;
   std::map<std::string, laar::SampleStats> crash_ic;
 
-  uint64_t seed = seed_base;
-  int done = 0;
-  while (done < num_apps) {
-    ++seed;
+  const auto probe = [&options,
+                      overhead](uint64_t seed) -> std::optional<std::vector<VariantRow>> {
     auto app = laar::appgen::GenerateApplication(options.generator, seed);
-    if (!app.ok()) continue;
+    if (!app.ok()) return std::nullopt;
     auto variants = laar::runtime::BuildVariants(*app, options.variants);
-    if (!variants.ok()) continue;
+    if (!variants.ok()) return std::nullopt;
     auto trace = laar::runtime::MakeExperimentTrace(
         app->descriptor.input_space, options.trace_seconds, options.high_fraction,
         options.trace_cycles);
-    if (!trace.ok()) continue;
-    ++done;
-    std::fprintf(stderr, "  [corpus] app %d/%d (seed %llu)\n", done, num_apps,
-                 static_cast<unsigned long long>(seed));
+    if (!trace.ok()) return std::nullopt;
 
     // The CKPT deployment: the NR activation pattern on a descriptor whose
     // CPU costs carry the checkpointing overhead.
@@ -68,11 +78,12 @@ int main(int argc, char** argv) {
       if (v.name == "NR") nr = &v;
     }
 
+    std::vector<VariantRow> rows;
     // Reference: failure-free NR.
     laar::runtime::ScenarioOptions none;
     auto reference =
         laar::runtime::RunScenario(*app, nr->strategy, *trace, options.runtime, none);
-    if (!reference.ok() || reference->TotalProcessed() == 0) continue;
+    if (!reference.ok() || reference->TotalProcessed() == 0) return rows;
     const double nr_cycles = reference->TotalCpuCycles();
     const double denominator = static_cast<double>(reference->TotalProcessed());
 
@@ -86,9 +97,8 @@ int main(int argc, char** argv) {
       auto crashed = laar::runtime::RunScenario(*app, variant.strategy, *trace,
                                                 options.runtime, crash);
       if (!best.ok() || !crashed.ok()) continue;
-      cost_vs_nr[variant.name].Add(best->TotalCpuCycles() / nr_cycles);
-      crash_ic[variant.name].Add(static_cast<double>(crashed->TotalProcessed()) /
-                                 denominator);
+      rows.push_back({variant.name, best->TotalCpuCycles() / nr_cycles,
+                      static_cast<double>(crashed->TotalProcessed()) / denominator});
     }
     // CKPT runs against the overhead-inflated descriptor.
     auto ckpt_best = laar::runtime::RunScenario(ckpt_app, nr->strategy, *trace,
@@ -96,9 +106,22 @@ int main(int argc, char** argv) {
     auto ckpt_crash = laar::runtime::RunScenario(ckpt_app, nr->strategy, *trace,
                                                  options.runtime, crash);
     if (ckpt_best.ok() && ckpt_crash.ok()) {
-      cost_vs_nr["CKPT"].Add(ckpt_best->TotalCpuCycles() / nr_cycles);
-      crash_ic["CKPT"].Add(static_cast<double>(ckpt_crash->TotalProcessed()) /
-                           denominator);
+      rows.push_back({"CKPT", ckpt_best->TotalCpuCycles() / nr_cycles,
+                      static_cast<double>(ckpt_crash->TotalProcessed()) / denominator});
+    }
+    return rows;
+  };
+
+  const auto kept = laar::CollectUsableSeeds<std::vector<VariantRow>>(
+      num_apps, seed_base, jobs, num_apps * 1000, probe,
+      [num_apps](size_t index, const laar::SeedProbe<std::vector<VariantRow>>& p) {
+        std::fprintf(stderr, "  [corpus] app %zu/%d (seed %llu)\n", index + 1, num_apps,
+                     static_cast<unsigned long long>(p.seed));
+      });
+  for (const auto& probe_result : kept) {
+    for (const VariantRow& row : probe_result.value) {
+      cost_vs_nr[row.name].Add(row.cost_vs_nr);
+      crash_ic[row.name].Add(row.crash_ic);
     }
   }
 

@@ -7,17 +7,30 @@
 // cheap/low-IC to expensive/target-IC as the penalty rate grows.
 
 #include <cstdio>
+#include <optional>
+#include <utility>
 
 #include "bench/bench_util.h"
 #include "laar/appgen/app_generator.h"
+#include "laar/exec/parallel.h"
 #include "laar/ftsearch/penalty_sweep.h"
 #include "laar/metrics/ic.h"
+
+namespace {
+
+struct SolvableInstance {
+  laar::appgen::GeneratedApplication app;
+  laar::model::ExpectedRates rates;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   laar::bench::Flags flags(argc, argv);
   const uint64_t seed_base = flags.GetUint64("seed", 61000);
   const double ic_target = flags.GetDouble("ic-target", 0.7);
   const double time_limit = flags.GetDouble("time-limit", 1.0);
+  const int jobs = laar::bench::JobsFromFlags(flags);
 
   laar::bench::PrintHeader("Extension", "penalty-model operating points (§6.ii)",
                            "rising penalty rates move the optimum from cheap/low-IC "
@@ -29,29 +42,35 @@ int main(int argc, char** argv) {
   generator.high_overload_max = 1.2;
 
   // Find an instance solvable at the target (one cheap solve per
-  // candidate), then sweep its frontier once.
-  uint64_t seed = seed_base;
-  laar::appgen::GeneratedApplication app({}, {}, {0, 2});
-  laar::model::ExpectedRates rates;
-  while (true) {
-    ++seed;
-    auto candidate = laar::appgen::GenerateApplication(generator, seed);
-    if (!candidate.ok()) continue;
-    auto candidate_rates = laar::model::ExpectedRates::Compute(
-        candidate->descriptor.graph, candidate->descriptor.input_space);
-    if (!candidate_rates.ok()) continue;
-    laar::ftsearch::FtSearchOptions probe;
-    probe.ic_requirement = ic_target;
-    probe.time_limit_seconds = time_limit;
-    auto result = laar::ftsearch::RunFtSearch(candidate->descriptor.graph,
-                                              candidate->descriptor.input_space,
-                                              *candidate_rates, candidate->placement,
-                                              candidate->cluster, probe);
-    if (!result.ok() || !result->strategy.has_value()) continue;
-    app = std::move(*candidate);
-    rates = std::move(*candidate_rates);
-    break;
+  // candidate, fanned out over --jobs workers), then sweep its frontier
+  // once.
+  auto kept = laar::CollectUsableSeeds<SolvableInstance>(
+      1, seed_base, jobs, 1 << 20,
+      [&generator, ic_target,
+       time_limit](uint64_t candidate_seed) -> std::optional<SolvableInstance> {
+        auto candidate = laar::appgen::GenerateApplication(generator, candidate_seed);
+        if (!candidate.ok()) return std::nullopt;
+        auto candidate_rates = laar::model::ExpectedRates::Compute(
+            candidate->descriptor.graph, candidate->descriptor.input_space);
+        if (!candidate_rates.ok()) return std::nullopt;
+        laar::ftsearch::FtSearchOptions probe;
+        probe.ic_requirement = ic_target;
+        probe.time_limit_seconds = time_limit;
+        auto result = laar::ftsearch::RunFtSearch(candidate->descriptor.graph,
+                                                  candidate->descriptor.input_space,
+                                                  *candidate_rates, candidate->placement,
+                                                  candidate->cluster, probe);
+        if (!result.ok() || !result->strategy.has_value()) return std::nullopt;
+        return SolvableInstance{std::move(*candidate), std::move(*candidate_rates)};
+      });
+  if (kept.empty()) {
+    std::fprintf(stderr, "no solvable instance found near seed %llu\n",
+                 static_cast<unsigned long long>(seed_base));
+    return 1;
   }
+  const uint64_t seed = kept.front().seed;
+  laar::appgen::GeneratedApplication app = std::move(kept.front().value.app);
+  laar::model::ExpectedRates rates = std::move(kept.front().value.rates);
   std::printf("application seed %llu, target IC %.2f\n\n",
               static_cast<unsigned long long>(seed), ic_target);
 

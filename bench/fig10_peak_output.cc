@@ -23,7 +23,8 @@ int main(int argc, char** argv) {
                            "inconsistent in between");
 
   const auto options = laar::bench::HarnessFromFlags(flags);
-  const auto records = laar::bench::RunExperimentCorpus(options, num_apps, seed);
+  const auto records = laar::bench::RunExperimentCorpus(
+      options, num_apps, seed, /*verbose=*/true, laar::bench::JobsFromFlags(flags));
 
   std::map<std::string, laar::SampleStats> ratio;
   for (const auto& record : records) {

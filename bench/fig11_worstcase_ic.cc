@@ -28,7 +28,8 @@ int main(int argc, char** argv) {
 
   auto options = laar::bench::HarnessFromFlags(flags);
   options.run_host_crash = true;  // the bottom panel needs it
-  const auto records = laar::bench::RunExperimentCorpus(options, num_apps, seed);
+  const auto records = laar::bench::RunExperimentCorpus(
+      options, num_apps, seed, /*verbose=*/true, laar::bench::JobsFromFlags(flags));
 
   std::map<std::string, laar::SampleStats> worst_ratio;
   std::map<std::string, laar::SampleStats> crash_ratio;

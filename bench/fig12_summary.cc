@@ -23,7 +23,8 @@ int main(int argc, char** argv) {
                            "ordering NR < L.5 < L.6 < L.7 < SR");
 
   const auto options = laar::bench::HarnessFromFlags(flags);
-  const auto records = laar::bench::RunExperimentCorpus(options, num_apps, seed);
+  const auto records = laar::bench::RunExperimentCorpus(
+      options, num_apps, seed, /*verbose=*/true, laar::bench::JobsFromFlags(flags));
 
   std::map<std::string, laar::SampleStats> drops;
   std::map<std::string, laar::SampleStats> ic;

@@ -24,7 +24,8 @@ int main(int argc, char** argv) {
                            "dynamic variants");
 
   const auto options = laar::bench::HarnessFromFlags(flags);
-  const auto records = laar::bench::RunExperimentCorpus(options, num_apps, seed);
+  const auto records = laar::bench::RunExperimentCorpus(
+      options, num_apps, seed, /*verbose=*/true, laar::bench::JobsFromFlags(flags));
 
   std::map<std::string, laar::SampleStats> cpu_ratio;
   std::map<std::string, laar::SampleStats> drop_ratio;

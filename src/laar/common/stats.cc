@@ -96,11 +96,23 @@ void SampleStats::EnsureSorted() const {
 }
 
 Histogram::Histogram(double lo, double hi, size_t bins)
-    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins == 0 ? 1 : bins)),
-      counts_(bins == 0 ? 1 : bins, 0) {}
+    : lo_(lo), hi_(hi), width_(0.0), counts_(bins == 0 ? 1 : bins, 0) {
+  // A non-increasing range would produce a non-positive bin width and
+  // negative bin indices in Add; degrade to a single catch-all bin.
+  if (!(hi > lo)) {
+    hi_ = lo_;
+    counts_.assign(1, 0);
+    return;
+  }
+  width_ = (hi - lo) / static_cast<double>(counts_.size());
+}
 
 void Histogram::Add(double value) {
   ++total_;
+  if (width_ <= 0.0) {  // degenerate range: everything lands in the one bin
+    ++counts_[0];
+    return;
+  }
   if (value < lo_) {
     ++underflow_;
     return;

@@ -65,8 +65,10 @@ class SampleStats {
 /// Fixed-bin histogram over [lo, hi); used for the Fig. 5 ratio histograms.
 class Histogram {
  public:
-  /// Requires `bins >= 1` and `lo < hi`. Samples outside the range are
-  /// counted in `underflow()` / `overflow()`.
+  /// Samples outside `[lo, hi)` are counted in `underflow()` /
+  /// `overflow()`. `bins == 0` is treated as 1; a degenerate range
+  /// (`hi <= lo`, or a NaN bound) degrades to a single catch-all bin that
+  /// counts every sample.
   Histogram(double lo, double hi, size_t bins);
 
   void Add(double value);

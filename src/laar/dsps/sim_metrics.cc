@@ -22,13 +22,25 @@ uint64_t SimulationMetrics::TotalProcessed() const {
 double SimulationMetrics::MeanRate(const std::vector<double>& series, double bucket_seconds,
                                    sim::SimTime from, sim::SimTime to) {
   if (series.empty() || bucket_seconds <= 0.0 || to <= from) return 0.0;
-  const auto first = static_cast<size_t>(std::max(0.0, std::floor(from / bucket_seconds)));
+  // Clamp the window to the recorded range, then weight the boundary
+  // buckets by their overlap fraction. Counting them at full width mixes
+  // out-of-window tuples into the rate whenever the window is not
+  // bucket-aligned (e.g. Low-period tuples into a High-segment rate).
+  const double lo = std::max(0.0, from);
+  const double hi = std::min(to, static_cast<double>(series.size()) * bucket_seconds);
+  if (hi <= lo) return 0.0;
+  const auto first = static_cast<size_t>(std::floor(lo / bucket_seconds));
   const auto last = std::min(series.size(),
-                             static_cast<size_t>(std::ceil(to / bucket_seconds)));
+                             static_cast<size_t>(std::ceil(hi / bucket_seconds)));
   if (first >= last) return 0.0;
   double total = 0.0;
-  for (size_t i = first; i < last; ++i) total += series[i];
-  return total / (static_cast<double>(last - first) * bucket_seconds);
+  for (size_t i = first; i < last; ++i) {
+    const double bucket_lo = static_cast<double>(i) * bucket_seconds;
+    const double bucket_hi = bucket_lo + bucket_seconds;
+    const double overlap = std::min(hi, bucket_hi) - std::max(lo, bucket_lo);
+    total += series[i] * (overlap / bucket_seconds);
+  }
+  return total / (hi - lo);
 }
 
 }  // namespace laar::dsps

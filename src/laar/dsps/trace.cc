@@ -1,5 +1,6 @@
 #include "laar/dsps/trace.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "laar/common/rng.h"
@@ -50,7 +51,11 @@ Result<InputTrace> InputTrace::Sample(const model::InputSpace& space, sim::SimTi
   }
   Rng rng(seed);
   InputTrace trace;
-  for (sim::SimTime at = 0.0; at < total; at += segment_seconds) {
+  // Floating-point accumulation of `at` can leave a ~1e-13 s residue before
+  // `total`; without the epsilon it becomes a degenerate final segment. The
+  // last real segment is clamped to end exactly at `total`.
+  const sim::SimTime epsilon = 1e-9 * std::max(1.0, total);
+  for (sim::SimTime at = 0.0; at + epsilon < total; at += segment_seconds) {
     const auto config = static_cast<model::ConfigId>(rng.WeightedIndex(weights));
     LAAR_RETURN_IF_ERROR(
         trace.Append(std::min(segment_seconds, total - at), config));

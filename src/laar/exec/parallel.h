@@ -1,0 +1,109 @@
+#ifndef LAAR_EXEC_PARALLEL_H_
+#define LAAR_EXEC_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "laar/exec/thread_pool.h"
+
+namespace laar {
+
+/// One accepted probe of `CollectUsableSeeds`.
+template <typename T>
+struct SeedProbe {
+  uint64_t seed = 0;
+  T value;
+};
+
+/// Resolves a `--jobs`-style thread count: 0 means hardware concurrency,
+/// anything else is clamped to at least 1.
+inline int ResolveJobs(int jobs) {
+  if (jobs > 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Probes seeds `seed_base + 1`, `seed_base + 2`, ... with `probe` until
+/// `num` usable values (non-nullopt results) have been collected, or
+/// `max_skips` seeds turned out unusable. This is the corpus idiom of the
+/// paper's §5.3 evaluation: unusable instances (e.g. FT-Search proves some
+/// L.x infeasible) are skipped; the kept ones are returned in seed order.
+///
+/// With `jobs > 1` (0 = hardware concurrency) seeds are probed
+/// speculatively in parallel batches over `pool` (or a private pool when
+/// `pool` is null). Acceptance still walks seeds in order and stops at
+/// exactly the same seed the serial run would, discarding surplus
+/// speculative probes — the returned vector is bit-identical to a
+/// `jobs = 1` run provided `probe` is deterministic per seed and
+/// thread-safe.
+///
+/// `on_accept(index, probe)` fires in seed order as results are kept (for
+/// progress logging). `skipped_out`, when set, receives the number of
+/// unusable seeds before the cut-off.
+template <typename T>
+std::vector<SeedProbe<T>> CollectUsableSeeds(
+    int num, uint64_t seed_base, int jobs, int max_skips,
+    const std::function<std::optional<T>(uint64_t)>& probe,
+    const std::function<void(size_t, const SeedProbe<T>&)>& on_accept = {},
+    ThreadPool* pool = nullptr, int* skipped_out = nullptr) {
+  std::vector<SeedProbe<T>> out;
+  if (skipped_out != nullptr) *skipped_out = 0;
+  if (num <= 0) return out;
+  out.reserve(static_cast<size_t>(num));
+  int skipped = 0;
+  const int effective_jobs = ResolveJobs(jobs);
+
+  auto accept = [&](uint64_t seed, T value) {
+    out.push_back(SeedProbe<T>{seed, std::move(value)});
+    if (on_accept) on_accept(out.size() - 1, out.back());
+  };
+
+  if (effective_jobs <= 1) {
+    uint64_t seed = seed_base;
+    while (static_cast<int>(out.size()) < num && skipped < max_skips) {
+      ++seed;
+      std::optional<T> value = probe(seed);
+      if (!value.has_value()) {
+        ++skipped;
+        continue;
+      }
+      accept(seed, std::move(*value));
+    }
+    if (skipped_out != nullptr) *skipped_out = skipped;
+    return out;
+  }
+
+  std::optional<ThreadPool> owned;
+  if (pool == nullptr) {
+    owned.emplace(static_cast<size_t>(effective_jobs));
+    pool = &*owned;
+  }
+  const size_t batch = static_cast<size_t>(effective_jobs) * 2;
+  uint64_t next_seed = seed_base + 1;
+  std::vector<std::optional<T>> results(batch);
+  while (static_cast<int>(out.size()) < num && skipped < max_skips) {
+    for (auto& slot : results) slot.reset();
+    pool->ParallelFor(batch,
+                      [&](size_t i) { results[i] = probe(next_seed + i); });
+    for (size_t i = 0; i < batch; ++i) {
+      // Same stopping rule as the serial loop: surplus speculative probes
+      // past the acceptance/skip cut-off are discarded, not counted.
+      if (static_cast<int>(out.size()) >= num || skipped >= max_skips) break;
+      if (!results[i].has_value()) {
+        ++skipped;
+        continue;
+      }
+      accept(next_seed + i, std::move(*results[i]));
+    }
+    next_seed += batch;
+  }
+  if (skipped_out != nullptr) *skipped_out = skipped;
+  return out;
+}
+
+}  // namespace laar
+
+#endif  // LAAR_EXEC_PARALLEL_H_

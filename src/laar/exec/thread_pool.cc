@@ -1,5 +1,7 @@
 #include "laar/exec/thread_pool.h"
 
+#include <algorithm>
+
 namespace laar {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -49,6 +51,65 @@ void ThreadPool::WorkerLoop() {
     --active_;
     if (queue_.empty() && active_ == 0) idle_.notify_all();
   }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+  // Workers claim indices from a shared counter; the caller claims too, so
+  // the loop completes even if no worker ever becomes free.
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  TaskGroup group(this);
+  const size_t helpers = std::min(n - 1, num_threads());
+  for (size_t t = 0; t < helpers; ++t) {
+    group.Submit([next, n, &fn] {
+      for (size_t i; (i = next->fetch_add(1)) < n;) fn(i);
+    });
+  }
+  for (size_t i; (i = next->fetch_add(1)) < n;) fn(i);
+  group.Wait();
+}
+
+ThreadPool::TaskGroup::TaskGroup(ThreadPool* pool)
+    : pool_(pool), state_(std::make_shared<State>()) {}
+
+ThreadPool::TaskGroup::~TaskGroup() { Wait(); }
+
+void ThreadPool::TaskGroup::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->queue.push_back(std::move(task));
+    ++state_->pending;
+  }
+  // The pool drainer holds the state alive, so a drainer scheduled after
+  // the group is destroyed (its queue already empty) is a harmless no-op.
+  pool_->Submit([state = state_] { RunOne(state); });
+}
+
+void ThreadPool::TaskGroup::Wait() {
+  while (RunOne(state_)) {
+  }
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->done.wait(lock, [this] { return state_->pending == 0; });
+}
+
+bool ThreadPool::TaskGroup::RunOne(const std::shared_ptr<State>& state) {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->queue.empty()) return false;
+    task = std::move(state->queue.front());
+    state->queue.pop_front();
+  }
+  task();
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (--state->pending == 0) state->done.notify_all();
+  }
+  return true;
 }
 
 }  // namespace laar

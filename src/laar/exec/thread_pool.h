@@ -1,9 +1,11 @@
 #ifndef LAAR_EXEC_THREAD_POOL_H_
 #define LAAR_EXEC_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -13,9 +15,14 @@ namespace laar {
 /// A fixed-size task pool with a fork/join-style `WaitIdle` barrier.
 ///
 /// LAAR uses it to parallelize FT-Search root splitting — the stand-in for
-/// the paper's JSR-166 Fork/Join implementation (§4.5). Tasks may themselves
+/// the paper's JSR-166 Fork/Join implementation (§4.5) — and to fan out the
+/// §5.3 experiment corpus (`runtime::RunCorpus`). Tasks may themselves
 /// submit more tasks; `WaitIdle` returns only when the queue is empty and no
 /// task is running.
+///
+/// Nesting levels that want to share one pool without oversubscription use
+/// `TaskGroup` (a waitable subset of tasks) or `ParallelFor` (a blocking
+/// data-parallel loop in which the calling thread participates).
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (at least 1; 0 means hardware concurrency).
@@ -31,6 +38,47 @@ class ThreadPool {
   /// Blocks until all submitted tasks (including transitively submitted
   /// ones) have completed.
   void WaitIdle();
+
+  /// Runs `fn(0) .. fn(n - 1)` across the pool and returns when all calls
+  /// have finished. The calling thread participates in the work, so the
+  /// call makes progress even when every worker is busy — it is safe to
+  /// invoke from inside a pool task (nested parallelism shares the same
+  /// workers instead of oversubscribing).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// A waitable subset of a pool's tasks. Group tasks are queued privately
+  /// and drained by pool workers; `Wait` has the calling thread drain the
+  /// not-yet-started remainder itself, so it cannot deadlock even when the
+  /// pool is saturated with other work.
+  class TaskGroup {
+   public:
+    explicit TaskGroup(ThreadPool* pool);
+    /// Waits for all group tasks (like `Wait`).
+    ~TaskGroup();
+
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+    void Submit(std::function<void()> task);
+
+    /// Blocks until every task submitted to this group has completed,
+    /// running still-queued group tasks on the calling thread.
+    void Wait();
+
+   private:
+    struct State {
+      std::mutex mu;
+      std::condition_variable done;
+      std::deque<std::function<void()>> queue;
+      size_t pending = 0;  // queued + running group tasks
+    };
+
+    /// Runs one queued group task, if any; returns whether it did.
+    static bool RunOne(const std::shared_ptr<State>& state);
+
+    ThreadPool* pool_;
+    std::shared_ptr<State> state_;
+  };
 
   size_t num_threads() const { return workers_.size(); }
 

@@ -239,8 +239,8 @@ class SearchContext {
 
   bool ShouldStop() {
     if (shared_->stop.load(std::memory_order_relaxed)) return true;
-    // Deadline checks are amortized; the node limit (a test hook) must be
-    // exact, so it forces a per-node check.
+    // Deadline checks are amortized; the node limit (the deterministic
+    // budget) must be exact, so it forces a per-node check.
     const uint64_t stride = shared_->node_limit != 0 ? 1 : 512;
     if (++stop_check_counter_ % stride == 0) {
       shared_->nodes_total.fetch_add(stride, std::memory_order_relaxed);
@@ -729,10 +729,18 @@ Result<FtSearchResult> RunFtSearch(const model::ApplicationGraph& graph,
     root.CollectPrefixes(0, split_depth, &current, &prefixes);
     merged_stats.MergeFrom(root.stats());
 
-    ThreadPool pool(static_cast<size_t>(options.num_threads));
+    // Run on the caller's shared pool when provided (waiting only on our
+    // own task group), otherwise on a private pool.
+    std::optional<ThreadPool> owned_pool;
+    ThreadPool* pool = options.pool;
+    if (pool == nullptr) {
+      owned_pool.emplace(static_cast<size_t>(options.num_threads));
+      pool = &*owned_pool;
+    }
+    ThreadPool::TaskGroup group(pool);
     std::mutex stats_mu;
     for (const std::vector<int>& prefix : prefixes) {
-      pool.Submit([&problem, &shared, &stats_mu, &merged_stats, prefix] {
+      group.Submit([&problem, &shared, &stats_mu, &merged_stats, prefix] {
         SearchContext context(problem, &shared);
         // The prefix was feasible when enumerated; re-binding it must not
         // re-count pruning statistics (a later best-cost update may even
@@ -744,7 +752,7 @@ Result<FtSearchResult> RunFtSearch(const model::ApplicationGraph& graph,
         merged_stats.MergeFrom(context.stats());
       });
     }
-    pool.WaitIdle();
+    group.Wait();
   }
 
   FtSearchResult result;

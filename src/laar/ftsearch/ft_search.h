@@ -13,6 +13,10 @@
 #include "laar/model/rates.h"
 #include "laar/strategy/activation_strategy.h"
 
+namespace laar {
+class ThreadPool;
+}
+
 namespace laar::ftsearch {
 
 /// How a search run terminated, matching the paper's Fig. 4 labels.
@@ -67,6 +71,13 @@ struct FtSearchOptions {
   /// Tree levels enumerated to create parallel tasks (num_threads > 1).
   int split_depth = 3;
 
+  /// Borrowed pool to run parallel root-splitting tasks on (num_threads > 1
+  /// only). When null, the search creates a private pool of `num_threads`
+  /// workers. Sharing one pool lets an outer fan-out level (e.g. the
+  /// experiment-corpus runner) and FT-Search coexist without
+  /// oversubscribing the machine.
+  laar::ThreadPool* pool = nullptr;
+
   bool enable_cpu_pruning = true;
   bool enable_ic_pruning = true;
   bool enable_cost_pruning = true;
@@ -94,7 +105,11 @@ struct FtSearchOptions {
   /// every node (finds IC-feasible solutions early).
   bool try_both_first = true;
 
-  /// Abort after this many nodes (0 = unlimited); for tests.
+  /// Abort after exploring this many nodes (0 = unlimited). Unlike the
+  /// wall-clock limit, a node budget is deterministic: for a sequential
+  /// search (num_threads = 1) the outcome is a pure function of the inputs,
+  /// independent of machine load. The corpus runner relies on this to keep
+  /// its records invariant under --jobs.
   uint64_t node_limit = 0;
 };
 

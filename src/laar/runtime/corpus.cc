@@ -1,0 +1,76 @@
+#include "laar/runtime/corpus.h"
+
+#include <cstdio>
+#include <optional>
+#include <utility>
+
+#include "laar/common/stopwatch.h"
+#include "laar/exec/parallel.h"
+
+namespace laar::runtime {
+
+CorpusResult RunCorpus(const HarnessOptions& harness, const CorpusOptions& corpus) {
+  CorpusResult result;
+  Stopwatch watch;
+  const int jobs = ResolveJobs(corpus.jobs);
+  const int max_skips = corpus.num_apps * corpus.max_skips_factor;
+
+  HarnessOptions options = harness;
+  std::optional<ThreadPool> pool;
+  if (jobs > 1) {
+    pool.emplace(static_cast<size_t>(jobs));
+    // The pool is spent on the application fan-out; a parallel FT-Search
+    // inside a corpus worker would oversubscribe, so it drops to one
+    // thread.
+    options.variants.ftsearch_threads = 1;
+    options.variants.ftsearch_pool = nullptr;
+  } else if (options.variants.ftsearch_threads > 1 &&
+             options.variants.ftsearch_pool == nullptr) {
+    // Serial corpus: the parallelism budget goes to FT-Search root
+    // splitting, on one shared pool across all searches.
+    pool.emplace(static_cast<size_t>(options.variants.ftsearch_threads));
+    options.variants.ftsearch_pool = &*pool;
+  }
+
+  std::vector<SeedProbe<AppExperimentRecord>> kept =
+      CollectUsableSeeds<AppExperimentRecord>(
+          corpus.num_apps, corpus.seed_base, jobs, max_skips,
+          [&options](uint64_t seed) -> std::optional<AppExperimentRecord> {
+            Result<AppExperimentRecord> record = RunAppExperiment(options, seed);
+            if (!record.ok()) return std::nullopt;
+            return std::move(*record);
+          },
+          [&corpus](size_t index, const SeedProbe<AppExperimentRecord>& probe) {
+            if (!corpus.verbose) return;
+            std::fprintf(stderr, "  [corpus] app %zu/%d (seed %llu)\n", index + 1,
+                         corpus.num_apps,
+                         static_cast<unsigned long long>(probe.seed));
+          },
+          jobs > 1 ? &*pool : nullptr, &result.skipped);
+
+  result.records.reserve(kept.size());
+  for (SeedProbe<AppExperimentRecord>& probe : kept) {
+    result.stage_totals.MergeFrom(probe.value.stages);
+    result.records.push_back(std::move(probe.value));
+  }
+  result.wall_seconds = watch.ElapsedSeconds();
+  if (corpus.verbose) {
+    const StageTimes& s = result.stage_totals;
+    std::fprintf(stderr,
+                 "  [corpus] %zu apps, %d skipped seeds, %.1fs wall (jobs=%d); "
+                 "stage totals: generate=%.2fs solve=%.2fs "
+                 "simulate=%.2fs (best=%.2fs worst=%.2fs crash=%.2fs)\n",
+                 result.records.size(), result.skipped, result.wall_seconds, jobs,
+                 s.generate_seconds, s.solve_seconds, s.SimulateSeconds(),
+                 s.simulate_best_seconds, s.simulate_worst_seconds,
+                 s.simulate_crash_seconds);
+  }
+  return result;
+}
+
+std::vector<AppExperimentRecord> RunExperimentCorpus(const HarnessOptions& harness,
+                                                     const CorpusOptions& corpus) {
+  return RunCorpus(harness, corpus).records;
+}
+
+}  // namespace laar::runtime

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "laar/common/rng.h"
+#include "laar/common/stopwatch.h"
 #include "laar/common/strings.h"
 
 namespace laar::runtime {
@@ -42,6 +43,8 @@ std::vector<int> ChooseWorstCaseSurvivors(const model::ApplicationGraph& graph,
     // Weighted activity of each replica; the adversary keeps the least
     // active one alive (assumption 2: the survivor is chosen among the
     // inactive replicas whenever some configuration deactivates one).
+    // Equally active replicas tie-break to the lowest index, so the
+    // survivor choice is deterministic and order-independent.
     int best = 0;
     double best_activity = 0.0;
     for (int r = 0; r < k; ++r) {
@@ -49,8 +52,7 @@ std::vector<int> ChooseWorstCaseSurvivors(const model::ApplicationGraph& graph,
       for (model::ConfigId c = 0; c < space.num_configs(); ++c) {
         if (strategy.IsActive(pe, r, c)) activity += space.Probability(c);
       }
-      if (r == 0 || activity < best_activity ||
-          (activity == best_activity && r > best)) {
+      if (r == 0 || activity < best_activity) {
         best = r;
         best_activity = activity;
       }
@@ -134,6 +136,14 @@ double PeakOutputRate(const dsps::SimulationMetrics& metrics, const dsps::InputT
 
 }  // namespace
 
+void StageTimes::MergeFrom(const StageTimes& other) {
+  generate_seconds += other.generate_seconds;
+  solve_seconds += other.solve_seconds;
+  simulate_best_seconds += other.simulate_best_seconds;
+  simulate_worst_seconds += other.simulate_worst_seconds;
+  simulate_crash_seconds += other.simulate_crash_seconds;
+}
+
 const VariantMeasurement* AppExperimentRecord::Find(const std::string& name) const {
   for (const VariantMeasurement& m : variants) {
     if (m.variant == name) return &m;
@@ -142,18 +152,26 @@ const VariantMeasurement* AppExperimentRecord::Find(const std::string& name) con
 }
 
 Result<AppExperimentRecord> RunAppExperiment(const HarnessOptions& options, uint64_t seed) {
+  AppExperimentRecord record;
+  record.app_seed = seed;
+  Stopwatch stage_watch;
   LAAR_ASSIGN_OR_RETURN(appgen::GeneratedApplication app,
                         appgen::GenerateApplication(options.generator, seed));
+  record.stages.generate_seconds = stage_watch.ElapsedSeconds();
+
+  stage_watch.Restart();
   LAAR_ASSIGN_OR_RETURN(std::vector<NamedVariant> variants,
                         BuildVariants(app, options.variants));
+  record.stages.solve_seconds = stage_watch.ElapsedSeconds();
+
+  stage_watch.Restart();
   LAAR_ASSIGN_OR_RETURN(
       dsps::InputTrace trace,
       MakeExperimentTrace(app.descriptor.input_space, options.trace_seconds,
                           options.high_fraction, options.trace_cycles));
+  record.stages.generate_seconds += stage_watch.ElapsedSeconds();
   const model::ConfigId high = app.descriptor.input_space.PeakConfig();
 
-  AppExperimentRecord record;
-  record.app_seed = seed;
   for (const NamedVariant& variant : variants) {
     VariantMeasurement measurement;
     measurement.variant = variant.name;
@@ -162,9 +180,11 @@ Result<AppExperimentRecord> RunAppExperiment(const HarnessOptions& options, uint
 
     ScenarioOptions best_case;
     best_case.scenario = FailureScenario::kNone;
+    stage_watch.Restart();
     LAAR_ASSIGN_OR_RETURN(
         dsps::SimulationMetrics best,
         RunScenario(app, variant.strategy, trace, options.runtime, best_case));
+    record.stages.simulate_best_seconds += stage_watch.ElapsedSeconds();
     measurement.cpu_cycles = best.TotalCpuCycles();
     measurement.dropped = best.dropped_tuples;
     measurement.processed_best = best.TotalProcessed();
@@ -173,18 +193,22 @@ Result<AppExperimentRecord> RunAppExperiment(const HarnessOptions& options, uint
     if (options.run_worst_case) {
       ScenarioOptions worst;
       worst.scenario = FailureScenario::kWorstCase;
+      stage_watch.Restart();
       LAAR_ASSIGN_OR_RETURN(
           dsps::SimulationMetrics metrics,
           RunScenario(app, variant.strategy, trace, options.runtime, worst));
+      record.stages.simulate_worst_seconds += stage_watch.ElapsedSeconds();
       measurement.processed_worst = metrics.TotalProcessed();
     }
     if (options.run_host_crash) {
       ScenarioOptions crash;
       crash.scenario = FailureScenario::kHostCrash;
       crash.seed = seed ^ 0x9E3779B97F4A7C15ULL;
+      stage_watch.Restart();
       LAAR_ASSIGN_OR_RETURN(
           dsps::SimulationMetrics metrics,
           RunScenario(app, variant.strategy, trace, options.runtime, crash));
+      record.stages.simulate_crash_seconds += stage_watch.ElapsedSeconds();
       measurement.processed_crash = metrics.TotalProcessed();
     }
     record.variants.push_back(std::move(measurement));

@@ -67,10 +67,32 @@ struct VariantMeasurement {
   double promised_ic = 0.0;       ///< FT-Search IC bound (L.x variants)
 };
 
+/// Wall-clock breakdown of one `RunAppExperiment` call (or, merged, of a
+/// whole corpus): where the harness actually spends its time.
+struct StageTimes {
+  double generate_seconds = 0.0;       ///< application generation + trace build
+  double solve_seconds = 0.0;          ///< BuildVariants (FT-Search, baselines)
+  double simulate_best_seconds = 0.0;  ///< best-case simulations, all variants
+  double simulate_worst_seconds = 0.0; ///< pessimistic worst-case simulations
+  double simulate_crash_seconds = 0.0; ///< host-crash simulations
+
+  double SimulateSeconds() const {
+    return simulate_best_seconds + simulate_worst_seconds + simulate_crash_seconds;
+  }
+  double TotalSeconds() const {
+    return generate_seconds + solve_seconds + SimulateSeconds();
+  }
+  void MergeFrom(const StageTimes& other);
+};
+
 /// Per-application record of the full §5.3 comparison.
 struct AppExperimentRecord {
   uint64_t app_seed = 0;
   std::vector<VariantMeasurement> variants;  // NR first, then SR, GRD, L.x
+  /// Wall-clock accounting; timing only, never part of record identity
+  /// (the parallel corpus runner produces identical variant measurements
+  /// for any --jobs value, but stage times differ run to run).
+  StageTimes stages;
 
   const VariantMeasurement* Find(const std::string& name) const;
 };

@@ -21,6 +21,16 @@ json::Value RecordToJson(const AppExperimentRecord& record) {
     variants.Append(std::move(v));
   }
   doc.Set("variants", std::move(variants));
+  json::Value stages = json::Value::MakeObject();
+  stages.Set("generate_seconds", json::Value::Number(record.stages.generate_seconds));
+  stages.Set("solve_seconds", json::Value::Number(record.stages.solve_seconds));
+  stages.Set("simulate_best_seconds",
+             json::Value::Number(record.stages.simulate_best_seconds));
+  stages.Set("simulate_worst_seconds",
+             json::Value::Number(record.stages.simulate_worst_seconds));
+  stages.Set("simulate_crash_seconds",
+             json::Value::Number(record.stages.simulate_crash_seconds));
+  doc.Set("stages", std::move(stages));
   return doc;
 }
 
@@ -66,6 +76,25 @@ Result<AppExperimentRecord> RecordFromJson(const json::Value& value) {
                           v.GetOr("promised_ic", json::Value::Number(0)).AsDouble());
     record.variants.push_back(std::move(m));
   }
+  // Stage times are optional (older dumps predate them).
+  if (value.Get("stages").ok()) {
+    LAAR_ASSIGN_OR_RETURN(const json::Value* stages, value.Get("stages"));
+    LAAR_ASSIGN_OR_RETURN(
+        record.stages.generate_seconds,
+        stages->GetOr("generate_seconds", json::Value::Number(0)).AsDouble());
+    LAAR_ASSIGN_OR_RETURN(
+        record.stages.solve_seconds,
+        stages->GetOr("solve_seconds", json::Value::Number(0)).AsDouble());
+    LAAR_ASSIGN_OR_RETURN(
+        record.stages.simulate_best_seconds,
+        stages->GetOr("simulate_best_seconds", json::Value::Number(0)).AsDouble());
+    LAAR_ASSIGN_OR_RETURN(
+        record.stages.simulate_worst_seconds,
+        stages->GetOr("simulate_worst_seconds", json::Value::Number(0)).AsDouble());
+    LAAR_ASSIGN_OR_RETURN(
+        record.stages.simulate_crash_seconds,
+        stages->GetOr("simulate_crash_seconds", json::Value::Number(0)).AsDouble());
+  }
   return record;
 }
 
@@ -97,6 +126,21 @@ std::string CorpusToCsv(const std::vector<AppExperimentRecord>& records) {
     }
   }
   return out;
+}
+
+StageTimes CorpusStageTotals(const std::vector<AppExperimentRecord>& records) {
+  StageTimes totals;
+  for (const AppExperimentRecord& record : records) totals.MergeFrom(record.stages);
+  return totals;
+}
+
+std::string FormatStageTimes(const StageTimes& stages) {
+  return StrFormat(
+      "generate=%.2fs solve=%.2fs simulate=%.2fs (best=%.2fs worst=%.2fs "
+      "crash=%.2fs) total=%.2fs",
+      stages.generate_seconds, stages.solve_seconds, stages.SimulateSeconds(),
+      stages.simulate_best_seconds, stages.simulate_worst_seconds,
+      stages.simulate_crash_seconds, stages.TotalSeconds());
 }
 
 }  // namespace laar::runtime

@@ -21,8 +21,19 @@ json::Value CorpusToJson(const std::vector<AppExperimentRecord>& records);
 Result<AppExperimentRecord> RecordFromJson(const json::Value& value);
 Result<std::vector<AppExperimentRecord>> CorpusFromJson(const json::Value& value);
 
-/// CSV with one row per (application, variant), header included.
+/// CSV with one row per (application, variant), header included. Stage
+/// times are deliberately excluded: the CSV is the identity of a corpus
+/// run (identical for any --jobs value), while timings vary run to run.
 std::string CorpusToCsv(const std::vector<AppExperimentRecord>& records);
+
+/// Per-stage wall-clock totals over a corpus (generate / solve / simulate
+/// per scenario).
+StageTimes CorpusStageTotals(const std::vector<AppExperimentRecord>& records);
+
+/// One-line human-readable rendering of a stage breakdown, e.g.
+/// "generate=0.52s solve=12.31s simulate=8.77s (best=3.21s worst=3.11s
+/// crash=2.45s) total=21.60s".
+std::string FormatStageTimes(const StageTimes& stages);
 
 }  // namespace laar::runtime
 

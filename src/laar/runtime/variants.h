@@ -30,7 +30,17 @@ struct VariantBuildOptions {
   std::vector<double> laar_ic_requirements = {0.5, 0.6, 0.7};
   /// FT-Search budget per LAAR variant.
   double ftsearch_time_limit_seconds = 60.0;
+  /// Deterministic FT-Search budget: abort after exploring this many nodes
+  /// (0 = unlimited). Unlike the wall-clock limit, a node budget makes the
+  /// success/failure of BuildVariants independent of machine load, which the
+  /// parallel corpus runner relies on for --jobs-invariant seed selection.
+  uint64_t ftsearch_node_limit = 0;
   int ftsearch_threads = 1;
+  /// Borrowed pool for parallel FT-Search (ftsearch_threads > 1); see
+  /// FtSearchOptions::pool. The corpus runner shares its pool here when it
+  /// itself runs serially, and forces ftsearch_threads = 1 when it fans
+  /// out applications instead.
+  laar::ThreadPool* ftsearch_pool = nullptr;
 };
 
 /// Builds the full §5.2 variant set for one generated application, in the

@@ -324,6 +324,29 @@ TEST(HistogramTest, BinningAndOverflow) {
   EXPECT_DOUBLE_EQ(h.BinHi(1), 4.0);
 }
 
+TEST(HistogramTest, DegenerateRangeDegradesToSingleCatchAllBin) {
+  // hi <= lo used to produce a non-positive width and negative bin indices
+  // in Add; it must degrade to one bin that swallows everything.
+  for (Histogram h : {Histogram(5.0, 5.0, 4), Histogram(3.0, -2.0, 8)}) {
+    h.Add(-1e9);
+    h.Add(0.0);
+    h.Add(4.99);
+    h.Add(1e9);
+    EXPECT_EQ(h.count(0), 4u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_FALSE(h.ToString(10).empty());
+  }
+}
+
+TEST(HistogramTest, ZeroBinsBecomesOneBin) {
+  Histogram h(0.0, 1.0, 0);
+  h.Add(0.5);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.total(), 1u);
+}
+
 TEST(HistogramTest, ToStringMentionsCounts) {
   Histogram h(0.0, 1.0, 2);
   h.Add(0.25);

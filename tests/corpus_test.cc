@@ -1,0 +1,98 @@
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "laar/runtime/corpus.h"
+#include "laar/runtime/report.h"
+
+namespace laar::runtime {
+namespace {
+
+HarnessOptions TinyHarness() {
+  HarnessOptions options;
+  options.generator.num_pes = 6;
+  options.generator.num_hosts = 3;
+  options.variants.laar_ic_requirements = {0.5};
+  // A binding-but-deterministic budget: seed usability must not depend on
+  // machine load, or the jobs-invariance test below would be flaky.
+  options.variants.ftsearch_time_limit_seconds = 0.0;
+  options.variants.ftsearch_node_limit = 50000;
+  options.trace_seconds = 30.0;
+  options.trace_cycles = 2;
+  return options;
+}
+
+CorpusOptions TinyCorpus(int jobs) {
+  CorpusOptions corpus;
+  corpus.num_apps = 3;
+  corpus.seed_base = 500;
+  corpus.jobs = jobs;
+  corpus.verbose = false;
+  return corpus;
+}
+
+TEST(CorpusTest, CollectsRequestedNumberOfApps) {
+  const CorpusResult result = RunCorpus(TinyHarness(), TinyCorpus(1));
+  ASSERT_EQ(result.records.size(), 3u);
+  EXPECT_GE(result.skipped, 0);
+  EXPECT_GT(result.wall_seconds, 0.0);
+  // Seeds strictly increase: the corpus keeps them in probing order.
+  EXPECT_LT(result.records[0].app_seed, result.records[1].app_seed);
+  EXPECT_LT(result.records[1].app_seed, result.records[2].app_seed);
+  for (const AppExperimentRecord& record : result.records) {
+    EXPECT_FALSE(record.variants.empty());
+  }
+}
+
+TEST(CorpusTest, RecordsStageTimes) {
+  const CorpusResult result = RunCorpus(TinyHarness(), TinyCorpus(1));
+  ASSERT_FALSE(result.records.empty());
+  for (const AppExperimentRecord& record : result.records) {
+    EXPECT_GT(record.stages.solve_seconds, 0.0);
+    EXPECT_GT(record.stages.simulate_best_seconds, 0.0);
+    EXPECT_GT(record.stages.TotalSeconds(), 0.0);
+  }
+  const StageTimes totals = CorpusStageTotals(result.records);
+  EXPECT_GT(totals.TotalSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(totals.TotalSeconds(), result.stage_totals.TotalSeconds());
+  EXPECT_FALSE(FormatStageTimes(totals).empty());
+}
+
+TEST(CorpusTest, ParallelRunsProduceIdenticalRecords) {
+  // The tentpole guarantee: --jobs must never change the records. The CSV
+  // rendering is the record identity (it excludes timings).
+  const HarnessOptions harness = TinyHarness();
+  const CorpusResult serial = RunCorpus(harness, TinyCorpus(1));
+  ASSERT_EQ(serial.records.size(), 3u);
+  const std::string expected = CorpusToCsv(serial.records);
+  for (int jobs : {2, 4, 8}) {
+    const CorpusResult parallel = RunCorpus(harness, TinyCorpus(jobs));
+    EXPECT_EQ(CorpusToCsv(parallel.records), expected) << "jobs=" << jobs;
+    EXPECT_EQ(parallel.skipped, serial.skipped) << "jobs=" << jobs;
+  }
+}
+
+TEST(CorpusTest, SerialCorpusMayShareFtSearchPool) {
+  // jobs == 1 with ftsearch_threads > 1: the corpus budgets its threads to
+  // FT-Search instead; the records still must not change.
+  HarnessOptions harness = TinyHarness();
+  const CorpusResult reference = RunCorpus(harness, TinyCorpus(1));
+  harness.variants.ftsearch_threads = 4;
+  const CorpusResult threaded = RunCorpus(harness, TinyCorpus(1));
+  EXPECT_EQ(CorpusToCsv(threaded.records), CorpusToCsv(reference.records));
+}
+
+TEST(CorpusTest, GivesUpAfterSkipBudget) {
+  HarnessOptions harness = TinyHarness();
+  // An unsatisfiable IC makes every seed unusable.
+  harness.variants.laar_ic_requirements = {0.99999};
+  harness.variants.ftsearch_node_limit = 20000;
+  CorpusOptions corpus = TinyCorpus(1);
+  corpus.max_skips_factor = 2;  // 3 apps * 2 = 6 skips, keeps the test fast
+  const CorpusResult result = RunCorpus(harness, corpus);
+  EXPECT_TRUE(result.records.empty());
+  EXPECT_EQ(result.skipped, corpus.num_apps * corpus.max_skips_factor);
+}
+
+}  // namespace
+}  // namespace laar::runtime

@@ -341,6 +341,62 @@ TEST(InputTraceTest, SegmentsAndQueries) {
   EXPECT_DOUBLE_EQ(trace->TimeIn(0), 30.0);
 }
 
+TEST(SimulationMetricsTest, MeanRateWeightsBoundaryBucketsByOverlap) {
+  // Buckets of 1 s with distinct counts; a window ending mid-bucket must
+  // weight the partial bucket by its overlap fraction, not full width.
+  const std::vector<double> series = {10.0, 20.0, 30.0, 40.0};
+  // [1.0, 2.5): 20 + 30 * 0.5 over 1.5 s. Full-width accounting would give
+  // (20 + 30) / 1.5 = 33.33.
+  EXPECT_NEAR(SimulationMetrics::MeanRate(series, 1.0, 1.0, 2.5), 35.0 / 1.5, 1e-12);
+  // [0.25, 0.75): interior of one bucket — still that bucket's rate.
+  EXPECT_NEAR(SimulationMetrics::MeanRate(series, 1.0, 0.25, 0.75), 10.0, 1e-12);
+  // [1.5, 3.5): half of bucket 1, all of bucket 2, half of bucket 3.
+  EXPECT_NEAR(SimulationMetrics::MeanRate(series, 1.0, 1.5, 3.5),
+              (20.0 * 0.5 + 30.0 + 40.0 * 0.5) / 2.0, 1e-12);
+  // Bucket-aligned windows are unchanged by the overlap weighting.
+  EXPECT_NEAR(SimulationMetrics::MeanRate(series, 1.0, 1.0, 3.0), 25.0, 1e-12);
+}
+
+TEST(SimulationMetricsTest, MeanRateClampsWindowToSeriesCoverage) {
+  const std::vector<double> series = {10.0, 20.0, 30.0, 40.0};
+  // Window reaching past the recorded range: only the covered part counts,
+  // and the denominator is the covered duration — not the full window.
+  EXPECT_NEAR(SimulationMetrics::MeanRate(series, 1.0, 3.5, 10.0), 40.0, 1e-12);
+  EXPECT_NEAR(SimulationMetrics::MeanRate(series, 1.0, -2.0, 1.0), 10.0, 1e-12);
+  // Entirely outside the range (or degenerate): zero.
+  EXPECT_EQ(SimulationMetrics::MeanRate(series, 1.0, 4.0, 9.0), 0.0);
+  EXPECT_EQ(SimulationMetrics::MeanRate(series, 1.0, 2.0, 2.0), 0.0);
+  EXPECT_EQ(SimulationMetrics::MeanRate({}, 1.0, 0.0, 1.0), 0.0);
+}
+
+TEST(InputTraceTest, SampleEmitsNoDegenerateFinalSegment) {
+  model::InputSpace space;
+  SourceRateSet r;
+  r.source = 0;
+  r.rates = {1.0, 2.0};
+  r.probabilities = {0.5, 0.5};
+  ASSERT_TRUE(space.AddSource(r).ok());
+  // 0.1 accumulated 10 times lands at 0.9999999999999999 < 1.0; the FP
+  // residue used to become an extra ~1e-16 s segment.
+  auto trace = InputTrace::Sample(space, 1.0, 0.1, 7);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->segments().size(), 10u);
+  EXPECT_NEAR(trace->TotalDuration(), 1.0, 1e-9);
+  for (const TraceSegment& segment : trace->segments()) {
+    EXPECT_GT(segment.duration, 1e-6);
+  }
+  // Also at larger scales, and when total is not a segment multiple (the
+  // final partial segment is real, not residue).
+  for (const double total : {300.0, 12.34, 60.0}) {
+    auto sampled = InputTrace::Sample(space, total, 0.1, 11);
+    ASSERT_TRUE(sampled.ok());
+    EXPECT_NEAR(sampled->TotalDuration(), total, 1e-6);
+    for (const TraceSegment& segment : sampled->segments()) {
+      EXPECT_GT(segment.duration, 1e-6);
+    }
+  }
+}
+
 TEST(InputTraceTest, RejectsBadSegments) {
   InputTrace trace;
   EXPECT_FALSE(trace.Append(0.0, 0).ok());

@@ -1,9 +1,14 @@
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <optional>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "laar/exec/parallel.h"
 #include "laar/exec/thread_pool.h"
 
 namespace laar {
@@ -81,6 +86,185 @@ TEST(ThreadPoolTest, DestructionDrainsCleanly) {
     pool.WaitIdle();
   }
   EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPoolTest, StressNestedSubmitAndWaitIdleFromManyThreads) {
+  // Many external threads hammer the same pool with nested submissions and
+  // concurrent WaitIdle calls; every task must run exactly once and every
+  // WaitIdle must return. (This is the sharing pattern of the corpus runner
+  // plus FT-Search; run it under -DLAAR_SANITIZE=thread to verify.)
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  constexpr int kClients = 8;
+  constexpr int kOuterPerClient = 25;
+  constexpr int kInnerPerOuter = 4;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&pool, &count] {
+      for (int i = 0; i < kOuterPerClient; ++i) {
+        pool.Submit([&pool, &count] {
+          count.fetch_add(1);
+          for (int j = 0; j < kInnerPerOuter; ++j) {
+            pool.Submit([&count] { count.fetch_add(1); });
+          }
+        });
+        if (i % 5 == 0) pool.WaitIdle();
+      }
+      pool.WaitIdle();
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), kClients * kOuterPerClient * (1 + kInnerPerOuter));
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 257;
+  std::vector<std::atomic<int>> visits(kN);
+  pool.ParallelFor(kN, [&visits](size_t i) { visits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, HandlesEmptyAndSingleRanges) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+  std::atomic<int> count{0};
+  pool.ParallelFor(1, [&count](size_t i) {
+    EXPECT_EQ(i, 0u);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelForTest, SafeToNestInsidePoolTasks) {
+  // A ParallelFor issued from inside a pool task must complete even when
+  // all workers are occupied by the outer tasks (the corpus runner's
+  // FT-Search-inside-worker shape).
+  ThreadPool pool(2);
+  std::atomic<int> inner{0};
+  ThreadPool::TaskGroup outer(&pool);
+  for (int t = 0; t < 4; ++t) {
+    outer.Submit([&pool, &inner] {
+      pool.ParallelFor(16, [&inner](size_t) { inner.fetch_add(1); });
+    });
+  }
+  outer.Wait();
+  EXPECT_EQ(inner.load(), 4 * 16);
+}
+
+TEST(TaskGroupTest, WaitCoversOnlyOwnTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> group_count{0};
+  std::atomic<int> other_count{0};
+  std::atomic<bool> release{false};
+  // Park unrelated work in the pool so the group cannot rely on workers.
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&other_count, &release] {
+      while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      other_count.fetch_add(1);
+    });
+  }
+  ThreadPool::TaskGroup group(&pool);
+  for (int i = 0; i < 10; ++i) {
+    group.Submit([&group_count] { group_count.fetch_add(1); });
+  }
+  group.Wait();  // must not deadlock: the caller drains the group itself
+  EXPECT_EQ(group_count.load(), 10);
+  release.store(true);
+  pool.WaitIdle();
+  EXPECT_EQ(other_count.load(), 2);
+}
+
+TEST(TaskGroupTest, DestructorWaits) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  {
+    ThreadPool::TaskGroup group(&pool);
+    for (int i = 0; i < 50; ++i) {
+      group.Submit([&count] { count.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ResolveJobsTest, MapsZeroToHardwareConcurrency) {
+  EXPECT_EQ(ResolveJobs(1), 1);
+  EXPECT_EQ(ResolveJobs(7), 7);
+  EXPECT_GE(ResolveJobs(0), 1);
+  EXPECT_EQ(ResolveJobs(-3), ResolveJobs(0));
+}
+
+std::optional<int> SquareUsableProbe(uint64_t seed) {
+  // Seeds divisible by 3 are "unusable".
+  if (seed % 3 == 0) return std::nullopt;
+  return static_cast<int>(seed * seed);
+}
+
+TEST(CollectUsableSeedsTest, SerialKeepsFirstUsableSeedsInOrder) {
+  int skipped = -1;
+  const auto kept = CollectUsableSeeds<int>(4, 0, 1, 100, SquareUsableProbe, {},
+                                            nullptr, &skipped);
+  ASSERT_EQ(kept.size(), 4u);
+  // Seeds 1,2,4,5 are usable; 3 is skipped.
+  EXPECT_EQ(kept[0].seed, 1u);
+  EXPECT_EQ(kept[1].seed, 2u);
+  EXPECT_EQ(kept[2].seed, 4u);
+  EXPECT_EQ(kept[3].seed, 5u);
+  EXPECT_EQ(kept[2].value, 16);
+  EXPECT_EQ(skipped, 1);
+}
+
+TEST(CollectUsableSeedsTest, ParallelMatchesSerialIncludingSkips) {
+  for (int num : {1, 3, 10, 64}) {
+    int serial_skipped = -1;
+    const auto serial = CollectUsableSeeds<int>(num, 100, 1, 1000, SquareUsableProbe,
+                                                {}, nullptr, &serial_skipped);
+    for (int jobs : {2, 4, 8}) {
+      int parallel_skipped = -1;
+      const auto parallel =
+          CollectUsableSeeds<int>(num, 100, jobs, 1000, SquareUsableProbe, {}, nullptr,
+                                  &parallel_skipped);
+      ASSERT_EQ(parallel.size(), serial.size()) << "num=" << num << " jobs=" << jobs;
+      for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(parallel[i].seed, serial[i].seed);
+        EXPECT_EQ(parallel[i].value, serial[i].value);
+      }
+      EXPECT_EQ(parallel_skipped, serial_skipped) << "num=" << num << " jobs=" << jobs;
+    }
+  }
+}
+
+TEST(CollectUsableSeedsTest, ParallelStopsAtSkipLimitLikeSerial) {
+  // Every seed unusable: both paths must give up after exactly max_skips
+  // probes counted, returning nothing.
+  const auto probe = [](uint64_t) -> std::optional<int> { return std::nullopt; };
+  for (int jobs : {1, 4}) {
+    int skipped = -1;
+    const auto kept = CollectUsableSeeds<int>(5, 0, jobs, 17, probe, {}, nullptr,
+                                              &skipped);
+    EXPECT_TRUE(kept.empty()) << "jobs=" << jobs;
+    EXPECT_EQ(skipped, 17) << "jobs=" << jobs;
+  }
+}
+
+TEST(CollectUsableSeedsTest, OnAcceptFiresInSeedOrder) {
+  std::vector<uint64_t> order;
+  CollectUsableSeeds<int>(
+      6, 0, 4, 100, SquareUsableProbe,
+      [&order](size_t index, const SeedProbe<int>& probe) {
+        EXPECT_EQ(index, order.size());
+        order.push_back(probe.seed);
+      });
+  ASSERT_EQ(order.size(), 6u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(CollectUsableSeedsTest, SharesCallerPool) {
+  ThreadPool pool(3);
+  const auto kept = CollectUsableSeeds<int>(8, 0, 3, 100, SquareUsableProbe, {}, &pool);
+  EXPECT_EQ(kept.size(), 8u);
 }
 
 }  // namespace

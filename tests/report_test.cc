@@ -26,6 +26,11 @@ AppExperimentRecord MakeRecord(uint64_t seed) {
   l6.peak_output_rate = 42.1;
   l6.promised_ic = 0.6123;
   record.variants.push_back(l6);
+  record.stages.generate_seconds = 0.25;
+  record.stages.solve_seconds = 4.5;
+  record.stages.simulate_best_seconds = 1.5;
+  record.stages.simulate_worst_seconds = 1.25;
+  record.stages.simulate_crash_seconds = 0.75;
   return record;
 }
 
@@ -65,6 +70,52 @@ TEST(ReportTest, CsvHasHeaderAndRows) {
   EXPECT_EQ(lines, 3u);
   EXPECT_NE(csv.find("5,NR,"), std::string::npos);
   EXPECT_NE(csv.find("5,L.6,"), std::string::npos);
+}
+
+TEST(ReportTest, StageTimesRoundTripThroughJson) {
+  const AppExperimentRecord record = MakeRecord(7);
+  auto loaded = RecordFromJson(RecordToJson(record));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_DOUBLE_EQ(loaded->stages.generate_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(loaded->stages.solve_seconds, 4.5);
+  EXPECT_DOUBLE_EQ(loaded->stages.simulate_best_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(loaded->stages.simulate_worst_seconds, 1.25);
+  EXPECT_DOUBLE_EQ(loaded->stages.simulate_crash_seconds, 0.75);
+  EXPECT_DOUBLE_EQ(loaded->stages.SimulateSeconds(), 3.5);
+  EXPECT_DOUBLE_EQ(loaded->stages.TotalSeconds(), 8.25);
+}
+
+TEST(ReportTest, StagesAreOptionalInJson) {
+  // Dumps written before stage accounting load with zeroed stages.
+  json::Value doc = RecordToJson(MakeRecord(8));
+  json::Value without = json::Value::MakeObject();
+  without.Set("app_seed", json::Value::Int(8));
+  auto variants = doc.Get("variants");
+  ASSERT_TRUE(variants.ok());
+  without.Set("variants", json::Value(**variants));
+  auto loaded = RecordFromJson(without);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_DOUBLE_EQ(loaded->stages.TotalSeconds(), 0.0);
+}
+
+TEST(ReportTest, CsvExcludesStageTimes) {
+  // The CSV is the identity of a corpus run; wall-clock never belongs.
+  const std::string csv = CorpusToCsv({MakeRecord(5)});
+  EXPECT_EQ(csv.find("seconds"), std::string::npos);
+  EXPECT_EQ(csv.find("stage"), std::string::npos);
+}
+
+TEST(ReportTest, StageTotalsAndFormatting) {
+  std::vector<AppExperimentRecord> corpus = {MakeRecord(1), MakeRecord(2)};
+  const StageTimes totals = CorpusStageTotals(corpus);
+  EXPECT_DOUBLE_EQ(totals.generate_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(totals.solve_seconds, 9.0);
+  EXPECT_DOUBLE_EQ(totals.SimulateSeconds(), 7.0);
+  EXPECT_DOUBLE_EQ(totals.TotalSeconds(), 16.5);
+  const std::string line = FormatStageTimes(totals);
+  EXPECT_NE(line.find("generate=0.50s"), std::string::npos);
+  EXPECT_NE(line.find("solve=9.00s"), std::string::npos);
+  EXPECT_NE(line.find("total=16.50s"), std::string::npos);
 }
 
 TEST(ReportTest, FromJsonRejectsGarbage) {

@@ -96,11 +96,11 @@ TEST(ExperimentTest, WorstCaseSurvivorsAreLeastActive) {
   std::vector<int> survivors = ChooseWorstCaseSurvivors(graph, space, s);
   EXPECT_EQ(survivors[pe], 1);
 
-  // Fully active strategy: either replica works; the tie-break picks the
-  // higher index (adversary kills the default primary, replica 0).
+  // Fully active strategy: either replica works equally well, so the
+  // explicit tie-break keeps the lowest index deterministically.
   strategy::ActivationStrategy sr(graph.num_components(), 2, 2);
   survivors = ChooseWorstCaseSurvivors(graph, space, sr);
-  EXPECT_EQ(survivors[pe], 1);
+  EXPECT_EQ(survivors[pe], 0);
 }
 
 TEST(ExperimentTest, HarnessRunsAllScenarios) {

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Fails if generated artifacts (build trees, objects, CMake state) are
+# tracked by git. Run from anywhere inside the repository; suitable as a
+# CI step:
+#
+#   sh tools/check_no_tracked_artifacts.sh
+set -eu
+
+cd "$(git rev-parse --show-toplevel)"
+
+bad=$(git ls-files | grep -E \
+  '^(build|cmake-build-[^/]*)/|\.(o|obj|a|so|dylib)$|(^|/)(CMakeCache\.txt|cmake_install\.cmake|CTestTestfile\.cmake)$|(^|/)CMakeFiles/' \
+  || true)
+
+if [ -n "$bad" ]; then
+  echo "error: generated artifacts are tracked by git:" >&2
+  echo "$bad" | sed 's/^/  /' >&2
+  echo "untrack them with: git rm -r --cached <path>" >&2
+  exit 1
+fi
+echo "ok: no generated artifacts tracked"

@@ -8,12 +8,20 @@
 //                 [--trace-seconds=300] [--high-fraction=0.333] [--cycles=3]
 //                 [--crash-host=H --crash-at=T --crash-duration=16]
 //                 [--worst-case] [--placement=balanced|roundrobin]
+//                 [--jobs=N]
+//
+// Under --worst-case or --crash-host a failure-free reference simulation
+// also runs (in parallel with the failure scenario when --jobs > 1) and the
+// report gains the measured completeness ratio against it.
 
+#include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <string>
 
 #include "laar/common/flags.h"
 #include "laar/dsps/stream_simulation.h"
+#include "laar/exec/parallel.h"
 #include "laar/model/descriptor.h"
 #include "laar/placement/placement_algorithms.h"
 #include "laar/runtime/experiment.h"
@@ -75,6 +83,7 @@ int main(int argc, char** argv) {
   laar::dsps::RuntimeOptions runtime;
   laar::dsps::StreamSimulation simulation(*app, cluster, *placement, *strategy, *trace,
                                           runtime);
+  const bool has_failures = flags.Has("worst-case") || flags.Has("crash-host");
   if (flags.Has("worst-case")) {
     const auto survivors = laar::runtime::ChooseWorstCaseSurvivors(
         app->graph, app->input_space, *strategy);
@@ -96,9 +105,36 @@ int main(int argc, char** argv) {
     }
   }
 
-  const laar::Status status = simulation.Run();
+  // Failure scenarios also run a failure-free reference for the measured
+  // completeness ratio; --jobs > 1 runs the two simulations concurrently.
+  std::optional<laar::dsps::StreamSimulation> reference;
+  if (has_failures) {
+    reference.emplace(*app, cluster, *placement, *strategy, *trace, runtime);
+  }
+  laar::Status status = laar::Status::OK();
+  laar::Status reference_status = laar::Status::OK();
+  const auto run_one = [&](size_t i) {
+    if (i == 0) {
+      status = simulation.Run();
+    } else {
+      reference_status = reference->Run();
+    }
+  };
+  const size_t num_runs = reference.has_value() ? 2 : 1;
+  const int jobs = laar::ResolveJobs(flags.GetInt("jobs", 1));
+  if (jobs > 1 && num_runs > 1) {
+    laar::ThreadPool pool(std::min(static_cast<size_t>(jobs), num_runs));
+    pool.ParallelFor(num_runs, run_one);
+  } else {
+    for (size_t i = 0; i < num_runs; ++i) run_one(i);
+  }
   if (!status.ok()) {
     std::fprintf(stderr, "simulation failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (!reference_status.ok()) {
+    std::fprintf(stderr, "reference simulation failed: %s\n",
+                 reference_status.ToString().c_str());
     return 1;
   }
 
@@ -119,6 +155,16 @@ int main(int argc, char** argv) {
     std::printf("sink latency        p50=%.3fs p95=%.3fs p99=%.3fs max=%.3fs\n",
                 m.sink_latency.Percentile(50), m.sink_latency.Percentile(95),
                 m.sink_latency.Percentile(99), m.sink_latency.max());
+  }
+  if (reference.has_value()) {
+    const laar::dsps::SimulationMetrics& ref = reference->metrics();
+    std::printf("best-case processed %10llu\n",
+                static_cast<unsigned long long>(ref.TotalProcessed()));
+    if (ref.TotalProcessed() > 0) {
+      std::printf("completeness        %10.4f (processed / best-case processed)\n",
+                  static_cast<double>(m.TotalProcessed()) /
+                      static_cast<double>(ref.TotalProcessed()));
+    }
   }
   return 0;
 }
