@@ -1,11 +1,18 @@
 #ifndef LAAR_BENCH_EXPERIMENT_CORPUS_H_
 #define LAAR_BENCH_EXPERIMENT_CORPUS_H_
 
+#include <cstdio>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "laar/dsps/sim_metrics.h"
+#include "laar/obs/metrics_registry.h"
+#include "laar/obs/trace_event.h"
 #include "laar/runtime/corpus.h"
 #include "laar/runtime/experiment.h"
+#include "laar/runtime/report.h"
 
 namespace laar::bench {
 
@@ -61,6 +68,74 @@ inline std::vector<runtime::AppExperimentRecord> RunExperimentCorpus(
   corpus.verbose = verbose;
   return runtime::RunExperimentCorpus(options, corpus);
 }
+
+/// Opt-in observability for the corpus benches, from shared flags:
+///   --trace-dir=DIR        write one Chrome trace-event JSON file per
+///                          (seed, variant, scenario) simulation into DIR
+///                          (created if missing)
+///   --trace-categories=L   comma-separated category filter (drops, queues,
+///                          activation, failures, config, spans, engine)
+///   --trace-capacity=N     per-recorder ring capacity, in events
+///   --metrics-out=FILE     write the corpus JSON document, including the
+///                          serialized metrics registry, to FILE
+///
+/// The registry always collects (it is cheap and gives every bench the
+/// one-line aggregate summary); traces and the JSON dump are opt-in. The
+/// instance must outlive the corpus run it is wired into.
+class CorpusObservability {
+ public:
+  explicit CorpusObservability(const Flags& flags)
+      : trace_dir_(flags.GetString("trace-dir", "")),
+        metrics_out_(flags.GetString("metrics-out", "")) {
+    trace_categories_ =
+        obs::ParseCategoryList(flags.GetString("trace-categories", ""), &ok_);
+    if (!ok_) std::fprintf(stderr, "unknown name in --trace-categories\n");
+    trace_capacity_ = static_cast<size_t>(
+        flags.GetUint64("trace-capacity", uint64_t{1} << 18));
+  }
+
+  /// False when a flag failed to parse; callers should exit.
+  bool ok() const { return ok_; }
+
+  void WireInto(runtime::HarnessOptions* options) {
+    if (!trace_dir_.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(trace_dir_, ec);
+      options->trace_dir = trace_dir_;
+      options->trace_categories = trace_categories_;
+      options->trace_capacity = trace_capacity_;
+    }
+    options->metrics = &registry_;
+  }
+
+  const obs::MetricsRegistry& registry() const { return registry_; }
+
+  /// Prints the aggregate run summary and, when requested, writes the
+  /// corpus JSON (records + metrics). Returns a process exit code.
+  int Finish(const std::vector<runtime::AppExperimentRecord>& records) {
+    std::printf("\nsummary: %s\n",
+                dsps::AggregateRunSummaryFromRegistry(registry_).c_str());
+    if (!metrics_out_.empty()) {
+      const Status status =
+          json::WriteFile(runtime::CorpusToJson(records, &registry_), metrics_out_);
+      if (!status.ok()) {
+        std::fprintf(stderr, "failed to write %s: %s\n", metrics_out_.c_str(),
+                     status.ToString().c_str());
+        return 1;
+      }
+      std::printf("metrics: wrote %s\n", metrics_out_.c_str());
+    }
+    return 0;
+  }
+
+ private:
+  obs::MetricsRegistry registry_;
+  std::string trace_dir_;
+  std::string metrics_out_;
+  uint32_t trace_categories_ = obs::kAllCategories;
+  size_t trace_capacity_ = 1u << 18;
+  bool ok_ = true;
+};
 
 /// The variant labels in the paper's plotting order.
 inline const std::vector<const char*>& VariantOrder() {

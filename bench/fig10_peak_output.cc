@@ -22,7 +22,10 @@ int main(int argc, char** argv) {
                            "SR lowest and widest; LAAR variants close to 1; GRD "
                            "inconsistent in between");
 
-  const auto options = laar::bench::HarnessFromFlags(flags);
+  auto options = laar::bench::HarnessFromFlags(flags);
+  laar::bench::CorpusObservability observability(flags);
+  if (!observability.ok()) return 2;
+  observability.WireInto(&options);
   const auto records = laar::bench::RunExperimentCorpus(
       options, num_apps, seed, /*verbose=*/true, laar::bench::JobsFromFlags(flags));
 
@@ -38,5 +41,5 @@ int main(int argc, char** argv) {
   for (const char* name : laar::bench::VariantOrder()) {
     laar::bench::PrintBoxRow(name, ratio[name]);
   }
-  return 0;
+  return observability.Finish(records);
 }

@@ -28,6 +28,9 @@ int main(int argc, char** argv) {
 
   auto options = laar::bench::HarnessFromFlags(flags);
   options.run_host_crash = true;  // the bottom panel needs it
+  laar::bench::CorpusObservability observability(flags);
+  if (!observability.ok()) return 2;
+  observability.WireInto(&options);
   const auto records = laar::bench::RunExperimentCorpus(
       options, num_apps, seed, /*verbose=*/true, laar::bench::JobsFromFlags(flags));
 
@@ -61,5 +64,5 @@ int main(int argc, char** argv) {
   for (const char* name : laar::bench::VariantOrder()) {
     laar::bench::PrintBoxRow(name, crash_ratio[name]);
   }
-  return 0;
+  return observability.Finish(records);
 }

@@ -22,7 +22,10 @@ int main(int argc, char** argv) {
                            "cost ordering NR < L.5 < L.6 < L.7 < GRD < SR; IC "
                            "ordering NR < L.5 < L.6 < L.7 < SR");
 
-  const auto options = laar::bench::HarnessFromFlags(flags);
+  auto options = laar::bench::HarnessFromFlags(flags);
+  laar::bench::CorpusObservability observability(flags);
+  if (!observability.ok()) return 2;
+  observability.WireInto(&options);
   const auto records = laar::bench::RunExperimentCorpus(
       options, num_apps, seed, /*verbose=*/true, laar::bench::JobsFromFlags(flags));
 
@@ -52,5 +55,5 @@ int main(int argc, char** argv) {
     std::printf("%-8s %16.3f %16.3f %16.3f\n", name, drops[name].mean(), ic[name].mean(),
                 cost[name].mean());
   }
-  return 0;
+  return observability.Finish(records);
 }

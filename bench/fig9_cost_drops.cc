@@ -23,7 +23,10 @@ int main(int argc, char** argv) {
                            "cost: SR > GRD > L.7 > L.6 > L.5 >= NR; drops: SR >> "
                            "dynamic variants");
 
-  const auto options = laar::bench::HarnessFromFlags(flags);
+  auto options = laar::bench::HarnessFromFlags(flags);
+  laar::bench::CorpusObservability observability(flags);
+  if (!observability.ok()) return 2;
+  observability.WireInto(&options);
   const auto records = laar::bench::RunExperimentCorpus(
       options, num_apps, seed, /*verbose=*/true, laar::bench::JobsFromFlags(flags));
 
@@ -48,5 +51,5 @@ int main(int argc, char** argv) {
   for (const char* name : laar::bench::VariantOrder()) {
     laar::bench::PrintBoxRow(name, drop_ratio[name]);
   }
-  return 0;
+  return observability.Finish(records);
 }

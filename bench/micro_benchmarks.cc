@@ -13,6 +13,7 @@
 #include "laar/metrics/ic.h"
 #include "laar/model/rates.h"
 #include "laar/fusion/fusion.h"
+#include "laar/obs/trace_recorder.h"
 #include "laar/model/discretize.h"
 #include "laar/sim/simulator.h"
 #include "laar/spl/spl_parser.h"
@@ -135,6 +136,33 @@ void BM_EndToEndSimulation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
+
+// The tracing-overhead criterion: range(0) == 0 runs with tracing disabled
+// (null recorder — the zero-cost path), 1 with every category recorded.
+// The two times should be indistinguishable when disabled and within a few
+// percent when enabled.
+void BM_EndToEndSimulationTraced(benchmark::State& state) {
+  const auto app = MakeApp(12, 6);
+  const auto strategy = laar::strategy::MakeStaticReplication(
+      app.descriptor.graph, app.descriptor.input_space, 2);
+  const auto trace = *laar::dsps::InputTrace::Alternating(
+      0, 20.0, app.descriptor.input_space.PeakConfig(), 10.0, 1);
+  const bool traced = state.range(0) != 0;
+  for (auto _ : state) {
+    laar::obs::TraceRecorder recorder;
+    laar::dsps::RuntimeOptions options;
+    if (traced) options.trace_recorder = &recorder;
+    laar::dsps::StreamSimulation simulation(app.descriptor, app.cluster, app.placement,
+                                            strategy, trace, options);
+    simulation.Run().CheckOK();
+    benchmark::DoNotOptimize(simulation.metrics().TotalProcessed());
+    benchmark::DoNotOptimize(recorder.total_recorded());
+  }
+}
+BENCHMARK(BM_EndToEndSimulationTraced)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SplParse(benchmark::State& state) {
   const char* program = R"(

@@ -1,21 +1,17 @@
 #include "laar/common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <mutex>
+#include <string>
 
 namespace laar {
 
 namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
-
-// Serializes emission so concurrent log lines do not interleave.
-std::mutex& EmitMutex() {
-  static std::mutex* mutex = new std::mutex();
-  return *mutex;
-}
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -44,6 +40,44 @@ void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
 
+bool ParseLogLevel(const char* text, LogLevel* level) {
+  if (text == nullptr || *text == '\0') return false;
+  std::string lower(text);
+  for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  constexpr struct {
+    const char* name;
+    LogLevel level;
+  } kNames[] = {
+      {"debug", LogLevel::kDebug},     {"0", LogLevel::kDebug},
+      {"info", LogLevel::kInfo},       {"1", LogLevel::kInfo},
+      {"warning", LogLevel::kWarning}, {"2", LogLevel::kWarning},
+      {"error", LogLevel::kError},     {"3", LogLevel::kError},
+      {"off", LogLevel::kOff},         {"4", LogLevel::kOff},
+  };
+  for (const auto& entry : kNames) {
+    if (lower == entry.name) {
+      *level = entry.level;
+      return true;
+    }
+  }
+  return false;
+}
+
+void InitLogLevelFromEnv() {
+  LogLevel level = LogLevel::kWarning;
+  if (ParseLogLevel(std::getenv("LAAR_LOG_LEVEL"), &level)) SetLogLevel(level);
+}
+
+namespace {
+
+// Applies LAAR_LOG_LEVEL before main() runs.
+[[maybe_unused]] const bool g_env_level_applied = [] {
+  InitLogLevelFromEnv();
+  return true;
+}();
+
+}  // namespace
+
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -55,8 +89,12 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (!enabled_) return;
-  std::lock_guard<std::mutex> lock(EmitMutex());
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  // One write per line: the whole message, newline included, goes out in a
+  // single fwrite on the (unbuffered) stderr stream, so concurrent log
+  // lines never interleave without needing a process-wide emit lock.
+  stream_ << '\n';
+  const std::string line = stream_.str();
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace internal_logging

@@ -16,8 +16,19 @@ enum class LogLevel {
 
 /// Process-wide minimum severity; messages below it are discarded.
 /// Defaults to `kWarning` so library internals stay quiet in tests/benches.
+/// The `LAAR_LOG_LEVEL` environment variable, when set at process startup,
+/// overrides the default (see `ParseLogLevel` for the accepted spellings).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses a log-level spelling: a name ("debug", "info", "warning",
+/// "error", "off"; case-insensitive) or its numeric value ("0".."4").
+/// Returns false (leaving `*level` untouched) for anything else.
+bool ParseLogLevel(const char* text, LogLevel* level);
+
+/// Applies `LAAR_LOG_LEVEL` from the environment, if set and parseable.
+/// Runs automatically at startup; exposed for tests.
+void InitLogLevelFromEnv();
 
 namespace internal_logging {
 

@@ -107,6 +107,21 @@ Histogram::Histogram(double lo, double hi, size_t bins)
   width_ = (hi - lo) / static_cast<double>(counts_.size());
 }
 
+Histogram Histogram::FromCounts(double lo, double hi, const std::vector<size_t>& counts,
+                                size_t underflow, size_t overflow) {
+  Histogram hist(lo, hi, counts.size());
+  // The constructor may have collapsed a degenerate range to one bin; only
+  // install the counts when the shapes still agree.
+  if (hist.counts_.size() == counts.size()) {
+    hist.counts_ = counts;
+  }
+  hist.underflow_ = underflow;
+  hist.overflow_ = overflow;
+  hist.total_ = underflow + overflow;
+  for (size_t c : hist.counts_) hist.total_ += c;
+  return hist;
+}
+
 void Histogram::Add(double value) {
   ++total_;
   if (width_ <= 0.0) {  // degenerate range: everything lands in the one bin

@@ -71,6 +71,13 @@ class Histogram {
   /// counts every sample.
   Histogram(double lo, double hi, size_t bins);
 
+  /// Reconstructs a histogram from serialized state (bin counts over
+  /// [lo, hi) plus out-of-range tallies); `counts.size()` becomes the bin
+  /// count (empty degrades to one empty bin). Round-trips `lo()`, `hi()`,
+  /// `count(i)`, `underflow()`, `overflow()`, and `total()` exactly.
+  static Histogram FromCounts(double lo, double hi, const std::vector<size_t>& counts,
+                              size_t underflow, size_t overflow);
+
   void Add(double value);
 
   size_t bins() const { return counts_.size(); }

@@ -3,6 +3,10 @@
 
 #include <cstddef>
 
+namespace laar::obs {
+class TraceRecorder;
+}
+
 namespace laar::dsps {
 
 /// Tunables of the simulated stream-processing runtime. Defaults mirror the
@@ -61,6 +65,18 @@ struct RuntimeOptions {
   /// drops. The shedder is deterministic (credit-based, no randomness).
   bool enable_load_shedding = false;
   double shed_threshold = 0.5;
+
+  /// Structured event sink for this run (drops, queue watermarks,
+  /// activation switches, failures, config changes, processing spans); see
+  /// obs/trace_recorder.h. Null (the default) disables tracing at the cost
+  /// of one pointer check per would-be event. The recorder must outlive the
+  /// simulation and must not be shared between concurrent simulations.
+  obs::TraceRecorder* trace_recorder = nullptr;
+
+  /// A port's queue-high event fires when its occupancy crosses this
+  /// fraction of capacity upward; it re-arms once occupancy falls back to
+  /// half the watermark.
+  double queue_watermark_fraction = 0.9;
 };
 
 }  // namespace laar::dsps

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "laar/common/strings.h"
+
 namespace laar::dsps {
 
 double SimulationMetrics::TotalCpuCycles() const {
@@ -41,6 +43,74 @@ double SimulationMetrics::MeanRate(const std::vector<double>& series, double buc
     total += series[i] * (overlap / bucket_seconds);
   }
   return total / (hi - lo);
+}
+
+void PublishTo(obs::MetricsRegistry* registry, const SimulationMetrics& metrics,
+               const obs::MetricsRegistry::Labels& labels) {
+  if (registry == nullptr) return;
+  auto count = [&](const char* name, double value) {
+    if (obs::Counter* c = registry->GetCounter(name, labels)) c->Increment(value);
+  };
+  count("sim_source_tuples", static_cast<double>(metrics.source_tuples));
+  count("sim_sink_tuples", static_cast<double>(metrics.sink_tuples));
+  count("sim_dropped_tuples", static_cast<double>(metrics.dropped_tuples));
+  count("sim_activation_switches", static_cast<double>(metrics.activation_switches));
+  count("sim_processed_tuples", static_cast<double>(metrics.TotalProcessed()));
+  count("sim_cpu_cycles", metrics.TotalCpuCycles());
+  if (obs::Gauge* g = registry->GetGauge("sim_max_queue_depth", labels)) {
+    g->Set(std::max(g->value(), static_cast<double>(metrics.max_queue_depth)));
+  }
+  if (obs::Gauge* g = registry->GetGauge("sim_duration_seconds", labels)) {
+    g->Set(metrics.duration);
+  }
+  if (!metrics.sink_latency.empty()) {
+    if (obs::HistogramMetric* h = registry->GetHistogram(
+            "sim_sink_latency_seconds", labels, 0.0, kSinkLatencyHistogramMaxSeconds,
+            kSinkLatencyHistogramBins)) {
+      for (double sample : metrics.sink_latency.samples()) h->Observe(sample);
+    }
+    if (obs::Gauge* g = registry->GetGauge("sim_sink_latency_mean_seconds", labels)) {
+      g->Set(metrics.sink_latency.mean());
+    }
+    if (obs::Gauge* g = registry->GetGauge("sim_sink_latency_p95_seconds", labels)) {
+      g->Set(metrics.sink_latency.Percentile(95.0));
+    }
+  }
+}
+
+std::string RunSummaryFromRegistry(const obs::MetricsRegistry& registry,
+                                   const obs::MetricsRegistry::Labels& labels) {
+  auto counter = [&](const char* name) -> double {
+    const obs::Counter* c = registry.FindCounter(name, labels);
+    return c == nullptr ? 0.0 : c->value();
+  };
+  auto gauge = [&](const char* name) -> double {
+    const obs::Gauge* g = registry.FindGauge(name, labels);
+    return g == nullptr ? 0.0 : g->value();
+  };
+  std::string summary = StrFormat(
+      "drops=%llu switches=%llu worst_queue_depth=%llu in=%llu out=%llu",
+      static_cast<unsigned long long>(counter("sim_dropped_tuples")),
+      static_cast<unsigned long long>(counter("sim_activation_switches")),
+      static_cast<unsigned long long>(gauge("sim_max_queue_depth")),
+      static_cast<unsigned long long>(counter("sim_source_tuples")),
+      static_cast<unsigned long long>(counter("sim_sink_tuples")));
+  if (registry.FindGauge("sim_sink_latency_mean_seconds", labels) != nullptr) {
+    summary += StrFormat(" latency_mean=%.4gs latency_p95=%.4gs",
+                         gauge("sim_sink_latency_mean_seconds"),
+                         gauge("sim_sink_latency_p95_seconds"));
+  }
+  return summary;
+}
+
+std::string AggregateRunSummaryFromRegistry(const obs::MetricsRegistry& registry) {
+  return StrFormat(
+      "drops=%llu switches=%llu worst_queue_depth=%llu in=%llu out=%llu",
+      static_cast<unsigned long long>(registry.SumCounters("sim_dropped_tuples")),
+      static_cast<unsigned long long>(registry.SumCounters("sim_activation_switches")),
+      static_cast<unsigned long long>(registry.MaxGauge("sim_max_queue_depth")),
+      static_cast<unsigned long long>(registry.SumCounters("sim_source_tuples")),
+      static_cast<unsigned long long>(registry.SumCounters("sim_sink_tuples")));
 }
 
 }  // namespace laar::dsps

@@ -2,10 +2,12 @@
 #define LAAR_DSPS_SIM_METRICS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "laar/common/stats.h"
 #include "laar/model/component.h"
+#include "laar/obs/metrics_registry.h"
 #include "laar/sim/simulator.h"
 
 namespace laar::dsps {
@@ -40,6 +42,13 @@ struct SimulationMetrics {
   uint64_t sink_tuples = 0;    ///< tuples delivered to all sinks
   uint64_t dropped_tuples = 0; ///< total queue-overflow drops
 
+  /// Replica activation-state changes that took effect (both directions;
+  /// each reconfiguration contributes one per flipped replica).
+  uint64_t activation_switches = 0;
+
+  /// Deepest any port queue ever got, in tuples.
+  uint64_t max_queue_depth = 0;
+
   /// Per-bucket source-emission and sink-arrival counts.
   std::vector<double> source_series;
   std::vector<double> sink_series;
@@ -62,6 +71,29 @@ struct SimulationMetrics {
   static double MeanRate(const std::vector<double>& series, double bucket_seconds,
                          sim::SimTime from, sim::SimTime to);
 };
+
+/// Bucket bounds of the published sink-latency histogram (seconds).
+inline constexpr double kSinkLatencyHistogramMaxSeconds = 10.0;
+inline constexpr size_t kSinkLatencyHistogramBins = 32;
+
+/// Publishes the run's aggregates into `registry` under the canonical
+/// `sim_*` names (counters for tuple totals, activation switches, and CPU
+/// cycles; a gauge for the worst queue depth; a histogram plus percentile
+/// gauges for sink latency), tagged with `labels`.
+void PublishTo(obs::MetricsRegistry* registry, const SimulationMetrics& metrics,
+               const obs::MetricsRegistry::Labels& labels = {});
+
+/// One-line run digest sourced from the canonical `sim_*` registry entries
+/// (not from ad-hoc counters), e.g.
+/// "drops=12 switches=8 worst_queue_depth=40 in=1200 out=1100".
+std::string RunSummaryFromRegistry(const obs::MetricsRegistry& registry,
+                                   const obs::MetricsRegistry::Labels& labels = {});
+
+/// The corpus-level roll-up of `RunSummaryFromRegistry`: the same one-line
+/// digest aggregated over every label set in the registry (counters summed,
+/// worst queue depth maxed). Latency is omitted — per-run percentiles do
+/// not aggregate.
+std::string AggregateRunSummaryFromRegistry(const obs::MetricsRegistry& registry);
 
 }  // namespace laar::dsps
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "laar/common/strings.h"
+#include "laar/obs/trace_recorder.h"
 
 namespace laar::dsps {
 
@@ -26,6 +27,9 @@ struct StreamSimulation::Port {
   size_t queued = 0;
   double selectivity_acc = 0.0;  // §5.2 footnote 3 accumulator
   double shed_credit = 0.0;      // deterministic load-shedding accumulator
+
+  size_t watermark = 0;          // queue-high trip level, in tuples
+  bool above_watermark = false;  // trip state; re-arms at half the watermark
 };
 
 /// Where a component's output goes: a sink, or a specific input port of a
@@ -50,6 +54,7 @@ struct StreamSimulation::Replica {
   int processing_port = -1;
   double remaining_cycles = 0.0;
   sim::SimTime processing_birth = 0.0;  // birth time of the in-flight tuple
+  sim::SimTime processing_start = 0.0;  // when the in-flight tuple left the queue
 
   /// One buffered tuple: its port and the source-emission time it traces
   /// back to (for end-to-end latency).
@@ -169,6 +174,9 @@ Status StreamSimulation::Build() {
         port.capacity = std::max<size_t>(
             options_.min_queue_capacity,
             static_cast<size_t>(std::ceil(options_.queue_seconds * peak_rate)));
+        port.watermark = std::max<size_t>(
+            1, static_cast<size_t>(std::ceil(options_.queue_watermark_fraction *
+                                             static_cast<double>(port.capacity))));
         replica.ports.push_back(port);
       }
     }
@@ -218,6 +226,7 @@ Status StreamSimulation::Build() {
       replica.active = strategy_.IsActive(pe, replica.index, applied_config_);
     }
   }
+  simulator_.set_trace_recorder(options_.trace_recorder);
   built_ = true;
   return Status::OK();
 }
@@ -232,6 +241,11 @@ Status StreamSimulation::InjectPermanentReplicaFailure(model::ComponentId pe, in
     return Status::InvalidArgument(StrFormat("PE %d has no replica %d", pe, replica));
   }
   state->replicas[static_cast<size_t>(replica)].alive = false;
+  if (Tracing(obs::Category::kFailures)) {
+    options_.trace_recorder->Instant(obs::EventName::kReplicaCrash, simulator_.now(), pe,
+                                     replica,
+                                     state->replicas[static_cast<size_t>(replica)].host);
+  }
   return Status::OK();
 }
 
@@ -256,6 +270,19 @@ Status StreamSimulation::Run() {
   // Primaries after the initial activation state and injected failures.
   for (auto& pe : pes_) {
     if (pe != nullptr) ElectPrimary(pe.get());
+  }
+
+  // Announce the input-configuration timeline up front: the trace is known
+  // ahead of time, so each segment boundary becomes one instant event (the
+  // exporter sorts by timestamp).
+  if (Tracing(obs::Category::kConfig)) {
+    sim::SimTime at = 0.0;
+    for (const TraceSegment& segment : trace_.segments()) {
+      options_.trace_recorder->Instant(obs::EventName::kInputConfig, at, /*pe=*/-1,
+                                       /*replica=*/-1, /*host=*/-1, /*port=*/-1,
+                                       static_cast<double>(segment.config));
+      at += segment.duration;
+    }
   }
 
   // Source drivers: the first tuple of each source fires one inter-arrival
@@ -382,6 +409,11 @@ void StreamSimulation::DeliverToReplica(Replica* replica, int port_index,
         port.shed_credit -= 1.0;
         ++rm.tuples_dropped;
         ++metrics_.dropped_tuples;
+        if (Tracing(obs::Category::kDrops)) {
+          options_.trace_recorder->Instant(obs::EventName::kTupleShed, simulator_.now(),
+                                           replica->pe_id, replica->index, replica->host,
+                                           port_index);
+        }
         return;
       }
     } else {
@@ -391,9 +423,24 @@ void StreamSimulation::DeliverToReplica(Replica* replica, int port_index,
   if (port.queued >= port.capacity) {
     ++rm.tuples_dropped;
     ++metrics_.dropped_tuples;
+    if (Tracing(obs::Category::kDrops)) {
+      options_.trace_recorder->Instant(obs::EventName::kTupleDrop, simulator_.now(),
+                                       replica->pe_id, replica->index, replica->host,
+                                       port_index);
+    }
     return;
   }
   ++port.queued;
+  if (port.queued > metrics_.max_queue_depth) metrics_.max_queue_depth = port.queued;
+  if (!port.above_watermark && port.queued >= port.watermark) {
+    port.above_watermark = true;
+    if (Tracing(obs::Category::kQueues)) {
+      options_.trace_recorder->Instant(obs::EventName::kQueueHighWatermark,
+                                       simulator_.now(), replica->pe_id, replica->index,
+                                       replica->host, port_index,
+                                       static_cast<double>(port.queued));
+    }
+  }
   replica->fifo.push_back(Replica::QueuedTuple{port_index, birth});
   TryStartProcessing(replica);
 }
@@ -407,9 +454,13 @@ void StreamSimulation::TryStartProcessing(Replica* replica) {
   replica->fifo.pop_front();
   Port& port = replica->ports[static_cast<size_t>(tuple.port)];
   --port.queued;
+  if (port.above_watermark && port.queued * 2 <= port.watermark) {
+    port.above_watermark = false;
+  }
   replica->processing = true;
   replica->processing_port = tuple.port;
   replica->processing_birth = tuple.birth;
+  replica->processing_start = simulator_.now();
   replica->remaining_cycles = port.cpu_cost;
   if (port.cpu_cost <= 0.0) {
     // Zero-cost tuple: complete synchronously without touching the host.
@@ -429,6 +480,12 @@ void StreamSimulation::FinishTuple(Replica* replica) {
   const bool is_primary = pe->primary == replica->index;
   if (is_primary) {
     ++metrics_.pe_processed[static_cast<size_t>(replica->pe_id)];
+  }
+  if (Tracing(obs::Category::kSpans)) {
+    options_.trace_recorder->Span(obs::EventName::kProcessSpan, replica->processing_start,
+                                  simulator_.now() - replica->processing_start,
+                                  replica->pe_id, replica->index, replica->host,
+                                  replica->processing_port);
   }
   Port& port = replica->ports[static_cast<size_t>(replica->processing_port)];
   replica->processing_port = -1;
@@ -468,17 +525,31 @@ void StreamSimulation::EmitFrom(Replica* replica, int count, sim::SimTime birth)
 // ---------------------------------------------------------------------------
 
 void StreamSimulation::ElectPrimary(PeState* pe) {
+  const int previous = pe->primary;
   pe->primary = -1;
   for (const Replica& replica : pe->replicas) {
     if (replica.alive && replica.active && !replica.resyncing) {
       pe->primary = replica.index;
-      return;
+      break;
     }
+  }
+  if (pe->primary != previous && pe->primary != -1 &&
+      Tracing(obs::Category::kActivation)) {
+    const Replica& elected = pe->replicas[static_cast<size_t>(pe->primary)];
+    options_.trace_recorder->Instant(obs::EventName::kPrimaryElected, simulator_.now(),
+                                     pe->id, pe->primary, elected.host, /*port=*/-1,
+                                     static_cast<double>(pe->primary));
   }
 }
 
 void StreamSimulation::ApplyActivation(Replica* replica, bool active) {
   if (replica->active == active) return;
+  ++metrics_.activation_switches;
+  if (Tracing(obs::Category::kActivation)) {
+    options_.trace_recorder->Instant(
+        active ? obs::EventName::kReplicaActivate : obs::EventName::kReplicaDeactivate,
+        simulator_.now(), replica->pe_id, replica->index, replica->host);
+  }
   PeState* pe = pes_[static_cast<size_t>(replica->pe_id)].get();
   if (active) {
     // Reactivation: resynchronize state with an active replica before
@@ -508,6 +579,7 @@ void StreamSimulation::ApplyActivation(Replica* replica, bool active) {
     for (Port& port : replica->ports) {
       port.queued = 0;
       port.selectivity_acc = 0.0;
+      port.above_watermark = false;
     }
     if (pe->primary == replica->index) ElectPrimary(pe);
   }
@@ -516,6 +588,11 @@ void StreamSimulation::ApplyActivation(Replica* replica, bool active) {
 void StreamSimulation::ApplyConfig(model::ConfigId config) {
   if (config == applied_config_) return;
   applied_config_ = config;
+  if (Tracing(obs::Category::kConfig)) {
+    options_.trace_recorder->Instant(obs::EventName::kConfigApplied, simulator_.now(),
+                                     /*pe=*/-1, /*replica=*/-1, /*host=*/-1, /*port=*/-1,
+                                     static_cast<double>(config));
+  }
   for (auto& pe : pes_) {
     if (pe == nullptr) continue;
     for (Replica& replica : pe->replicas) {
@@ -542,6 +619,11 @@ void StreamSimulation::MonitorTick() {
   Result<model::ConfigId> config = config_index_.Lookup(measured);
   if (config.ok() && *config != applied_config_) {
     const model::ConfigId target = *config;
+    if (Tracing(obs::Category::kConfig)) {
+      options_.trace_recorder->Instant(obs::EventName::kControlDecision, simulator_.now(),
+                                       /*pe=*/-1, /*replica=*/-1, /*host=*/-1,
+                                       /*port=*/-1, static_cast<double>(target));
+    }
     simulator_.ScheduleAfter(options_.control_latency_seconds,
                              [this, target] { ApplyConfig(target); });
   }
@@ -581,11 +663,20 @@ void StreamSimulation::SourceEmit(SourceState* source) {
 }
 
 void StreamSimulation::CrashHost(model::HostId host, sim::SimTime duration) {
+  if (Tracing(obs::Category::kFailures)) {
+    options_.trace_recorder->Instant(obs::EventName::kHostCrash, simulator_.now(),
+                                     /*pe=*/-1, /*replica=*/-1, host, /*port=*/-1,
+                                     duration);
+  }
   for (auto& pe : pes_) {
     if (pe == nullptr) continue;
     for (Replica& replica : pe->replicas) {
       if (replica.host != host || !replica.alive) continue;
       replica.alive = false;
+      if (Tracing(obs::Category::kFailures)) {
+        options_.trace_recorder->Instant(obs::EventName::kReplicaCrash, simulator_.now(),
+                                         replica.pe_id, replica.index, replica.host);
+      }
       ++replica.resync_epoch;
       replica.resyncing = false;
       if (replica.processing) {
@@ -598,6 +689,7 @@ void StreamSimulation::CrashHost(model::HostId host, sim::SimTime duration) {
       for (Port& port : replica.ports) {
         port.queued = 0;
         port.selectivity_acc = 0.0;
+        port.above_watermark = false;
       }
       if (pe->primary == replica.index) {
         // The dead primary is only replaced once heartbeat loss is
@@ -617,12 +709,21 @@ void StreamSimulation::CrashHost(model::HostId host, sim::SimTime duration) {
 }
 
 void StreamSimulation::RecoverHost(model::HostId host) {
+  if (Tracing(obs::Category::kFailures)) {
+    options_.trace_recorder->Instant(obs::EventName::kHostRecover, simulator_.now(),
+                                     /*pe=*/-1, /*replica=*/-1, host);
+  }
   for (auto& pe : pes_) {
     if (pe == nullptr) continue;
     PeState* pe_ptr = pe.get();
     for (Replica& replica : pe->replicas) {
       if (replica.host != host || replica.alive) continue;
       replica.alive = true;
+      if (Tracing(obs::Category::kFailures)) {
+        options_.trace_recorder->Instant(obs::EventName::kReplicaRecover,
+                                         simulator_.now(), replica.pe_id, replica.index,
+                                         replica.host);
+      }
       // Rejoin with the activation state the controller currently expects,
       // after a state resync (recovered replicas come back as secondaries).
       replica.active = strategy_.IsActive(pe->id, replica.index, applied_config_);
@@ -648,6 +749,10 @@ void StreamSimulation::RecoverHost(model::HostId host) {
 size_t StreamSimulation::BucketOf(sim::SimTime t) const {
   const auto bucket = static_cast<size_t>(t / metrics_.bucket_seconds);
   return std::min(bucket, metrics_.sink_series.size() - 1);
+}
+
+bool StreamSimulation::Tracing(obs::Category category) const {
+  return options_.trace_recorder != nullptr && options_.trace_recorder->Wants(category);
 }
 
 void StreamSimulation::RecordReplicaCycles(Replica* replica, double cycles) {

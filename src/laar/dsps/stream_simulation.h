@@ -14,6 +14,7 @@
 #include "laar/model/descriptor.h"
 #include "laar/model/placement.h"
 #include "laar/model/rates.h"
+#include "laar/obs/trace_event.h"
 #include "laar/sim/simulator.h"
 #include "laar/strategy/activation_strategy.h"
 
@@ -112,6 +113,10 @@ class StreamSimulation {
   // --- bookkeeping ---
   size_t BucketOf(sim::SimTime t) const;
   void RecordReplicaCycles(Replica* replica, double cycles);
+
+  /// True when a recorder is attached and wants `category` — the guard every
+  /// emission site checks before building an event.
+  bool Tracing(obs::Category category) const;
 
   const model::ApplicationDescriptor& app_;
   const model::Cluster& cluster_;

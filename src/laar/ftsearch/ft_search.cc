@@ -6,6 +6,7 @@
 #include <cmath>
 #include <limits>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "laar/common/stopwatch.h"
@@ -100,10 +101,45 @@ struct SharedState {
   std::atomic<bool> timed_out{false};
   std::atomic<uint64_t> nodes_total{0};
 
+  /// Global mirrors of the per-worker statistics, fed by amortized flushes;
+  /// progress reporting only (the exact totals come from MergeFrom).
+  std::atomic<uint64_t> solutions_total{0};
+  std::atomic<uint64_t> cpu_prunes{0};
+  std::atomic<uint64_t> compl_prunes{0};
+  std::atomic<uint64_t> cost_prunes{0};
+  std::atomic<uint64_t> dom_prunes{0};
+  /// Node count at which the next progress callback fires; a CAS elects the
+  /// single worker that reports each threshold.
+  std::atomic<uint64_t> next_progress{0};
+
   Stopwatch watch;
   Deadline deadline;
   uint64_t node_limit = 0;
 };
+
+/// Builds a progress snapshot from the shared counters (incumbent under the
+/// lock, everything else relaxed).
+FtSearchProgress SnapshotProgress(const Problem& problem, SharedState* shared,
+                                  uint64_t nodes) {
+  FtSearchProgress progress;
+  progress.elapsed_seconds = shared->watch.ElapsedSeconds();
+  progress.nodes_explored = nodes;
+  progress.solutions_found = shared->solutions_total.load(std::memory_order_relaxed);
+  progress.cpu_prunes = shared->cpu_prunes.load(std::memory_order_relaxed);
+  progress.compl_prunes = shared->compl_prunes.load(std::memory_order_relaxed);
+  progress.cost_prunes = shared->cost_prunes.load(std::memory_order_relaxed);
+  progress.dom_prunes = shared->dom_prunes.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(shared->mu);
+    if (shared->found_any) {
+      progress.has_incumbent = true;
+      progress.incumbent_cost = shared->best_cost;
+      progress.incumbent_ic =
+          problem.bic_per_sec <= 0.0 ? 1.0 : shared->best_fic / problem.bic_per_sec;
+    }
+  }
+  return progress;
+}
 
 /// Per-worker search state: current partial assignment plus every
 /// incrementally maintained quantity the pruning rules need.
@@ -252,8 +288,44 @@ class SearchContext {
         shared_->stop.store(true);
         return true;
       }
+      if (problem_.options.progress) {
+        FlushSharedCounters();
+        MaybeEmitProgress();
+      }
     }
     return false;
+  }
+
+  /// Pushes the local counter deltas since the last flush into the shared
+  /// atomics (amortized by the ShouldStop stride; progress reporting only).
+  void FlushSharedCounters() {
+    auto push = [](std::atomic<uint64_t>* target, uint64_t current, uint64_t* last) {
+      if (current != *last) {
+        target->fetch_add(current - *last, std::memory_order_relaxed);
+        *last = current;
+      }
+    };
+    push(&shared_->solutions_total, stats_.solutions_found, &flushed_.solutions_found);
+    push(&shared_->cpu_prunes, stats_.cpu.count, &flushed_.cpu.count);
+    push(&shared_->compl_prunes, stats_.compl_.count, &flushed_.compl_.count);
+    push(&shared_->cost_prunes, stats_.cost.count, &flushed_.cost.count);
+    push(&shared_->dom_prunes, stats_.dom.count, &flushed_.dom.count);
+  }
+
+  /// Fires the progress callback if the global node count crossed the next
+  /// threshold; the CAS guarantees one invocation per threshold.
+  void MaybeEmitProgress() {
+    const uint64_t interval =
+        std::max<uint64_t>(1, problem_.options.progress_interval_nodes);
+    const uint64_t nodes = shared_->nodes_total.load(std::memory_order_relaxed);
+    uint64_t expected = shared_->next_progress.load(std::memory_order_relaxed);
+    while (nodes >= expected) {
+      if (shared_->next_progress.compare_exchange_weak(expected, nodes + interval,
+                                                       std::memory_order_relaxed)) {
+        problem_.options.progress(SnapshotProgress(problem_, shared_, nodes));
+        break;
+      }
+    }
   }
 
   /// Attempts to bind variable `depth` to `value`, applying the CPU, COST,
@@ -482,6 +554,8 @@ class SearchContext {
   double fic_partial_ = 0.0;
   uint64_t stop_check_counter_ = 0;
   bool count_stats_ = true;
+  /// Local counter values already pushed to the shared progress atomics.
+  FtSearchStats flushed_;
 };
 
 Result<Problem> BuildProblem(const model::ApplicationGraph& graph,
@@ -676,6 +750,44 @@ void FtSearchStats::MergeFrom(const FtSearchStats& other) {
   dom.total_height += other.dom.total_height;
 }
 
+std::string FtSearchProgress::ToString() const {
+  std::string line = StrFormat(
+      "t=%.1fs nodes=%llu sol=%llu", elapsed_seconds,
+      static_cast<unsigned long long>(nodes_explored),
+      static_cast<unsigned long long>(solutions_found));
+  if (has_incumbent) {
+    line += StrFormat(" best=%.6g ic=%.4f", incumbent_cost, incumbent_ic);
+  }
+  line += StrFormat(" prunes[cpu=%llu compl=%llu cost=%llu dom=%llu]",
+                    static_cast<unsigned long long>(cpu_prunes),
+                    static_cast<unsigned long long>(compl_prunes),
+                    static_cast<unsigned long long>(cost_prunes),
+                    static_cast<unsigned long long>(dom_prunes));
+  return line;
+}
+
+void PublishTo(obs::MetricsRegistry* registry, const FtSearchStats& stats,
+               const obs::MetricsRegistry::Labels& labels) {
+  if (registry == nullptr) return;
+  auto count = [&](const char* name, uint64_t value,
+                   const obs::MetricsRegistry::Labels& with) {
+    if (obs::Counter* c = registry->GetCounter(name, with)) {
+      c->Increment(static_cast<double>(value));
+    }
+  };
+  count("ftsearch_nodes_explored", stats.nodes_explored, labels);
+  count("ftsearch_solutions_found", stats.solutions_found, labels);
+  const std::pair<const char*, const PruningStats*> rules[] = {
+      {"cpu", &stats.cpu}, {"compl", &stats.compl_},
+      {"cost", &stats.cost}, {"dom", &stats.dom}};
+  for (const auto& [rule, pruning] : rules) {
+    obs::MetricsRegistry::Labels with = labels;
+    with.emplace_back("rule", rule);
+    count("ftsearch_prunes", pruning->count, with);
+    count("ftsearch_pruned_height", pruning->total_height, with);
+  }
+}
+
 std::string FtSearchResult::ToString() const {
   return StrFormat(
       "%s cost=%.6g ic=%.4f first_cost=%.6g first_t=%.3fs best_t=%.3fs total_t=%.3fs "
@@ -704,6 +816,7 @@ Result<FtSearchResult> RunFtSearch(const model::ApplicationGraph& graph,
   shared.deadline = options.time_limit_seconds > 0.0
                         ? Deadline::After(options.time_limit_seconds)
                         : Deadline::Infinite();
+  shared.next_progress.store(std::max<uint64_t>(1, options.progress_interval_nodes));
 
   FtSearchStats merged_stats;
   if (options.seed_greedy && problem.num_vars > 0) {
@@ -753,6 +866,19 @@ Result<FtSearchResult> RunFtSearch(const model::ApplicationGraph& graph,
       });
     }
     group.Wait();
+  }
+
+  // Final snapshot with the exact merged totals (the amortized flushes can
+  // lag by up to one stride per worker).
+  if (options.progress) {
+    FtSearchProgress final_progress = SnapshotProgress(problem, &shared, 0);
+    final_progress.nodes_explored = merged_stats.nodes_explored;
+    final_progress.solutions_found = merged_stats.solutions_found;
+    final_progress.cpu_prunes = merged_stats.cpu.count;
+    final_progress.compl_prunes = merged_stats.compl_.count;
+    final_progress.cost_prunes = merged_stats.cost.count;
+    final_progress.dom_prunes = merged_stats.dom.count;
+    options.progress(final_progress);
   }
 
   FtSearchResult result;

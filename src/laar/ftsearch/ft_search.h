@@ -2,6 +2,7 @@
 #define LAAR_FTSEARCH_FT_SEARCH_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -11,6 +12,7 @@
 #include "laar/model/input_space.h"
 #include "laar/model/placement.h"
 #include "laar/model/rates.h"
+#include "laar/obs/metrics_registry.h"
 #include "laar/strategy/activation_strategy.h"
 
 namespace laar {
@@ -51,6 +53,28 @@ struct FtSearchStats {
   PruningStats dom;    ///< forward domain propagation (DOM)
 
   void MergeFrom(const FtSearchStats& other);
+};
+
+/// Point-in-time snapshot of a running search, delivered to the `progress`
+/// callback. Counts are global (summed over all workers) but approximate
+/// while the search runs: workers flush their local counters at the same
+/// amortized stride as the stop checks.
+struct FtSearchProgress {
+  double elapsed_seconds = 0.0;
+  uint64_t nodes_explored = 0;
+  uint64_t solutions_found = 0;
+
+  bool has_incumbent = false;
+  double incumbent_cost = 0.0;
+  double incumbent_ic = 0.0;
+
+  uint64_t cpu_prunes = 0;
+  uint64_t compl_prunes = 0;
+  uint64_t cost_prunes = 0;
+  uint64_t dom_prunes = 0;
+
+  /// One line: "t=1.2s nodes=500000 sol=3 best=12.5 ic=0.61 prunes[...]".
+  std::string ToString() const;
 };
 
 /// Tuning knobs of FT-Search. The defaults reproduce the configuration of
@@ -105,6 +129,16 @@ struct FtSearchOptions {
   /// every node (finds IC-feasible solutions early).
   bool try_both_first = true;
 
+  /// Observational progress hook: invoked roughly every
+  /// `progress_interval_nodes` explored nodes (from whichever worker
+  /// crosses the threshold — at most one invocation per threshold) and once
+  /// more after the search finishes, with exact final counts. The callback
+  /// must be thread-safe when num_threads > 1 and must not block: it runs
+  /// on the search's hot path. It cannot influence the search, so results
+  /// are identical with and without it.
+  std::function<void(const FtSearchProgress&)> progress;
+  uint64_t progress_interval_nodes = 1u << 16;
+
   /// Abort after exploring this many nodes (0 = unlimited). Unlike the
   /// wall-clock limit, a node budget is deterministic: for a sequential
   /// search (num_threads = 1) the outcome is a pure function of the inputs,
@@ -134,6 +168,12 @@ struct FtSearchResult {
 
   std::string ToString() const;
 };
+
+/// Publishes search statistics into `registry` under `ftsearch_*` names;
+/// per-rule prune counters carry a `rule=cpu|compl|cost|dom` label on top
+/// of `labels`.
+void PublishTo(obs::MetricsRegistry* registry, const FtSearchStats& stats,
+               const obs::MetricsRegistry::Labels& labels = {});
 
 /// Runs FT-Search (§4.5): a depth-first branch-and-bound over the replica
 /// activation states of every (PE, input configuration) pair, restricted to

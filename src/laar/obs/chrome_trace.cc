@@ -1,0 +1,247 @@
+#include "laar/obs/chrome_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "laar/common/strings.h"
+
+namespace laar::obs {
+
+namespace {
+
+constexpr double kMicrosPerSecond = 1e6;
+
+int32_t PidOf(const TraceEvent& event) { return event.host >= 0 ? event.host + 1 : 0; }
+
+const char* PhaseString(EventPhase phase) {
+  switch (phase) {
+    case EventPhase::kInstant:
+      return "i";
+    case EventPhase::kSpan:
+      return "X";
+    case EventPhase::kCounter:
+      return "C";
+  }
+  return "i";
+}
+
+json::Value MetadataEvent(const char* name, int32_t pid, int32_t tid,
+                          const std::string& value) {
+  json::Value event = json::Value::MakeObject();
+  event.Set("name", json::Value::String(name));
+  event.Set("ph", json::Value::String("M"));
+  event.Set("ts", json::Value::Number(0.0));
+  event.Set("pid", json::Value::Int(pid));
+  event.Set("tid", json::Value::Int(tid));
+  json::Value args = json::Value::MakeObject();
+  args.Set("name", json::Value::String(value));
+  event.Set("args", std::move(args));
+  return event;
+}
+
+}  // namespace
+
+json::Value ToChromeTraceJson(const TraceRecorder& recorder) {
+  std::vector<TraceEvent> events = recorder.Events();
+  // Events are recorded in simulation order except pre-announced ones (the
+  // input-trace schedule is emitted up front); a stable sort by timestamp
+  // restores chronology while keeping same-time events in recording order.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.time < b.time; });
+
+  // Thread ids per process: tid 0 is the host-level thread; replica threads
+  // are assigned in sorted (pe, replica) order, deterministically.
+  std::map<int32_t, std::map<std::pair<int32_t, int32_t>, int32_t>> threads;
+  for (const TraceEvent& event : events) {
+    if (event.pe >= 0) {
+      threads[PidOf(event)].emplace(std::make_pair(event.pe, event.replica), 0);
+    } else {
+      threads[PidOf(event)];  // ensure the process exists
+    }
+  }
+  for (auto& [pid, replica_threads] : threads) {
+    int32_t next_tid = 1;
+    for (auto& [key, tid] : replica_threads) tid = next_tid++;
+  }
+
+  json::Value trace_events = json::Value::MakeArray();
+  for (const auto& [pid, replica_threads] : threads) {
+    trace_events.Append(MetadataEvent("process_name", pid, 0,
+                                      pid == 0 ? "laar" : StrFormat("host%d", pid - 1)));
+    trace_events.Append(
+        MetadataEvent("thread_name", pid, 0, pid == 0 ? "control" : "host"));
+    for (const auto& [key, tid] : replica_threads) {
+      const std::string name = key.second >= 0
+                                   ? StrFormat("PE%d/r%d", key.first, key.second)
+                                   : StrFormat("PE%d", key.first);
+      trace_events.Append(MetadataEvent("thread_name", pid, tid, name));
+    }
+  }
+
+  for (const TraceEvent& event : events) {
+    const EventInfo& info = EventInfoOf(event.name);
+    const int32_t pid = PidOf(event);
+    int32_t tid = 0;
+    if (event.pe >= 0) {
+      tid = threads[pid][std::make_pair(event.pe, event.replica)];
+    }
+    json::Value out = json::Value::MakeObject();
+    out.Set("name", json::Value::String(info.name));
+    out.Set("cat", json::Value::String(CategoryName(info.category)));
+    out.Set("ph", json::Value::String(PhaseString(info.phase)));
+    out.Set("ts", json::Value::Number(event.time * kMicrosPerSecond));
+    out.Set("pid", json::Value::Int(pid));
+    out.Set("tid", json::Value::Int(tid));
+    json::Value args = json::Value::MakeObject();
+    switch (info.phase) {
+      case EventPhase::kInstant:
+        out.Set("s", json::Value::String("t"));
+        if (event.pe >= 0) args.Set("pe", json::Value::Int(event.pe));
+        if (event.replica >= 0) args.Set("replica", json::Value::Int(event.replica));
+        if (event.port >= 0) args.Set("port", json::Value::Int(event.port));
+        args.Set("value", json::Value::Number(event.value));
+        break;
+      case EventPhase::kSpan:
+        out.Set("dur", json::Value::Number(event.duration * kMicrosPerSecond));
+        if (event.port >= 0) args.Set("port", json::Value::Int(event.port));
+        break;
+      case EventPhase::kCounter:
+        args.Set("value", json::Value::Number(event.value));
+        break;
+    }
+    out.Set("args", std::move(args));
+    trace_events.Append(std::move(out));
+  }
+
+  json::Value doc = json::Value::MakeObject();
+  doc.Set("traceEvents", std::move(trace_events));
+  doc.Set("displayTimeUnit", json::Value::String("ms"));
+  if (recorder.overwritten() > 0) {
+    doc.Set("laarDroppedEvents",
+            json::Value::Int(static_cast<int64_t>(recorder.overwritten())));
+  }
+  return doc;
+}
+
+Status ValidateChromeTrace(const json::Value& trace) {
+  if (!trace.is_object()) return Status::InvalidArgument("trace must be a JSON object");
+  LAAR_ASSIGN_OR_RETURN(const json::Value* events, trace.Get("traceEvents"));
+  if (!events->is_array()) {
+    return Status::InvalidArgument("'traceEvents' must be an array");
+  }
+  size_t index = 0;
+  for (const json::Value& event : events->array()) {
+    const std::string where = StrFormat("traceEvents[%zu]", index++);
+    if (!event.is_object()) {
+      return Status::InvalidArgument(where + " is not an object");
+    }
+    LAAR_ASSIGN_OR_RETURN(const json::Value* name, event.Get("name"));
+    if (!name->is_string() || name->string_value().empty()) {
+      return Status::InvalidArgument(where + " has no string 'name'");
+    }
+    LAAR_ASSIGN_OR_RETURN(const json::Value* ph, event.Get("ph"));
+    if (!ph->is_string()) return Status::InvalidArgument(where + " has no 'ph'");
+    const std::string& phase = ph->string_value();
+    if (phase != "M" && phase != "i" && phase != "X" && phase != "C") {
+      return Status::InvalidArgument(where + " has unsupported phase '" + phase + "'");
+    }
+    LAAR_ASSIGN_OR_RETURN(const json::Value* ts, event.Get("ts"));
+    if (!ts->is_number() || !std::isfinite(ts->number_value()) ||
+        ts->number_value() < 0.0) {
+      return Status::InvalidArgument(where + " has invalid 'ts'");
+    }
+    LAAR_RETURN_IF_ERROR(event.GetOr("pid", json::Value::Null()).AsInt().status());
+    LAAR_RETURN_IF_ERROR(event.GetOr("tid", json::Value::Null()).AsInt().status());
+    if (phase == "X") {
+      LAAR_ASSIGN_OR_RETURN(const json::Value* dur, event.Get("dur"));
+      if (!dur->is_number() || !(dur->number_value() >= 0.0)) {
+        return Status::InvalidArgument(where + " X event has invalid 'dur'");
+      }
+    }
+    if (phase == "M" || phase == "C") {
+      LAAR_ASSIGN_OR_RETURN(const json::Value* args, event.Get("args"));
+      if (!args->is_object()) {
+        return Status::InvalidArgument(where + " " + phase + " event has no 'args'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string SummarizeChromeTrace(const json::Value& trace) {
+  const json::Value empty_array = json::Value::MakeArray();
+  const json::Value& events = trace.GetOr("traceEvents", empty_array);
+  size_t total = 0;
+  size_t metadata = 0;
+  double min_ts = 0.0;
+  double max_ts = 0.0;
+  bool any_ts = false;
+  std::map<std::string, size_t> by_category;
+  std::map<std::string, size_t> by_name;
+  std::map<int64_t, size_t> by_pid;
+  for (const json::Value& event : events.array()) {
+    if (!event.is_object()) continue;
+    const std::string phase = event.GetOr("ph", json::Value::String("")).string_value();
+    if (phase == "M") {
+      ++metadata;
+      continue;
+    }
+    ++total;
+    const json::Value ts = event.GetOr("ts", json::Value::Number(0.0));
+    if (ts.is_number()) {
+      const double t = ts.number_value();
+      if (!any_ts || t < min_ts) min_ts = t;
+      if (!any_ts || t > max_ts) max_ts = t;
+      any_ts = true;
+    }
+    ++by_category[event.GetOr("cat", json::Value::String("?")).string_value()];
+    ++by_name[event.GetOr("name", json::Value::String("?")).string_value()];
+    auto pid = event.GetOr("pid", json::Value::Int(-1)).AsInt();
+    ++by_pid[pid.ok() ? *pid : -1];
+  }
+
+  std::string out = StrFormat("%zu events (%zu metadata records), %.3f s span\n", total,
+                              metadata, any_ts ? (max_ts - min_ts) / 1e6 : 0.0);
+  out += "by category:\n";
+  for (const auto& [category, count] : by_category) {
+    out += StrFormat("  %-12s %8zu\n", category.c_str(), count);
+  }
+  out += "by event:\n";
+  for (const auto& [name, count] : by_name) {
+    out += StrFormat("  %-20s %8zu\n", name.c_str(), count);
+  }
+  out += "by process:\n";
+  for (const auto& [pid, count] : by_pid) {
+    out += StrFormat("  pid %-3lld %8zu\n", static_cast<long long>(pid), count);
+  }
+  return out;
+}
+
+Result<json::Value> FilterChromeTrace(const json::Value& trace, uint32_t categories) {
+  LAAR_RETURN_IF_ERROR(ValidateChromeTrace(trace));
+  json::Value out = json::Value::MakeObject();
+  for (const auto& [key, value] : trace.object()) {
+    if (key != "traceEvents") out.Set(key, value);
+  }
+  json::Value kept = json::Value::MakeArray();
+  LAAR_ASSIGN_OR_RETURN(const json::Value* events, trace.Get("traceEvents"));
+  for (const json::Value& event : events->array()) {
+    const std::string phase = event.GetOr("ph", json::Value::String("")).string_value();
+    if (phase == "M") {
+      kept.Append(event);
+      continue;
+    }
+    const std::string category =
+        event.GetOr("cat", json::Value::String("")).string_value();
+    if ((CategoryBitFromName(category.c_str()) & categories) != 0) {
+      kept.Append(event);
+    }
+  }
+  out.Set("traceEvents", std::move(kept));
+  return out;
+}
+
+}  // namespace laar::obs

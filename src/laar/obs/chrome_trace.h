@@ -1,0 +1,45 @@
+#ifndef LAAR_OBS_CHROME_TRACE_H_
+#define LAAR_OBS_CHROME_TRACE_H_
+
+#include <string>
+
+#include "laar/common/result.h"
+#include "laar/json/json.h"
+#include "laar/obs/trace_recorder.h"
+
+namespace laar::obs {
+
+/// Converts a recorded trace into the Chrome trace-event JSON format
+/// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+/// openable in Perfetto or chrome://tracing.
+///
+/// Mapping: hosts become processes (pid = host + 1; pid 0 is the "laar"
+/// control process for host-less events), replicas become threads within
+/// their host's process (named "PE<p>/r<r>"; tid 0 is the per-process
+/// "host" thread). Timestamps are simulation time in microseconds. Instant
+/// events use phase "i", processing spans phase "X", counters phase "C";
+/// process/thread names are emitted as "M" metadata records.
+///
+/// The output is deterministic: events sort stably by timestamp, thread ids
+/// are assigned in sorted (host, pe, replica) order, and object keys are
+/// serialized sorted.
+json::Value ToChromeTraceJson(const TraceRecorder& recorder);
+
+/// Checks that `trace` is structurally valid Chrome trace-event JSON (the
+/// subset this library emits): an object with a "traceEvents" array whose
+/// entries carry a string "name", a "ph" in {M, i, X, C}, a finite numeric
+/// "ts" >= 0, integer "pid"/"tid", a "dur" >= 0 for X events, and an "args"
+/// object for M/C events.
+Status ValidateChromeTrace(const json::Value& trace);
+
+/// Human-readable digest of a trace: event counts per category, per event
+/// name, and per process, plus the covered time span.
+std::string SummarizeChromeTrace(const json::Value& trace);
+
+/// Returns a copy of `trace` keeping metadata records and the events whose
+/// "cat" is in the `categories` bitmask.
+Result<json::Value> FilterChromeTrace(const json::Value& trace, uint32_t categories);
+
+}  // namespace laar::obs
+
+#endif  // LAAR_OBS_CHROME_TRACE_H_

@@ -1,0 +1,137 @@
+#ifndef LAAR_OBS_METRICS_REGISTRY_H_
+#define LAAR_OBS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "laar/common/stats.h"
+#include "laar/json/json.h"
+
+namespace laar::obs {
+
+/// A monotonically increasing total.
+class Counter {
+ public:
+  void Increment(double delta = 1.0) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A last-written-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A fixed-bin histogram metric (thread-safe wrapper over laar::Histogram,
+/// with the sample sum retained so the mean survives serialization).
+class HistogramMetric {
+ public:
+  HistogramMetric(double lo, double hi, size_t bins) : histogram_(lo, hi, bins) {}
+
+  void Observe(double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    histogram_.Add(value);
+    sum_ += value;
+  }
+
+  /// Snapshot of the underlying histogram.
+  Histogram Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return histogram_;
+  }
+  double sum() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sum_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Histogram histogram_;
+  double sum_ = 0.0;
+};
+
+/// A process-local registry of named, labelled metrics — the single place
+/// end-of-run measurements are published to, and serialized from, so every
+/// CLI/bench report draws on the same numbers instead of ad-hoc printing.
+///
+/// Lookup creates on first use and returns the same instance afterwards
+/// (same name + labels). Returned pointers stay valid for the registry's
+/// lifetime. All methods are thread-safe; counters and gauges are also
+/// cheap to update concurrently from corpus workers.
+class MetricsRegistry {
+ public:
+  /// Label set of one metric instance; order-insensitive (canonicalized by
+  /// sorting on key).
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Lookup-or-create. Returns null when `name` already exists with a
+  /// different metric type (a programming error surfaced gently).
+  Counter* GetCounter(const std::string& name, const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {});
+  HistogramMetric* GetHistogram(const std::string& name, const Labels& labels, double lo,
+                                double hi, size_t bins);
+
+  /// Read-only lookup; null when absent or of a different type.
+  const Counter* FindCounter(const std::string& name, const Labels& labels = {}) const;
+  const Gauge* FindGauge(const std::string& name, const Labels& labels = {}) const;
+  const HistogramMetric* FindHistogram(const std::string& name,
+                                       const Labels& labels = {}) const;
+
+  /// Cross-label roll-ups: the sum of every counter named `name`, and the
+  /// max of every gauge named `name`, over all label sets (0 when none
+  /// exist). Used for corpus-level run summaries.
+  double SumCounters(const std::string& name) const;
+  double MaxGauge(const std::string& name) const;
+
+  /// Removes every entry carrying label `key` whose value fails `keep`;
+  /// entries without the label are untouched. Returns how many entries were
+  /// removed. Unlike the getters' pointers-stay-valid guarantee, pruning
+  /// invalidates pointers to the removed metrics — call it only at
+  /// quiescent points (e.g. after a corpus run retires speculative seeds).
+  size_t PruneByLabel(const std::string& key,
+                      const std::function<bool(const std::string&)>& keep);
+
+  /// Serializes every metric, sorted by (name, labels), as
+  /// {"metrics": [{"name", "labels", "type", ...}, ...]}. Deterministic for
+  /// a given registry content.
+  json::Value ToJson() const;
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+  };
+
+  static std::string KeyOf(const std::string& name, const Labels& labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace laar::obs
+
+#endif  // LAAR_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,86 @@
+#ifndef LAAR_OBS_TRACE_EVENT_H_
+#define LAAR_OBS_TRACE_EVENT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace laar::obs {
+
+/// Event categories, usable as a bitmask filter. Each trace event belongs
+/// to exactly one category; a `TraceRecorder` only stores events whose
+/// category is in its mask.
+enum class Category : uint32_t {
+  kDrops = 1u << 0,       ///< tuple drops (queue overflow, load shedding)
+  kQueues = 1u << 1,      ///< queue high-watermark crossings
+  kActivation = 1u << 2,  ///< replica activation switches, primary elections
+  kFailures = 1u << 3,    ///< replica/host crashes and recoveries
+  kConfig = 1u << 4,      ///< input-configuration and control-plane changes
+  kSpans = 1u << 5,       ///< per-tuple processing spans
+  kEngine = 1u << 6,      ///< event-engine backlog counters
+};
+
+inline constexpr uint32_t kAllCategories = 0x7f;
+
+const char* CategoryName(Category category);
+
+/// Parses a category name ("drops", "queues", ...) into its bit; returns 0
+/// for unknown names.
+uint32_t CategoryBitFromName(const char* name);
+
+/// Parses a comma-separated category list ("drops,failures") into a
+/// bitmask. An empty list means every category. Unknown names are skipped
+/// and reported through `*ok` (set to false; true otherwise).
+uint32_t ParseCategoryList(const std::string& list, bool* ok);
+
+/// How an event renders in the Chrome trace-event format.
+enum class EventPhase : uint8_t {
+  kInstant = 0,  ///< "i" — a point in time
+  kSpan = 1,     ///< "X" — a complete duration event
+  kCounter = 2,  ///< "C" — a sampled value
+};
+
+/// Every event kind the simulation stack emits. The table in
+/// `EventInfoOf` maps each kind to its display name, category, and phase.
+enum class EventName : uint8_t {
+  kTupleDrop = 0,       ///< queue-overflow drop
+  kTupleShed,           ///< load-shedding drop
+  kQueueHighWatermark,  ///< a port queue crossed its high watermark
+  kReplicaActivate,     ///< activation command took effect
+  kReplicaDeactivate,   ///< deactivation command took effect
+  kPrimaryElected,      ///< a PE elected a (new) primary; value = index
+  kReplicaCrash,        ///< replica died (host crash or injected failure)
+  kReplicaRecover,      ///< replica re-joined after host recovery
+  kHostCrash,           ///< transient host crash began
+  kHostRecover,         ///< host recovered
+  kInputConfig,         ///< the input trace switched configuration
+  kConfigApplied,       ///< the HAController's target config took effect
+  kControlDecision,     ///< the HAController decided to reconfigure
+  kProcessSpan,         ///< one tuple's processing on a replica
+  kEngineBacklog,       ///< pending simulator events (sampled)
+  kCount,               ///< sentinel — number of event kinds
+};
+
+struct EventInfo {
+  const char* name;
+  Category category;
+  EventPhase phase;
+};
+
+const EventInfo& EventInfoOf(EventName name);
+
+/// One recorded event. Plain data, sized for a ring buffer; identifier
+/// fields are -1 when not applicable. Times are simulation seconds.
+struct TraceEvent {
+  double time = 0.0;
+  double duration = 0.0;  ///< spans only
+  double value = 0.0;     ///< payload: queue depth, config id, counter value
+  EventName name = EventName::kTupleDrop;
+  int32_t pe = -1;
+  int32_t replica = -1;
+  int32_t host = -1;
+  int32_t port = -1;
+};
+
+}  // namespace laar::obs
+
+#endif  // LAAR_OBS_TRACE_EVENT_H_

@@ -1,0 +1,150 @@
+#include "laar/obs/trace_recorder.h"
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+
+namespace laar::obs {
+
+namespace {
+
+constexpr EventInfo kEventTable[static_cast<size_t>(EventName::kCount)] = {
+    {"tuple_drop", Category::kDrops, EventPhase::kInstant},
+    {"tuple_shed", Category::kDrops, EventPhase::kInstant},
+    {"queue_high_watermark", Category::kQueues, EventPhase::kInstant},
+    {"replica_activate", Category::kActivation, EventPhase::kInstant},
+    {"replica_deactivate", Category::kActivation, EventPhase::kInstant},
+    {"primary_elected", Category::kActivation, EventPhase::kInstant},
+    {"replica_crash", Category::kFailures, EventPhase::kInstant},
+    {"replica_recover", Category::kFailures, EventPhase::kInstant},
+    {"host_crash", Category::kFailures, EventPhase::kInstant},
+    {"host_recover", Category::kFailures, EventPhase::kInstant},
+    {"input_config", Category::kConfig, EventPhase::kInstant},
+    {"config_applied", Category::kConfig, EventPhase::kInstant},
+    {"control_decision", Category::kConfig, EventPhase::kInstant},
+    {"process", Category::kSpans, EventPhase::kSpan},
+    {"pending_events", Category::kEngine, EventPhase::kCounter},
+};
+
+}  // namespace
+
+const EventInfo& EventInfoOf(EventName name) {
+  return kEventTable[static_cast<size_t>(name)];
+}
+
+const char* CategoryName(Category category) {
+  switch (category) {
+    case Category::kDrops:
+      return "drops";
+    case Category::kQueues:
+      return "queues";
+    case Category::kActivation:
+      return "activation";
+    case Category::kFailures:
+      return "failures";
+    case Category::kConfig:
+      return "config";
+    case Category::kSpans:
+      return "spans";
+    case Category::kEngine:
+      return "engine";
+  }
+  return "?";
+}
+
+uint32_t CategoryBitFromName(const char* name) {
+  constexpr Category kAll[] = {Category::kDrops,    Category::kQueues,
+                               Category::kActivation, Category::kFailures,
+                               Category::kConfig,   Category::kSpans,
+                               Category::kEngine};
+  const std::string_view wanted(name);
+  for (Category c : kAll) {
+    if (wanted == CategoryName(c)) return static_cast<uint32_t>(c);
+  }
+  return 0;
+}
+
+uint32_t ParseCategoryList(const std::string& list, bool* ok) {
+  *ok = true;
+  if (list.empty()) return kAllCategories;
+  uint32_t mask = 0;
+  size_t begin = 0;
+  while (begin <= list.size()) {
+    size_t end = list.find(',', begin);
+    if (end == std::string::npos) end = list.size();
+    const std::string name = list.substr(begin, end - begin);
+    const uint32_t bit = CategoryBitFromName(name.c_str());
+    if (bit == 0) *ok = false;
+    mask |= bit;
+    begin = end + 1;
+  }
+  return mask;
+}
+
+TraceRecorder::TraceRecorder(const Options& options)
+    : ring_(std::max<size_t>(1, options.capacity)),
+      mask_(options.categories & kAllCategories) {}
+
+void TraceRecorder::Record(const TraceEvent& event) {
+  if (!Wants(EventInfoOf(event.name).category)) return;
+  ++total_recorded_;
+  if (size_ < ring_.size()) {
+    ring_[(head_ + size_) % ring_.size()] = event;
+    ++size_;
+  } else {
+    ring_[head_] = event;
+    head_ = (head_ + 1) % ring_.size();
+  }
+}
+
+void TraceRecorder::Instant(EventName name, double time, int32_t pe, int32_t replica,
+                            int32_t host, int32_t port, double value) {
+  TraceEvent event;
+  event.name = name;
+  event.time = time;
+  event.pe = pe;
+  event.replica = replica;
+  event.host = host;
+  event.port = port;
+  event.value = value;
+  Record(event);
+}
+
+void TraceRecorder::Span(EventName name, double begin, double duration, int32_t pe,
+                         int32_t replica, int32_t host, int32_t port) {
+  TraceEvent event;
+  event.name = name;
+  event.time = begin;
+  event.duration = duration;
+  event.pe = pe;
+  event.replica = replica;
+  event.host = host;
+  event.port = port;
+  Record(event);
+}
+
+void TraceRecorder::Counter(EventName name, double time, double value, int32_t host) {
+  TraceEvent event;
+  event.name = name;
+  event.time = time;
+  event.value = value;
+  event.host = host;
+  Record(event);
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceRecorder::Clear() {
+  head_ = 0;
+  size_ = 0;
+  total_recorded_ = 0;
+}
+
+}  // namespace laar::obs

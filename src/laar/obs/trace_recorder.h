@@ -1,0 +1,78 @@
+#ifndef LAAR_OBS_TRACE_RECORDER_H_
+#define LAAR_OBS_TRACE_RECORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "laar/obs/trace_event.h"
+
+namespace laar::obs {
+
+/// Bounded in-memory sink for simulation trace events.
+///
+/// The simulation layers hold a `TraceRecorder*` that is null by default, so
+/// a disabled trace costs one pointer comparison per would-be event. When
+/// enabled, events land in a fixed-capacity ring buffer: memory stays
+/// bounded no matter how long the run, and once the ring wraps the oldest
+/// events are overwritten (`overwritten()` counts them). A category mask
+/// filters at emission time, before any copy happens.
+///
+/// Single-writer: one recorder belongs to one simulation (which is
+/// single-threaded); concurrent simulations each get their own recorder.
+class TraceRecorder {
+ public:
+  struct Options {
+    /// Ring capacity in events (one event is ~48 bytes).
+    size_t capacity = 1u << 18;
+    /// Bitmask of `Category` values to record.
+    uint32_t categories = kAllCategories;
+  };
+
+  TraceRecorder() : TraceRecorder(Options{}) {}
+  explicit TraceRecorder(const Options& options);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Whether events of `category` would be stored; emission sites check
+  /// this before building an event.
+  bool Wants(Category category) const {
+    return (mask_ & static_cast<uint32_t>(category)) != 0;
+  }
+
+  /// Stores `event` if its category passes the mask; evicts the oldest
+  /// event when the ring is full.
+  void Record(const TraceEvent& event);
+
+  /// Convenience emitters. All are no-ops when the category is filtered.
+  void Instant(EventName name, double time, int32_t pe = -1, int32_t replica = -1,
+               int32_t host = -1, int32_t port = -1, double value = 0.0);
+  void Span(EventName name, double begin, double duration, int32_t pe, int32_t replica,
+            int32_t host, int32_t port = -1);
+  void Counter(EventName name, double time, double value, int32_t host = -1);
+
+  /// Stored events in recording order (oldest surviving first).
+  std::vector<TraceEvent> Events() const;
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return ring_.size(); }
+  uint32_t categories() const { return mask_; }
+  /// Events that passed the filter since construction (including evicted).
+  uint64_t total_recorded() const { return total_recorded_; }
+  /// Events evicted because the ring was full.
+  uint64_t overwritten() const { return total_recorded_ - size_; }
+
+  void Clear();
+
+ private:
+  std::vector<TraceEvent> ring_;
+  size_t head_ = 0;  ///< index of the oldest stored event
+  size_t size_ = 0;
+  uint32_t mask_;
+  uint64_t total_recorded_ = 0;
+};
+
+}  // namespace laar::obs
+
+#endif  // LAAR_OBS_TRACE_RECORDER_H_

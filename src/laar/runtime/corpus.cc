@@ -1,13 +1,45 @@
 #include "laar/runtime/corpus.h"
 
+#include <cctype>
 #include <cstdio>
+#include <filesystem>
 #include <optional>
+#include <set>
+#include <string>
 #include <utility>
 
 #include "laar/common/stopwatch.h"
 #include "laar/exec/parallel.h"
 
 namespace laar::runtime {
+
+namespace {
+
+/// Drops trace files of seeds that did not make it into the corpus.
+/// Skipped seeds write partial traces, and the parallel fan-out probes
+/// seeds speculatively beyond the last kept one — without this sweep the
+/// trace directory's contents would depend on --jobs. Only files matching
+/// the harness's own "seed<digits>_*.json" naming are considered.
+void PruneUnusedSeedTraces(const std::string& trace_dir,
+                           const std::set<uint64_t>& kept_seeds) {
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(trace_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("seed", 0) != 0) continue;
+    size_t pos = 4;
+    uint64_t seed = 0;
+    bool has_digits = false;
+    while (pos < name.size() && std::isdigit(static_cast<unsigned char>(name[pos]))) {
+      seed = seed * 10 + static_cast<uint64_t>(name[pos] - '0');
+      has_digits = true;
+      ++pos;
+    }
+    if (!has_digits || pos >= name.size() || name[pos] != '_') continue;
+    if (kept_seeds.count(seed) == 0) std::filesystem::remove(entry.path(), ec);
+  }
+}
+
+}  // namespace
 
 CorpusResult RunCorpus(const HarnessOptions& harness, const CorpusOptions& corpus) {
   CorpusResult result;
@@ -49,9 +81,24 @@ CorpusResult RunCorpus(const HarnessOptions& harness, const CorpusOptions& corpu
           jobs > 1 ? &*pool : nullptr, &result.skipped);
 
   result.records.reserve(kept.size());
+  std::set<uint64_t> kept_seeds;
   for (SeedProbe<AppExperimentRecord>& probe : kept) {
+    kept_seeds.insert(probe.seed);
     result.stage_totals.MergeFrom(probe.value.stages);
     result.records.push_back(std::move(probe.value));
+  }
+  // Same jobs-invariance sweep for the registry: speculative seeds'
+  // metrics (labelled by seed) retire with them. Each surviving label set
+  // had a single writer, so what remains is identical for any jobs value.
+  if (!options.trace_dir.empty()) {
+    PruneUnusedSeedTraces(options.trace_dir, kept_seeds);
+  }
+  if (options.metrics != nullptr) {
+    std::set<std::string> kept_labels;
+    for (uint64_t seed : kept_seeds) kept_labels.insert(std::to_string(seed));
+    options.metrics->PruneByLabel("seed", [&kept_labels](const std::string& value) {
+      return kept_labels.count(value) != 0;
+    });
   }
   result.wall_seconds = watch.ElapsedSeconds();
   if (corpus.verbose) {

@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <utility>
 
 #include "laar/common/rng.h"
 #include "laar/common/stopwatch.h"
 #include "laar/common/strings.h"
+#include "laar/ftsearch/ft_search.h"
+#include "laar/obs/chrome_trace.h"
+#include "laar/obs/trace_recorder.h"
 
 namespace laar::runtime {
 
@@ -171,32 +176,77 @@ Result<AppExperimentRecord> RunAppExperiment(const HarnessOptions& options, uint
                           options.high_fraction, options.trace_cycles));
   record.stages.generate_seconds += stage_watch.ElapsedSeconds();
   const model::ConfigId high = app.descriptor.input_space.PeakConfig();
+  const std::string seed_label = StrFormat("%llu", static_cast<unsigned long long>(seed));
+
+  // Runs one scenario, with per-experiment tracing and registry publishing
+  // when the harness asks for them. The recorder is local to this call (and
+  // hence to the corpus worker running this seed), which keeps the trace
+  // files byte-identical for any --jobs value.
+  auto run_observed =
+      [&](const NamedVariant& variant,
+          const ScenarioOptions& scenario) -> Result<dsps::SimulationMetrics> {
+    dsps::RuntimeOptions runtime = options.runtime;
+    std::optional<obs::TraceRecorder> recorder;
+    if (!options.trace_dir.empty()) {
+      obs::TraceRecorder::Options trace_options;
+      trace_options.capacity = options.trace_capacity;
+      trace_options.categories = options.trace_categories;
+      recorder.emplace(trace_options);
+      runtime.trace_recorder = &*recorder;
+    }
+    LAAR_ASSIGN_OR_RETURN(dsps::SimulationMetrics metrics,
+                          RunScenario(app, variant.strategy, trace, runtime, scenario));
+    if (recorder.has_value()) {
+      const std::string path =
+          StrFormat("%s/seed%s_%s_%s.json", options.trace_dir.c_str(),
+                    seed_label.c_str(), variant.name.c_str(),
+                    FailureScenarioName(scenario.scenario));
+      LAAR_RETURN_IF_ERROR(json::WriteFile(obs::ToChromeTraceJson(*recorder), path));
+    }
+    if (options.metrics != nullptr) {
+      dsps::PublishTo(options.metrics, metrics,
+                      {{"seed", seed_label},
+                       {"variant", variant.name},
+                       {"scenario", FailureScenarioName(scenario.scenario)}});
+    }
+    return metrics;
+  };
 
   for (const NamedVariant& variant : variants) {
     VariantMeasurement measurement;
     measurement.variant = variant.name;
     measurement.promised_ic =
         variant.search.has_value() ? variant.search->best_ic : 0.0;
+    if (options.metrics != nullptr && variant.search.has_value()) {
+      ftsearch::PublishTo(options.metrics, variant.search->stats,
+                          {{"seed", seed_label}, {"variant", variant.name}});
+    }
 
     ScenarioOptions best_case;
     best_case.scenario = FailureScenario::kNone;
     stage_watch.Restart();
-    LAAR_ASSIGN_OR_RETURN(
-        dsps::SimulationMetrics best,
-        RunScenario(app, variant.strategy, trace, options.runtime, best_case));
+    LAAR_ASSIGN_OR_RETURN(dsps::SimulationMetrics best,
+                          run_observed(variant, best_case));
     record.stages.simulate_best_seconds += stage_watch.ElapsedSeconds();
     measurement.cpu_cycles = best.TotalCpuCycles();
     measurement.dropped = best.dropped_tuples;
     measurement.processed_best = best.TotalProcessed();
     measurement.peak_output_rate = PeakOutputRate(best, trace, high);
+    if (!best.sink_latency.empty()) {
+      measurement.latency_mean = best.sink_latency.mean();
+      measurement.latency_p95 = best.sink_latency.Percentile(95.0);
+      laar::Histogram hist(0.0, dsps::kSinkLatencyHistogramMaxSeconds,
+                           dsps::kSinkLatencyHistogramBins);
+      for (double sample : best.sink_latency.samples()) hist.Add(sample);
+      measurement.latency_hist = std::move(hist);
+    }
 
     if (options.run_worst_case) {
       ScenarioOptions worst;
       worst.scenario = FailureScenario::kWorstCase;
       stage_watch.Restart();
-      LAAR_ASSIGN_OR_RETURN(
-          dsps::SimulationMetrics metrics,
-          RunScenario(app, variant.strategy, trace, options.runtime, worst));
+      LAAR_ASSIGN_OR_RETURN(dsps::SimulationMetrics metrics,
+                            run_observed(variant, worst));
       record.stages.simulate_worst_seconds += stage_watch.ElapsedSeconds();
       measurement.processed_worst = metrics.TotalProcessed();
     }
@@ -205,9 +255,8 @@ Result<AppExperimentRecord> RunAppExperiment(const HarnessOptions& options, uint
       crash.scenario = FailureScenario::kHostCrash;
       crash.seed = seed ^ 0x9E3779B97F4A7C15ULL;
       stage_watch.Restart();
-      LAAR_ASSIGN_OR_RETURN(
-          dsps::SimulationMetrics metrics,
-          RunScenario(app, variant.strategy, trace, options.runtime, crash));
+      LAAR_ASSIGN_OR_RETURN(dsps::SimulationMetrics metrics,
+                            run_observed(variant, crash));
       record.stages.simulate_crash_seconds += stage_watch.ElapsedSeconds();
       measurement.processed_crash = metrics.TotalProcessed();
     }

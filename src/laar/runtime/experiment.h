@@ -2,15 +2,19 @@
 #define LAAR_RUNTIME_EXPERIMENT_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "laar/appgen/app_generator.h"
 #include "laar/common/result.h"
+#include "laar/common/stats.h"
 #include "laar/dsps/runtime_options.h"
 #include "laar/dsps/sim_metrics.h"
 #include "laar/dsps/stream_simulation.h"
 #include "laar/dsps/trace.h"
+#include "laar/obs/metrics_registry.h"
+#include "laar/obs/trace_event.h"
 #include "laar/runtime/variants.h"
 
 namespace laar::runtime {
@@ -65,6 +69,14 @@ struct VariantMeasurement {
   uint64_t processed_crash = 0;   ///< same, host-crash scenario (if run)
   double peak_output_rate = 0.0;  ///< mean sink rate over High periods, best case
   double promised_ic = 0.0;       ///< FT-Search IC bound (L.x variants)
+
+  double latency_mean = 0.0;  ///< best-case mean sink latency, seconds
+  double latency_p95 = 0.0;   ///< best-case p95 sink latency, seconds
+  /// Best-case sink-latency distribution over
+  /// [0, dsps::kSinkLatencyHistogramMaxSeconds) with
+  /// dsps::kSinkLatencyHistogramBins bins; absent when latency recording
+  /// was off.
+  std::optional<laar::Histogram> latency_hist;
 };
 
 /// Wall-clock breakdown of one `RunAppExperiment` call (or, merged, of a
@@ -106,6 +118,22 @@ struct HarnessOptions {
   int trace_cycles = 3;
   bool run_worst_case = true;
   bool run_host_crash = false;
+
+  /// When non-empty, every (variant, scenario) simulation records a trace
+  /// and writes it as Chrome trace-event JSON to
+  /// `<trace_dir>/seed<seed>_<variant>_<scenario>.json`. The directory must
+  /// already exist. Each recorder lives entirely inside the worker running
+  /// the seed, so the files are byte-identical for any corpus --jobs value.
+  std::string trace_dir;
+  uint32_t trace_categories = obs::kAllCategories;
+  size_t trace_capacity = 1u << 18;
+
+  /// Optional registry the experiment publishes into: the canonical
+  /// `sim_*` aggregates per (seed, variant, scenario) and `ftsearch_*`
+  /// statistics per (seed, variant). The registry is thread-safe and each
+  /// label combination has a single writer, so a corpus run fills it
+  /// identically for any --jobs value. Must outlive the run.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Generates an application from `seed`, builds all variants, and runs the

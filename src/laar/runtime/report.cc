@@ -18,6 +18,22 @@ json::Value RecordToJson(const AppExperimentRecord& record) {
     v.Set("processed_crash", json::Value::Int(static_cast<int64_t>(m.processed_crash)));
     v.Set("peak_output_rate", json::Value::Number(m.peak_output_rate));
     v.Set("promised_ic", json::Value::Number(m.promised_ic));
+    if (m.latency_hist.has_value()) {
+      v.Set("latency_mean", json::Value::Number(m.latency_mean));
+      v.Set("latency_p95", json::Value::Number(m.latency_p95));
+      const Histogram& h = *m.latency_hist;
+      json::Value hist = json::Value::MakeObject();
+      hist.Set("lo", json::Value::Number(h.lo()));
+      hist.Set("hi", json::Value::Number(h.hi()));
+      json::Value counts = json::Value::MakeArray();
+      for (size_t i = 0; i < h.bins(); ++i) {
+        counts.Append(json::Value::Int(static_cast<int64_t>(h.count(i))));
+      }
+      hist.Set("counts", std::move(counts));
+      hist.Set("underflow", json::Value::Int(static_cast<int64_t>(h.underflow())));
+      hist.Set("overflow", json::Value::Int(static_cast<int64_t>(h.overflow())));
+      v.Set("sink_latency", std::move(hist));
+    }
     variants.Append(std::move(v));
   }
   doc.Set("variants", std::move(variants));
@@ -34,13 +50,18 @@ json::Value RecordToJson(const AppExperimentRecord& record) {
   return doc;
 }
 
-json::Value CorpusToJson(const std::vector<AppExperimentRecord>& records) {
+json::Value CorpusToJson(const std::vector<AppExperimentRecord>& records,
+                         const obs::MetricsRegistry* metrics) {
   json::Value doc = json::Value::MakeObject();
   json::Value list = json::Value::MakeArray();
   for (const AppExperimentRecord& record : records) {
     list.Append(RecordToJson(record));
   }
   doc.Set("records", std::move(list));
+  if (metrics != nullptr) {
+    json::Value serialized = metrics->ToJson();
+    doc.Set("metrics", serialized.GetOr("metrics", json::Value::MakeArray()));
+  }
   return doc;
 }
 
@@ -74,6 +95,40 @@ Result<AppExperimentRecord> RecordFromJson(const json::Value& value) {
                           v.GetOr("peak_output_rate", json::Value::Number(0)).AsDouble());
     LAAR_ASSIGN_OR_RETURN(m.promised_ic,
                           v.GetOr("promised_ic", json::Value::Number(0)).AsDouble());
+    // The latency block is optional (older dumps predate it, and latency
+    // recording may have been off).
+    if (v.Get("sink_latency").ok()) {
+      LAAR_ASSIGN_OR_RETURN(m.latency_mean,
+                            v.GetOr("latency_mean", json::Value::Number(0)).AsDouble());
+      LAAR_ASSIGN_OR_RETURN(m.latency_p95,
+                            v.GetOr("latency_p95", json::Value::Number(0)).AsDouble());
+      LAAR_ASSIGN_OR_RETURN(const json::Value* hist, v.Get("sink_latency"));
+      LAAR_ASSIGN_OR_RETURN(double lo,
+                            hist->GetOr("lo", json::Value::Number(0)).AsDouble());
+      LAAR_ASSIGN_OR_RETURN(double hi,
+                            hist->GetOr("hi", json::Value::Number(0)).AsDouble());
+      LAAR_ASSIGN_OR_RETURN(const json::Value* counts, hist->Get("counts"));
+      if (!counts->is_array()) {
+        return Status::InvalidArgument("'sink_latency.counts' must be an array");
+      }
+      std::vector<size_t> bins;
+      bins.reserve(counts->array().size());
+      for (const json::Value& c : counts->array()) {
+        LAAR_ASSIGN_OR_RETURN(int64_t n, c.AsInt());
+        if (n < 0) return Status::InvalidArgument("negative histogram count");
+        bins.push_back(static_cast<size_t>(n));
+      }
+      LAAR_ASSIGN_OR_RETURN(int64_t underflow,
+                            hist->GetOr("underflow", json::Value::Int(0)).AsInt());
+      LAAR_ASSIGN_OR_RETURN(int64_t overflow,
+                            hist->GetOr("overflow", json::Value::Int(0)).AsInt());
+      if (underflow < 0 || overflow < 0) {
+        return Status::InvalidArgument("negative histogram count");
+      }
+      m.latency_hist = Histogram::FromCounts(lo, hi, bins,
+                                             static_cast<size_t>(underflow),
+                                             static_cast<size_t>(overflow));
+    }
     record.variants.push_back(std::move(m));
   }
   // Stage times are optional (older dumps predate them).

@@ -16,7 +16,11 @@ namespace laar::runtime {
 json::Value RecordToJson(const AppExperimentRecord& record);
 
 /// A whole corpus as {"records": [...]}; round-trips via RecordFromJson.
-json::Value CorpusToJson(const std::vector<AppExperimentRecord>& records);
+/// With a non-null `metrics`, the document gains a "metrics" list (the
+/// registry's serialized counters/gauges/histograms — see
+/// obs::MetricsRegistry::ToJson), which CorpusFromJson ignores.
+json::Value CorpusToJson(const std::vector<AppExperimentRecord>& records,
+                         const obs::MetricsRegistry* metrics = nullptr);
 
 Result<AppExperimentRecord> RecordFromJson(const json::Value& value);
 Result<std::vector<AppExperimentRecord>> CorpusFromJson(const json::Value& value);

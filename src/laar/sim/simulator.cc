@@ -1,8 +1,17 @@
 #include "laar/sim/simulator.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "laar/obs/trace_recorder.h"
+
 namespace laar::sim {
+
+void Simulator::set_trace_recorder(obs::TraceRecorder* recorder,
+                                   uint64_t sample_interval) {
+  trace_recorder_ = recorder;
+  trace_sample_interval_ = std::max<uint64_t>(1, sample_interval);
+}
 
 EventId Simulator::ScheduleAt(SimTime when, std::function<void()> callback) {
   if (when < now_) when = now_;
@@ -32,6 +41,10 @@ bool Simulator::Step() {
     }
     now_ = event.when;
     ++events_processed_;
+    if (trace_recorder_ != nullptr && events_processed_ % trace_sample_interval_ == 0) {
+      trace_recorder_->Counter(obs::EventName::kEngineBacklog, now_,
+                               static_cast<double>(pending_events()));
+    }
     event.callback();
     return true;
   }

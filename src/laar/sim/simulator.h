@@ -7,6 +7,10 @@
 #include <unordered_set>
 #include <vector>
 
+namespace laar::obs {
+class TraceRecorder;
+}
+
 namespace laar::sim {
 
 /// Simulated time in seconds.
@@ -53,6 +57,11 @@ class Simulator {
 
   uint64_t events_processed() const { return events_processed_; }
 
+  /// Attaches a trace recorder: every `sample_interval` processed events the
+  /// engine emits a `pending_events` counter sample (the event backlog over
+  /// time). Null detaches; the default costs one pointer check per event.
+  void set_trace_recorder(obs::TraceRecorder* recorder, uint64_t sample_interval = 1024);
+
   /// Pending (not yet fired, not cancelled) events. Cancelling an event
   /// that already fired leaves a tombstone that inflates neither count.
   size_t pending_events() const {
@@ -72,6 +81,9 @@ class Simulator {
       return a.sequence > b.sequence;
     }
   };
+
+  obs::TraceRecorder* trace_recorder_ = nullptr;
+  uint64_t trace_sample_interval_ = 1024;
 
   SimTime now_ = 0.0;
   uint64_t next_sequence_ = 1;

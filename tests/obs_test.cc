@@ -1,0 +1,430 @@
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "laar/common/logging.h"
+#include "laar/common/stats.h"
+#include "laar/dsps/sim_metrics.h"
+#include "laar/dsps/stream_simulation.h"
+#include "laar/dsps/trace.h"
+#include "laar/ftsearch/ft_search.h"
+#include "laar/model/descriptor.h"
+#include "laar/model/placement.h"
+#include "laar/obs/chrome_trace.h"
+#include "laar/obs/metrics_registry.h"
+#include "laar/obs/trace_recorder.h"
+#include "laar/runtime/corpus.h"
+#include "laar/strategy/activation_strategy.h"
+
+namespace laar {
+namespace {
+
+using dsps::InputTrace;
+using dsps::RuntimeOptions;
+using dsps::StreamSimulation;
+using model::ApplicationDescriptor;
+using model::Cluster;
+using model::ComponentId;
+using model::ReplicaPlacement;
+using model::SourceRateSet;
+using strategy::ActivationStrategy;
+
+// ---------------------------------------------------------------- recorder
+
+TEST(TraceRecorderTest, RingBufferEvictsOldestAndCountsOverwrites) {
+  obs::TraceRecorder::Options options;
+  options.capacity = 4;
+  obs::TraceRecorder recorder(options);
+  for (int i = 0; i < 10; ++i) {
+    recorder.Instant(obs::EventName::kTupleDrop, static_cast<double>(i));
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.total_recorded(), 10u);
+  EXPECT_EQ(recorder.overwritten(), 6u);
+  const std::vector<obs::TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest surviving first: times 6, 7, 8, 9.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(events[i].time, 6.0 + static_cast<double>(i));
+  }
+  recorder.Clear();
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.total_recorded(), 0u);
+}
+
+TEST(TraceRecorderTest, CategoryMaskFiltersAtEmission) {
+  obs::TraceRecorder::Options options;
+  options.categories = static_cast<uint32_t>(obs::Category::kFailures);
+  obs::TraceRecorder recorder(options);
+  EXPECT_TRUE(recorder.Wants(obs::Category::kFailures));
+  EXPECT_FALSE(recorder.Wants(obs::Category::kDrops));
+  recorder.Instant(obs::EventName::kTupleDrop, 1.0);
+  recorder.Instant(obs::EventName::kHostCrash, 2.0);
+  ASSERT_EQ(recorder.size(), 1u);
+  EXPECT_EQ(recorder.Events()[0].name, obs::EventName::kHostCrash);
+  EXPECT_EQ(recorder.total_recorded(), 1u);  // filtered events never count
+}
+
+TEST(TraceRecorderTest, ParseCategoryList) {
+  bool ok = false;
+  EXPECT_EQ(obs::ParseCategoryList("", &ok), obs::kAllCategories);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(obs::ParseCategoryList("drops,failures", &ok),
+            static_cast<uint32_t>(obs::Category::kDrops) |
+                static_cast<uint32_t>(obs::Category::kFailures));
+  EXPECT_TRUE(ok);
+  obs::ParseCategoryList("drops,nonsense", &ok);
+  EXPECT_FALSE(ok);
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(MetricsRegistryTest, LookupCreatesAndLabelsAreOrderInsensitive) {
+  obs::MetricsRegistry registry;
+  obs::Counter* c1 = registry.GetCounter("tuples", {{"a", "1"}, {"b", "2"}});
+  obs::Counter* c2 = registry.GetCounter("tuples", {{"b", "2"}, {"a", "1"}});
+  ASSERT_NE(c1, nullptr);
+  EXPECT_EQ(c1, c2);  // same instance: labels canonicalize
+  c1->Increment(3.0);
+  const obs::Counter* found = registry.FindCounter("tuples", {{"b", "2"}, {"a", "1"}});
+  ASSERT_NE(found, nullptr);
+  EXPECT_DOUBLE_EQ(found->value(), 3.0);
+  // A name registered as a counter cannot come back as a gauge.
+  EXPECT_EQ(registry.GetGauge("tuples", {{"a", "1"}, {"b", "2"}}), nullptr);
+  EXPECT_EQ(registry.FindCounter("absent"), nullptr);
+}
+
+TEST(MetricsRegistryTest, ToJsonIsDeterministicAcrossInsertionOrder) {
+  obs::MetricsRegistry forward;
+  obs::MetricsRegistry backward;
+  for (int i = 0; i < 5; ++i) {
+    const std::string label = std::to_string(i);
+    forward.GetCounter("c", {{"k", label}})->Increment(i);
+    forward.GetGauge("g", {{"k", label}})->Set(i);
+  }
+  for (int i = 4; i >= 0; --i) {
+    const std::string label = std::to_string(i);
+    backward.GetGauge("g", {{"k", label}})->Set(i);
+    backward.GetCounter("c", {{"k", label}})->Increment(i);
+  }
+  EXPECT_EQ(forward.ToJson().Dump(), backward.ToJson().Dump());
+}
+
+TEST(MetricsRegistryTest, CrossLabelRollups) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("drops", {{"seed", "1"}})->Increment(2.0);
+  registry.GetCounter("drops", {{"seed", "2"}})->Increment(5.0);
+  registry.GetGauge("depth", {{"seed", "1"}})->Set(7.0);
+  registry.GetGauge("depth", {{"seed", "2"}})->Set(3.0);
+  EXPECT_DOUBLE_EQ(registry.SumCounters("drops"), 7.0);
+  EXPECT_DOUBLE_EQ(registry.MaxGauge("depth"), 7.0);
+  EXPECT_DOUBLE_EQ(registry.SumCounters("absent"), 0.0);
+  EXPECT_DOUBLE_EQ(registry.MaxGauge("absent"), 0.0);
+}
+
+TEST(HistogramTest, FromCountsRoundTripsSerializedState) {
+  Histogram original(0.0, 10.0, 4);
+  original.Add(-1.0);  // underflow
+  original.Add(1.0);
+  original.Add(6.0);
+  original.Add(6.5);
+  original.Add(25.0);  // overflow
+  std::vector<size_t> counts;
+  for (size_t i = 0; i < original.bins(); ++i) counts.push_back(original.count(i));
+  const Histogram loaded = Histogram::FromCounts(
+      original.lo(), original.hi(), counts, original.underflow(), original.overflow());
+  EXPECT_DOUBLE_EQ(loaded.lo(), original.lo());
+  EXPECT_DOUBLE_EQ(loaded.hi(), original.hi());
+  ASSERT_EQ(loaded.bins(), original.bins());
+  for (size_t i = 0; i < loaded.bins(); ++i) {
+    EXPECT_EQ(loaded.count(i), original.count(i)) << "bin " << i;
+  }
+  EXPECT_EQ(loaded.underflow(), 1u);
+  EXPECT_EQ(loaded.overflow(), 1u);
+  EXPECT_EQ(loaded.total(), original.total());
+}
+
+// ------------------------------------------------------------- simulation
+
+constexpr double kHz = 1e9;
+
+/// The Fig. 3-style pipeline: source -> pe0 -> pe1 -> sink, two replicas
+/// per PE spread over two hosts, rates {Low, High}. The default High rate
+/// (20 t/s) exceeds a host's processing capacity (10 t/s at 0.1 s/tuple),
+/// so a High period guarantees queue overflow drops; pass a feasible rate
+/// (e.g. 8.0) for FT-Search scenarios that need a solvable instance.
+struct SimFixture {
+  ApplicationDescriptor app;
+  Cluster cluster = Cluster::Homogeneous(2, kHz);
+  ReplicaPlacement placement{0, 2};
+  ComponentId source, pe0, pe1, sink;
+
+  explicit SimFixture(double high_rate = 20.0) {
+    source = app.graph.AddSource("s");
+    pe0 = app.graph.AddPe("p0");
+    pe1 = app.graph.AddPe("p1");
+    sink = app.graph.AddSink("k");
+    EXPECT_TRUE(app.graph.AddEdge(source, pe0, 1.0, 0.1 * kHz).ok());
+    EXPECT_TRUE(app.graph.AddEdge(pe0, pe1, 1.0, 0.1 * kHz).ok());
+    EXPECT_TRUE(app.graph.AddEdge(pe1, sink, 1.0, 0.0).ok());
+    EXPECT_TRUE(app.graph.Validate().ok());
+    SourceRateSet r;
+    r.source = source;
+    r.rates = {4.0, high_rate};
+    r.labels = {"Low", "High"};
+    r.probabilities = {0.8, 0.2};
+    EXPECT_TRUE(app.input_space.AddSource(r).ok());
+    EXPECT_TRUE(app.Validate().ok());
+    placement = ReplicaPlacement(app.graph.num_components(), 2);
+    EXPECT_TRUE(placement.Assign(pe0, 0, 0).ok());
+    EXPECT_TRUE(placement.Assign(pe0, 1, 1).ok());
+    EXPECT_TRUE(placement.Assign(pe1, 0, 0).ok());
+    EXPECT_TRUE(placement.Assign(pe1, 1, 1).ok());
+  }
+
+  /// LAAR-style strategy: everything active at Low, one replica per PE
+  /// (split across hosts) at High — the config switch produces activation
+  /// events under dynamic control.
+  ActivationStrategy LaarStrategy() const {
+    ActivationStrategy s(app.graph.num_components(), 2, app.input_space.num_configs());
+    s.SetActive(pe0, 1, 1, false);
+    s.SetActive(pe1, 0, 1, false);
+    return s;
+  }
+};
+
+TEST(SimulationTracingTest, DisabledTracingChangesNothing) {
+  SimFixture f;
+  auto trace = InputTrace::Step(0, 1, 30.0, 60.0);
+  ASSERT_TRUE(trace.ok());
+  ActivationStrategy laar = f.LaarStrategy();
+
+  RuntimeOptions plain;
+  StreamSimulation baseline(f.app, f.cluster, f.placement, laar, *trace, plain);
+  ASSERT_TRUE(baseline.Run().ok());
+
+  RuntimeOptions traced_options;
+  obs::TraceRecorder recorder;
+  traced_options.trace_recorder = &recorder;
+  StreamSimulation traced(f.app, f.cluster, f.placement, laar, *trace, traced_options);
+  ASSERT_TRUE(traced.Run().ok());
+
+  EXPECT_EQ(baseline.metrics().source_tuples, traced.metrics().source_tuples);
+  EXPECT_EQ(baseline.metrics().sink_tuples, traced.metrics().sink_tuples);
+  EXPECT_EQ(baseline.metrics().dropped_tuples, traced.metrics().dropped_tuples);
+  EXPECT_EQ(baseline.metrics().activation_switches, traced.metrics().activation_switches);
+  EXPECT_GT(recorder.total_recorded(), 0u);
+}
+
+TEST(SimulationTracingTest, ChromeTraceIsValidAndCarriesTheKeyEvents) {
+  SimFixture f;
+  // 30 s Low, then High until 80 s; host 1 crashes at t=40 for 5 s.
+  auto trace = InputTrace::Step(0, 1, 30.0, 80.0);
+  ASSERT_TRUE(trace.ok());
+  ActivationStrategy laar = f.LaarStrategy();
+  RuntimeOptions options;
+  obs::TraceRecorder recorder;
+  options.trace_recorder = &recorder;
+  StreamSimulation simulation(f.app, f.cluster, f.placement, laar, *trace, options);
+  ASSERT_TRUE(simulation.ScheduleHostCrash(1, 40.0, 5.0).ok());
+  ASSERT_TRUE(simulation.Run().ok());
+
+  const json::Value chrome = obs::ToChromeTraceJson(recorder);
+  const Status valid = obs::ValidateChromeTrace(chrome);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+
+  const std::string dump = chrome.Dump();
+  EXPECT_NE(dump.find("replica_deactivate"), std::string::npos);
+  EXPECT_NE(dump.find("tuple_drop"), std::string::npos);
+  EXPECT_NE(dump.find("host_crash"), std::string::npos);
+  EXPECT_NE(dump.find("host_recover"), std::string::npos);
+  EXPECT_NE(dump.find("input_config"), std::string::npos);
+  EXPECT_NE(dump.find("queue_high_watermark"), std::string::npos);
+
+  // Category filtering keeps the failure events and the metadata, drops
+  // the rest, and stays schema-valid.
+  auto filtered = obs::FilterChromeTrace(
+      chrome, static_cast<uint32_t>(obs::Category::kFailures));
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_TRUE(obs::ValidateChromeTrace(*filtered).ok());
+  const std::string filtered_dump = filtered->Dump();
+  EXPECT_NE(filtered_dump.find("host_crash"), std::string::npos);
+  EXPECT_EQ(filtered_dump.find("tuple_drop"), std::string::npos);
+
+  EXPECT_FALSE(obs::SummarizeChromeTrace(chrome).empty());
+}
+
+TEST(SimulationTracingTest, RegistrySummaryReflectsTheRun) {
+  SimFixture f;
+  auto trace = InputTrace::Step(0, 1, 30.0, 60.0);
+  ASSERT_TRUE(trace.ok());
+  ActivationStrategy laar = f.LaarStrategy();
+  RuntimeOptions options;
+  StreamSimulation simulation(f.app, f.cluster, f.placement, laar, *trace, options);
+  ASSERT_TRUE(simulation.Run().ok());
+
+  obs::MetricsRegistry registry;
+  dsps::PublishTo(&registry, simulation.metrics());
+  const obs::Counter* in = registry.FindCounter("sim_source_tuples");
+  ASSERT_NE(in, nullptr);
+  EXPECT_DOUBLE_EQ(in->value(),
+                   static_cast<double>(simulation.metrics().source_tuples));
+  const std::string summary = dsps::RunSummaryFromRegistry(registry);
+  EXPECT_NE(summary.find("drops="), std::string::npos);
+  EXPECT_NE(summary.find("switches="), std::string::npos);
+  EXPECT_NE(summary.find("worst_queue_depth="), std::string::npos);
+  // The aggregate roll-up equals the single-run summary prefix when only
+  // one label set exists.
+  const std::string aggregate = dsps::AggregateRunSummaryFromRegistry(registry);
+  EXPECT_EQ(summary.substr(0, aggregate.size()), aggregate);
+}
+
+// ------------------------------------------------------------------ corpus
+
+runtime::HarnessOptions TinyHarness() {
+  runtime::HarnessOptions options;
+  options.generator.num_pes = 6;
+  options.generator.num_hosts = 3;
+  options.variants.laar_ic_requirements = {0.5};
+  options.variants.ftsearch_time_limit_seconds = 0.0;
+  options.variants.ftsearch_node_limit = 50000;
+  options.trace_seconds = 30.0;
+  options.trace_cycles = 2;
+  return options;
+}
+
+std::string ReadFileBytes(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(CorpusTracingTest, TraceFilesAndRegistryAreIdenticalAcrossJobs) {
+  const std::filesystem::path base =
+      std::filesystem::path(::testing::TempDir()) / "laar_obs_corpus";
+  std::filesystem::remove_all(base);
+
+  runtime::CorpusOptions corpus;
+  corpus.num_apps = 2;
+  corpus.seed_base = 500;
+  corpus.verbose = false;
+
+  std::string reference_metrics;
+  std::vector<std::string> reference_files;  // sorted name + content pairs
+  for (int jobs : {1, 4}) {
+    const std::filesystem::path dir = base / ("jobs" + std::to_string(jobs));
+    std::filesystem::create_directories(dir);
+    runtime::HarnessOptions harness = TinyHarness();
+    obs::MetricsRegistry registry;
+    harness.trace_dir = dir.string();
+    harness.metrics = &registry;
+    corpus.jobs = jobs;
+    const runtime::CorpusResult result = runtime::RunCorpus(harness, corpus);
+    ASSERT_EQ(result.records.size(), 2u) << "jobs=" << jobs;
+
+    std::vector<std::string> files;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      files.push_back(entry.path().filename().string());
+    }
+    std::sort(files.begin(), files.end());
+    ASSERT_FALSE(files.empty());
+    std::vector<std::string> contents;
+    for (const std::string& name : files) {
+      contents.push_back(name + "\n" + ReadFileBytes(dir / name));
+    }
+    const std::string metrics_dump = registry.ToJson().Dump();
+    if (jobs == 1) {
+      reference_files = std::move(contents);
+      reference_metrics = metrics_dump;
+    } else {
+      ASSERT_EQ(contents.size(), reference_files.size());
+      for (size_t i = 0; i < contents.size(); ++i) {
+        EXPECT_EQ(contents[i], reference_files[i]) << "jobs=" << jobs;
+      }
+      EXPECT_EQ(metrics_dump, reference_metrics) << "jobs=" << jobs;
+    }
+  }
+  std::filesystem::remove_all(base);
+}
+
+// --------------------------------------------------------------- ftsearch
+
+TEST(FtSearchProgressTest, CallbackObservesWithoutChangingTheResult) {
+  SimFixture f(/*high_rate=*/8.0);  // feasible: an incumbent must exist
+  auto rates = model::ExpectedRates::Compute(f.app.graph, f.app.input_space);
+  ASSERT_TRUE(rates.ok());
+
+  ftsearch::FtSearchOptions plain;
+  plain.ic_requirement = 0.5;
+  auto baseline = ftsearch::RunFtSearch(f.app.graph, f.app.input_space, *rates,
+                                        f.placement, f.cluster, plain);
+  ASSERT_TRUE(baseline.ok());
+
+  std::vector<ftsearch::FtSearchProgress> snapshots;
+  ftsearch::FtSearchOptions observed = plain;
+  observed.progress_interval_nodes = 1;
+  observed.progress = [&](const ftsearch::FtSearchProgress& progress) {
+    snapshots.push_back(progress);
+  };
+  auto traced = ftsearch::RunFtSearch(f.app.graph, f.app.input_space, *rates,
+                                      f.placement, f.cluster, observed);
+  ASSERT_TRUE(traced.ok());
+
+  EXPECT_EQ(traced->outcome, baseline->outcome);
+  EXPECT_DOUBLE_EQ(traced->best_cost, baseline->best_cost);
+  EXPECT_DOUBLE_EQ(traced->best_ic, baseline->best_ic);
+
+  ASSERT_FALSE(snapshots.empty());
+  // The final snapshot is exact: it reports the merged end-of-run stats.
+  const ftsearch::FtSearchProgress& last = snapshots.back();
+  EXPECT_EQ(last.nodes_explored, traced->stats.nodes_explored);
+  EXPECT_EQ(last.solutions_found, traced->stats.solutions_found);
+  EXPECT_TRUE(last.has_incumbent);
+  EXPECT_FALSE(last.ToString().empty());
+
+  obs::MetricsRegistry registry;
+  ftsearch::PublishTo(&registry, traced->stats);
+  const obs::Counter* nodes = registry.FindCounter("ftsearch_nodes_explored");
+  ASSERT_NE(nodes, nullptr);
+  EXPECT_DOUBLE_EQ(nodes->value(), static_cast<double>(traced->stats.nodes_explored));
+}
+
+// ---------------------------------------------------------------- logging
+
+TEST(LoggingTest, ParseLogLevelAcceptsNamesAndNumbers) {
+  LogLevel level = LogLevel::kWarning;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("ERROR", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("4", &level));
+  EXPECT_EQ(level, LogLevel::kOff);
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel(nullptr, &level));
+  EXPECT_EQ(level, LogLevel::kOff);  // failures leave the value untouched
+}
+
+TEST(LoggingTest, InitLogLevelFromEnvHonorsTheVariable) {
+  const LogLevel saved = GetLogLevel();
+  ASSERT_EQ(setenv("LAAR_LOG_LEVEL", "debug", 1), 0);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  // An unparseable value leaves the level alone.
+  ASSERT_EQ(setenv("LAAR_LOG_LEVEL", "nonsense", 1), 0);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  unsetenv("LAAR_LOG_LEVEL");
+  SetLogLevel(saved);
+}
+
+}  // namespace
+}  // namespace laar

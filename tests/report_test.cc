@@ -25,6 +25,14 @@ AppExperimentRecord MakeRecord(uint64_t seed) {
   l6.processed_crash = 120000;
   l6.peak_output_rate = 42.1;
   l6.promised_ic = 0.6123;
+  l6.latency_mean = 0.125;
+  l6.latency_p95 = 0.5;
+  Histogram latency(0.0, 10.0, 8);
+  latency.Add(0.1);
+  latency.Add(0.2);
+  latency.Add(4.0);
+  latency.Add(12.0);  // overflow
+  l6.latency_hist = latency;
   record.variants.push_back(l6);
   record.stages.generate_seconds = 0.25;
   record.stages.solve_seconds = 4.5;
@@ -47,6 +55,23 @@ TEST(ReportTest, RecordJsonRoundTrip) {
   EXPECT_EQ(l6->processed_worst, 76543u);
   EXPECT_EQ(l6->processed_crash, 120000u);
   EXPECT_DOUBLE_EQ(l6->promised_ic, 0.6123);
+  // The sink-latency histogram round-trips as real bucket state, not a
+  // summary: bounds, per-bin counts, and out-of-range tallies all survive.
+  EXPECT_DOUBLE_EQ(l6->latency_mean, 0.125);
+  EXPECT_DOUBLE_EQ(l6->latency_p95, 0.5);
+  ASSERT_TRUE(l6->latency_hist.has_value());
+  const Histogram& hist = *l6->latency_hist;
+  EXPECT_DOUBLE_EQ(hist.lo(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.hi(), 10.0);
+  ASSERT_EQ(hist.bins(), 8u);
+  EXPECT_EQ(hist.count(0), 2u);  // 0.1 and 0.2
+  EXPECT_EQ(hist.count(3), 1u);  // 4.0
+  EXPECT_EQ(hist.overflow(), 1u);
+  EXPECT_EQ(hist.total(), 4u);
+  // The NR variant carried no histogram; the optional stays empty.
+  const VariantMeasurement* nr = loaded->Find("NR");
+  ASSERT_NE(nr, nullptr);
+  EXPECT_FALSE(nr->latency_hist.has_value());
 }
 
 TEST(ReportTest, CorpusJsonRoundTrip) {

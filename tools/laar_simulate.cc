@@ -9,10 +9,19 @@
 //                 [--crash-host=H --crash-at=T --crash-duration=16]
 //                 [--worst-case] [--placement=balanced|roundrobin]
 //                 [--jobs=N]
+//                 [--trace-out=run.json] [--trace-categories=drops,failures]
+//                 [--trace-capacity=N]
 //
 // Under --worst-case or --crash-host a failure-free reference simulation
 // also runs (in parallel with the failure scenario when --jobs > 1) and the
 // report gains the measured completeness ratio against it.
+//
+// --trace-out records the run's structured events (drops, queue watermarks,
+// activation switches, failures, config changes, processing spans) and
+// writes them as Chrome trace-event JSON, openable in Perfetto or
+// chrome://tracing. --trace-categories restricts recording to a
+// comma-separated subset of {drops, queues, activation, failures, config,
+// spans, engine}; --trace-capacity bounds the event ring (default 262144).
 
 #include <algorithm>
 #include <cstdio>
@@ -23,8 +32,12 @@
 #include "laar/dsps/stream_simulation.h"
 #include "laar/exec/parallel.h"
 #include "laar/model/descriptor.h"
+#include "laar/obs/chrome_trace.h"
+#include "laar/obs/metrics_registry.h"
+#include "laar/obs/trace_recorder.h"
 #include "laar/placement/placement_algorithms.h"
 #include "laar/runtime/experiment.h"
+
 
 int main(int argc, char** argv) {
   laar::Flags flags(argc, argv);
@@ -35,7 +48,9 @@ int main(int argc, char** argv) {
                  "usage: laar_simulate --app=app.json --strategy=strategy.json\n"
                  "       [--hosts=N] [--capacity=C] [--trace-seconds=S]\n"
                  "       [--high-fraction=F] [--cycles=N] [--worst-case]\n"
-                 "       [--crash-host=H --crash-at=T --crash-duration=16]\n");
+                 "       [--crash-host=H --crash-at=T --crash-duration=16]\n"
+                 "       [--trace-out=run.json] [--trace-categories=a,b,...]\n"
+                 "       [--trace-capacity=N]\n");
     return 2;
   }
 
@@ -81,6 +96,22 @@ int main(int argc, char** argv) {
   }
 
   laar::dsps::RuntimeOptions runtime;
+  const std::string trace_out = flags.GetString("trace-out", "");
+  std::optional<laar::obs::TraceRecorder> recorder;
+  if (!trace_out.empty()) {
+    laar::obs::TraceRecorder::Options trace_options;
+    trace_options.capacity = static_cast<size_t>(
+        flags.GetUint64("trace-capacity", trace_options.capacity));
+    bool categories_ok = false;
+    trace_options.categories = laar::obs::ParseCategoryList(
+        flags.GetString("trace-categories", ""), &categories_ok);
+    if (!categories_ok) {
+      std::fprintf(stderr, "unknown name in --trace-categories\n");
+      return 2;
+    }
+    recorder.emplace(trace_options);
+    runtime.trace_recorder = &*recorder;
+  }
   laar::dsps::StreamSimulation simulation(*app, cluster, *placement, *strategy, *trace,
                                           runtime);
   const bool has_failures = flags.Has("worst-case") || flags.Has("crash-host");
@@ -109,7 +140,11 @@ int main(int argc, char** argv) {
   // completeness ratio; --jobs > 1 runs the two simulations concurrently.
   std::optional<laar::dsps::StreamSimulation> reference;
   if (has_failures) {
-    reference.emplace(*app, cluster, *placement, *strategy, *trace, runtime);
+    // The recorder is single-writer and the two simulations may run
+    // concurrently: only the failure scenario is traced.
+    laar::dsps::RuntimeOptions reference_runtime = runtime;
+    reference_runtime.trace_recorder = nullptr;
+    reference.emplace(*app, cluster, *placement, *strategy, *trace, reference_runtime);
   }
   laar::Status status = laar::Status::OK();
   laar::Status reference_status = laar::Status::OK();
@@ -165,6 +200,25 @@ int main(int argc, char** argv) {
                   static_cast<double>(m.TotalProcessed()) /
                       static_cast<double>(ref.TotalProcessed()));
     }
+  }
+
+  // One-line digest sourced from the metrics registry (the same canonical
+  // keys the corpus reports publish).
+  laar::obs::MetricsRegistry registry;
+  laar::dsps::PublishTo(&registry, m);
+  std::printf("summary: %s\n", laar::dsps::RunSummaryFromRegistry(registry).c_str());
+
+  if (recorder.has_value()) {
+    const laar::json::Value chrome = laar::obs::ToChromeTraceJson(*recorder);
+    const laar::Status write_status = laar::json::WriteFile(chrome, trace_out);
+    if (!write_status.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   write_status.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace: wrote %s (%llu events, %llu overwritten)\n", trace_out.c_str(),
+                static_cast<unsigned long long>(recorder->size()),
+                static_cast<unsigned long long>(recorder->overwritten()));
   }
   return 0;
 }

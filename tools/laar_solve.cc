@@ -6,6 +6,11 @@
 //   laar_solve --app=app.json --out=strategy.json --ic=0.7
 //              [--hosts=12] [--capacity=1e9] [--time-limit=600]
 //              [--threads=1] [--placement=balanced|roundrobin]
+//              [--progress[=NODES]]
+//
+// --progress streams live search snapshots (nodes explored, incumbent cost,
+// per-rule prune counts) to stderr, roughly every NODES explored nodes
+// (default 65536). The stream is observational: it never changes the result.
 
 #include <cstdio>
 #include <string>
@@ -25,7 +30,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: laar_solve --app=app.json --out=strategy.json --ic=0.7\n"
                  "       [--hosts=N] [--capacity=CYCLES_PER_SEC] [--time-limit=SECONDS]\n"
-                 "       [--threads=N] [--placement=balanced|roundrobin]\n");
+                 "       [--threads=N] [--placement=balanced|roundrobin]\n"
+                 "       [--progress[=NODES]]\n");
     return 2;
   }
 
@@ -60,6 +66,13 @@ int main(int argc, char** argv) {
   options.ic_requirement = flags.GetDouble("ic", 0.7);
   options.time_limit_seconds = flags.GetDouble("time-limit", 600.0);
   options.num_threads = flags.GetInt("threads", 1);
+  if (flags.Has("progress")) {
+    const uint64_t interval = flags.GetUint64("progress", 1);
+    if (interval > 1) options.progress_interval_nodes = interval;
+    options.progress = [](const laar::ftsearch::FtSearchProgress& progress) {
+      std::fprintf(stderr, "progress: %s\n", progress.ToString().c_str());
+    };
+  }
   auto result = laar::ftsearch::RunFtSearch(app->graph, app->input_space, *rates,
                                             *placement, cluster, options);
   if (!result.ok()) {

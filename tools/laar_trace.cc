@@ -1,0 +1,81 @@
+// laar_trace — inspect and transform Chrome trace-event JSON produced by
+// `laar_simulate --trace-out` (or the corpus runner's per-experiment
+// traces).
+//
+// Usage:
+//   laar_trace --in=run.json                     # summarize (default)
+//   laar_trace --in=run.json --validate          # schema check, exit 0/1
+//   laar_trace --in=run.json --filter=drops,failures --out=small.json
+//
+// Filtering keeps metadata records plus the events of the named categories
+// ({drops, queues, activation, failures, config, spans, engine}) and writes
+// the result — still valid Chrome trace JSON — to --out.
+
+#include <cstdio>
+#include <string>
+
+#include "laar/common/flags.h"
+#include "laar/common/strings.h"
+#include "laar/json/json.h"
+#include "laar/obs/chrome_trace.h"
+#include "laar/obs/trace_event.h"
+
+int main(int argc, char** argv) {
+  laar::Flags flags(argc, argv);
+  const std::string in_path = flags.GetString("in", "");
+  if (in_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: laar_trace --in=run.json [--validate]\n"
+                 "       [--filter=cat1,cat2,... --out=filtered.json]\n");
+    return 2;
+  }
+
+  auto trace = laar::json::ParseFile(in_path);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", in_path.c_str(),
+                 trace.status().ToString().c_str());
+    return 1;
+  }
+
+  if (flags.Has("validate")) {
+    const laar::Status status = laar::obs::ValidateChromeTrace(*trace);
+    if (!status.ok()) {
+      std::fprintf(stderr, "INVALID: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("OK: %s is valid Chrome trace JSON\n", in_path.c_str());
+    return 0;
+  }
+
+  if (flags.Has("filter")) {
+    const std::string out_path = flags.GetString("out", "");
+    if (out_path.empty()) {
+      std::fprintf(stderr, "--filter requires --out=FILE\n");
+      return 2;
+    }
+    uint32_t mask = 0;
+    for (const std::string& name : laar::StrSplit(flags.GetString("filter", ""), ',')) {
+      const uint32_t bit = laar::obs::CategoryBitFromName(name.c_str());
+      if (bit == 0) {
+        std::fprintf(stderr, "unknown trace category '%s'\n", name.c_str());
+        return 2;
+      }
+      mask |= bit;
+    }
+    auto filtered = laar::obs::FilterChromeTrace(*trace, mask);
+    if (!filtered.ok()) {
+      std::fprintf(stderr, "filter failed: %s\n", filtered.status().ToString().c_str());
+      return 1;
+    }
+    const laar::Status status = laar::json::WriteFile(*filtered, out_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "write failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+  }
+
+  std::printf("%s", laar::obs::SummarizeChromeTrace(*trace).c_str());
+  return 0;
+}

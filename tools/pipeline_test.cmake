@@ -1,5 +1,6 @@
 # End-to-end smoke test of the CLI workflow:
-#   laar_generate -> laar_solve -> laar_simulate (normal + worst case).
+#   laar_generate -> laar_solve -> laar_simulate (normal + worst case)
+#   -> laar_trace (summarize, validate, filter).
 # Seed 6 with 12 PEs on 6 hosts is a known FT-Search-solvable instance at
 # IC 0.6 (generation is deterministic, so this is stable).
 
@@ -15,9 +16,14 @@ endif()
 
 execute_process(
   COMMAND ${SOLVE} --app=${APP} --out=${STRATEGY} --ic=0.6 --hosts=6 --time-limit=10
+          --progress
+  ERROR_VARIABLE solve_err
   RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "laar_solve failed with ${rc}")
+endif()
+if(NOT solve_err MATCHES "progress: t=.*nodes=")
+  message(FATAL_ERROR "laar_solve --progress emitted no snapshots:\n${solve_err}")
 endif()
 
 execute_process(
@@ -52,3 +58,55 @@ if(worst GREATER best)
   message(FATAL_ERROR "worst-case processed ${worst} > best-case ${best}")
 endif()
 message(STATUS "pipeline OK: best=${best} worst=${worst}")
+
+# --- tracing leg: record a worst-case run, then summarize/validate/filter ---
+set(TRACE_JSON ${WORKDIR}/pipeline_trace.json)
+set(TRACE_FILTERED ${WORKDIR}/pipeline_trace_filtered.json)
+
+execute_process(
+  COMMAND ${SIM} --app=${APP} --strategy=${STRATEGY} --hosts=6 --trace-seconds=60
+          --worst-case --trace-out=${TRACE_JSON}
+  OUTPUT_VARIABLE trace_run_out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "laar_simulate --trace-out failed with ${rc}")
+endif()
+if(NOT trace_run_out MATCHES "summary: drops=")
+  message(FATAL_ERROR "laar_simulate run summary missing:\n${trace_run_out}")
+endif()
+if(NOT EXISTS ${TRACE_JSON})
+  message(FATAL_ERROR "laar_simulate did not write ${TRACE_JSON}")
+endif()
+
+execute_process(
+  COMMAND ${TRACE} --in=${TRACE_JSON} --validate
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "laar_trace --validate rejected the trace with ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${TRACE} --in=${TRACE_JSON}
+  OUTPUT_VARIABLE summary_out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "laar_trace summarize failed with ${rc}")
+endif()
+if(NOT summary_out MATCHES "events")
+  message(FATAL_ERROR "laar_trace summary looks empty:\n${summary_out}")
+endif()
+
+execute_process(
+  COMMAND ${TRACE} --in=${TRACE_JSON} --filter=failures,activation
+          --out=${TRACE_FILTERED}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "laar_trace --filter failed with ${rc}")
+endif()
+execute_process(
+  COMMAND ${TRACE} --in=${TRACE_FILTERED} --validate
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "filtered trace is not valid Chrome trace JSON (${rc})")
+endif()
+message(STATUS "trace pipeline OK")

@@ -1,0 +1,37 @@
+#!/bin/sh
+# The repository's check suite, runnable locally or as the single CI step:
+#
+#   sh tools/run_checks.sh [build-dir]
+#
+# 1. configures + builds the default tree (-Wall -Wextra -Werror),
+# 2. runs the full ctest suite,
+# 3. verifies no generated artifacts are tracked by git,
+# 4. rebuilds the concurrency-sensitive tests (thread pool, parallel
+#    corpus + observability publishing) under ThreadSanitizer and runs
+#    them.
+#
+# Any failing step aborts the script with a non-zero exit.
+set -eu
+
+cd "$(git rev-parse --show-toplevel)"
+
+BUILD_DIR="${1:-build}"
+TSAN_DIR="${BUILD_DIR}-tsan"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== [1/4] build (${BUILD_DIR}) =="
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== [2/4] ctest =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+echo "== [3/4] tracked-artifact check =="
+sh tools/check_no_tracked_artifacts.sh
+
+echo "== [4/4] TSan: exec_test + obs_test (${TSAN_DIR}) =="
+cmake -B "$TSAN_DIR" -S . -DLAAR_SANITIZE=thread >/dev/null
+cmake --build "$TSAN_DIR" -j "$JOBS" --target exec_test obs_test
+ctest --test-dir "$TSAN_DIR" -R 'exec_test|obs_test' --output-on-failure
+
+echo "ok: all checks passed"
