@@ -78,10 +78,17 @@ inline std::vector<runtime::AppExperimentRecord> RunExperimentCorpus(
 ///   --trace-capacity=N     per-recorder ring capacity, in events
 ///   --metrics-out=FILE     write the corpus JSON document, including the
 ///                          serialized metrics registry, to FILE
+///   --timeseries           also record ts_* telemetry series per
+///                          (seed, variant, scenario) into the registry
+///   --telemetry-period=S   telemetry sampling period (default 1 s)
+///   --latency-sample-rate=R  sampled per-tuple latency tracing; publishes
+///                          trace_* percentile gauges per simulation
+///   --latency-seed=S       sampling seed (default 1)
 ///
 /// The registry always collects (it is cheap and gives every bench the
-/// one-line aggregate summary); traces and the JSON dump are opt-in. The
-/// instance must outlive the corpus run it is wired into.
+/// one-line aggregate summary); traces, telemetry series, latency sampling
+/// and the JSON dump are opt-in. The instance must outlive the corpus run
+/// it is wired into.
 class CorpusObservability {
  public:
   explicit CorpusObservability(const Flags& flags)
@@ -92,6 +99,10 @@ class CorpusObservability {
     if (!ok_) std::fprintf(stderr, "unknown name in --trace-categories\n");
     trace_capacity_ = static_cast<size_t>(
         flags.GetUint64("trace-capacity", uint64_t{1} << 18));
+    record_timeseries_ = flags.Has("timeseries");
+    telemetry_period_seconds_ = flags.GetDouble("telemetry-period", 1.0);
+    latency_sample_rate_ = flags.GetDouble("latency-sample-rate", 0.0);
+    latency_seed_ = flags.GetUint64("latency-seed", 1);
   }
 
   /// False when a flag failed to parse; callers should exit.
@@ -106,6 +117,10 @@ class CorpusObservability {
       options->trace_capacity = trace_capacity_;
     }
     options->metrics = &registry_;
+    options->record_timeseries = record_timeseries_;
+    options->telemetry_period_seconds = telemetry_period_seconds_;
+    options->latency_sample_rate = latency_sample_rate_;
+    options->latency_seed = latency_seed_;
   }
 
   const obs::MetricsRegistry& registry() const { return registry_; }
@@ -134,6 +149,10 @@ class CorpusObservability {
   std::string metrics_out_;
   uint32_t trace_categories_ = obs::kAllCategories;
   size_t trace_capacity_ = 1u << 18;
+  bool record_timeseries_ = false;
+  double telemetry_period_seconds_ = 1.0;
+  double latency_sample_rate_ = 0.0;
+  uint64_t latency_seed_ = 1;
   bool ok_ = true;
 };
 

@@ -13,6 +13,8 @@
 #include "laar/metrics/ic.h"
 #include "laar/model/rates.h"
 #include "laar/fusion/fusion.h"
+#include "laar/obs/latency_tracer.h"
+#include "laar/obs/metrics_registry.h"
 #include "laar/obs/trace_recorder.h"
 #include "laar/model/discretize.h"
 #include "laar/sim/simulator.h"
@@ -138,30 +140,41 @@ void BM_EndToEndSimulation(benchmark::State& state) {
 BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
 
 // The tracing-overhead criterion: range(0) == 0 runs with tracing disabled
-// (null recorder — the zero-cost path), 1 with every category recorded.
-// The two times should be indistinguishable when disabled and within a few
-// percent when enabled.
+// (null observers — the zero-cost path), 1 with every event category
+// recorded, and 2 additionally with sampled latency tracing (5%) plus
+// periodic telemetry. Mode 0 should be indistinguishable from
+// BM_EndToEndSimulation; modes 1 and 2 within a few percent of it.
 void BM_EndToEndSimulationTraced(benchmark::State& state) {
   const auto app = MakeApp(12, 6);
   const auto strategy = laar::strategy::MakeStaticReplication(
       app.descriptor.graph, app.descriptor.input_space, 2);
   const auto trace = *laar::dsps::InputTrace::Alternating(
       0, 20.0, app.descriptor.input_space.PeakConfig(), 10.0, 1);
-  const bool traced = state.range(0) != 0;
+  const int mode = static_cast<int>(state.range(0));
+  laar::obs::LatencyTracer::Options tracer_options;
+  tracer_options.sample_rate = 0.05;
   for (auto _ : state) {
     laar::obs::TraceRecorder recorder;
+    laar::obs::LatencyTracer tracer(tracer_options);
+    laar::obs::MetricsRegistry telemetry;
     laar::dsps::RuntimeOptions options;
-    if (traced) options.trace_recorder = &recorder;
+    if (mode >= 1) options.trace_recorder = &recorder;
+    if (mode >= 2) {
+      options.latency_tracer = &tracer;
+      options.telemetry = &telemetry;
+    }
     laar::dsps::StreamSimulation simulation(app.descriptor, app.cluster, app.placement,
                                             strategy, trace, options);
     simulation.Run().CheckOK();
     benchmark::DoNotOptimize(simulation.metrics().TotalProcessed());
     benchmark::DoNotOptimize(recorder.total_recorded());
+    benchmark::DoNotOptimize(tracer.sampled_roots());
   }
 }
 BENCHMARK(BM_EndToEndSimulationTraced)
     ->Arg(0)
     ->Arg(1)
+    ->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
 void BM_SplParse(benchmark::State& state) {

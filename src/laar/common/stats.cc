@@ -55,7 +55,11 @@ double SampleStats::max() const {
 double SampleStats::Percentile(double q) const {
   EnsureSorted();
   if (sorted_.empty()) return 0.0;
-  if (q <= 0.0) return sorted_.front();
+  if (sorted_.size() == 1) return sorted_.front();
+  // `!(q > 0.0)` rather than `q <= 0.0`: a NaN `q` fails both orderings, and
+  // letting it reach the interpolation below would make the
+  // `static_cast<size_t>` undefined.
+  if (!(q > 0.0)) return sorted_.front();
   if (q >= 100.0) return sorted_.back();
   const double pos = q / 100.0 * static_cast<double>(sorted_.size() - 1);
   const size_t idx = static_cast<size_t>(pos);

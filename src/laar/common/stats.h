@@ -44,7 +44,10 @@ class SampleStats {
   double min() const;
   double max() const;
 
-  /// Linear-interpolation percentile, `q` in [0, 100].
+  /// Linear-interpolation percentile, `q` in [0, 100]. Every input has a
+  /// defined result: an empty reservoir yields 0.0 (like `min`/`max`), a
+  /// single sample is returned for every `q`, out-of-range `q` clamps to
+  /// [0, 100], and a NaN `q` is treated as 0.
   double Percentile(double q) const;
 
   /// Full box-plot summary (paper footnote 4 conventions).

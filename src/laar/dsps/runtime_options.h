@@ -2,9 +2,14 @@
 #define LAAR_DSPS_RUNTIME_OPTIONS_H_
 
 #include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace laar::obs {
 class TraceRecorder;
+class LatencyTracer;
+class MetricsRegistry;
 }
 
 namespace laar::dsps {
@@ -77,6 +82,28 @@ struct RuntimeOptions {
   /// fraction of capacity upward; it re-arms once occupancy falls back to
   /// half the watermark.
   double queue_watermark_fraction = 0.9;
+
+  /// Sampled per-tuple causal tracing (see obs/latency_tracer.h). Null (the
+  /// default) disables it at the cost of one pointer check per tuple step;
+  /// a tracer whose sample rate is 0 is equally inert. Like the trace
+  /// recorder: must outlive the simulation, one simulation per tracer.
+  obs::LatencyTracer* latency_tracer = nullptr;
+
+  /// Destination for periodic time-series telemetry (per-host CPU
+  /// utilization, per-operator queue depth, drop/output rates over
+  /// simulation time). Null disables the sampler entirely; sampling never
+  /// perturbs the simulated dynamics, only observes them.
+  obs::MetricsRegistry* telemetry = nullptr;
+
+  /// Sim-time interval between telemetry snapshots.
+  double telemetry_period_seconds = 1.0;
+
+  /// Ring capacity of each telemetry series (oldest samples evicted).
+  size_t telemetry_capacity = 1u << 12;
+
+  /// Labels attached to every telemetry series — how corpus workers keep
+  /// their series disjoint (one writer per label set) in a shared registry.
+  std::vector<std::pair<std::string, std::string>> telemetry_labels;
 };
 
 }  // namespace laar::dsps

@@ -72,8 +72,14 @@ void PublishTo(obs::MetricsRegistry* registry, const SimulationMetrics& metrics,
     if (obs::Gauge* g = registry->GetGauge("sim_sink_latency_mean_seconds", labels)) {
       g->Set(metrics.sink_latency.mean());
     }
+    if (obs::Gauge* g = registry->GetGauge("sim_sink_latency_p50_seconds", labels)) {
+      g->Set(metrics.sink_latency.Percentile(50.0));
+    }
     if (obs::Gauge* g = registry->GetGauge("sim_sink_latency_p95_seconds", labels)) {
       g->Set(metrics.sink_latency.Percentile(95.0));
+    }
+    if (obs::Gauge* g = registry->GetGauge("sim_sink_latency_p99_seconds", labels)) {
+      g->Set(metrics.sink_latency.Percentile(99.0));
     }
   }
 }

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "laar/common/strings.h"
+#include "laar/obs/latency_tracer.h"
+#include "laar/obs/metrics_registry.h"
 #include "laar/obs/trace_recorder.h"
 
 namespace laar::dsps {
@@ -55,12 +57,16 @@ struct StreamSimulation::Replica {
   double remaining_cycles = 0.0;
   sim::SimTime processing_birth = 0.0;  // birth time of the in-flight tuple
   sim::SimTime processing_start = 0.0;  // when the in-flight tuple left the queue
+  uint32_t processing_span = 0;         // latency-tracer span of that tuple
 
-  /// One buffered tuple: its port and the source-emission time it traces
-  /// back to (for end-to-end latency).
+  /// One buffered tuple: its port, the source-emission time it traces back
+  /// to (for end-to-end latency), when it entered the queue, and its
+  /// latency-tracer span (0 for the untraced majority).
   struct QueuedTuple {
     int port;
     sim::SimTime birth;
+    sim::SimTime enqueued = 0.0;
+    uint32_t span = 0;
   };
 
   std::vector<Port> ports;
@@ -88,6 +94,25 @@ struct StreamSimulation::SourceState {
   uint64_t emitted = 0;
   uint64_t monitor_snapshot = 0;
   std::vector<Output> outputs;
+};
+
+/// Handles into the telemetry registry plus the previous snapshot, so each
+/// tick publishes window rates (not cumulative totals) without rescanning
+/// the registry. Series pointers stay valid for the registry's lifetime.
+struct StreamSimulation::TelemetryState {
+  double period = 1.0;
+  obs::TimeSeries* source_rate = nullptr;    // tuples/sec entering the app
+  obs::TimeSeries* output_rate = nullptr;    // tuples/sec reaching sinks
+  obs::TimeSeries* drop_rate = nullptr;      // tuples/sec lost (overflow+shed)
+  obs::TimeSeries* pending_events = nullptr; // DES heap size (engine health)
+  std::vector<obs::TimeSeries*> host_util;   // [host] CPU utilization in [0,1]
+  std::vector<obs::TimeSeries*> queue_depth; // [component] total queued tuples
+
+  double prev_time = 0.0;
+  uint64_t prev_source = 0;
+  uint64_t prev_sink = 0;
+  uint64_t prev_dropped = 0;
+  std::vector<double> prev_host_cycles;
 };
 
 StreamSimulation::~StreamSimulation() = default;
@@ -226,6 +251,34 @@ Status StreamSimulation::Build() {
       replica.active = strategy_.IsActive(pe, replica.index, applied_config_);
     }
   }
+  // Telemetry series, created up front so a run with no samples still
+  // exports empty series under stable names.
+  telemetry_.reset();
+  if (options_.telemetry != nullptr && options_.telemetry_period_seconds > 0.0) {
+    auto telemetry = std::make_unique<TelemetryState>();
+    telemetry->period = options_.telemetry_period_seconds;
+    auto series = [this](const char* name, obs::MetricsRegistry::Labels extra) {
+      obs::MetricsRegistry::Labels labels = options_.telemetry_labels;
+      labels.insert(labels.end(), extra.begin(), extra.end());
+      return options_.telemetry->GetTimeSeries(name, labels, options_.telemetry_capacity);
+    };
+    telemetry->source_rate = series("ts_source_rate", {});
+    telemetry->output_rate = series("ts_output_rate", {});
+    telemetry->drop_rate = series("ts_drop_rate", {});
+    telemetry->pending_events = series("ts_pending_events", {});
+    telemetry->host_util.resize(hosts_.size(), nullptr);
+    for (size_t h = 0; h < hosts_.size(); ++h) {
+      telemetry->host_util[h] =
+          series("ts_host_cpu_util", {{"host", std::to_string(h)}});
+    }
+    telemetry->queue_depth.assign(pes_.size(), nullptr);
+    for (model::ComponentId pe : graph.Pes()) {
+      telemetry->queue_depth[static_cast<size_t>(pe)] =
+          series("ts_queue_depth", {{"pe", std::to_string(pe)}});
+    }
+    telemetry->prev_host_cycles.assign(hosts_.size(), 0.0);
+    telemetry_ = std::move(telemetry);
+  }
   simulator_.set_trace_recorder(options_.trace_recorder);
   built_ = true;
   return Status::OK();
@@ -299,6 +352,11 @@ Status StreamSimulation::Run() {
   // The LAAR middleware loop (Rate Monitor -> HAController).
   if (options_.dynamic_control) {
     simulator_.ScheduleAt(options_.monitor_period_seconds, [this] { MonitorTick(); });
+  }
+
+  // The telemetry sampler (read-only; see TelemetryTick).
+  if (telemetry_ != nullptr && telemetry_->period <= trace_.TotalDuration()) {
+    simulator_.ScheduleAt(telemetry_->period, [this] { TelemetryTick(); });
   }
 
   simulator_.RunUntil(trace_.TotalDuration());
@@ -384,7 +442,7 @@ void StreamSimulation::RemoveBusy(Replica* replica) {
 // ---------------------------------------------------------------------------
 
 void StreamSimulation::DeliverToReplica(Replica* replica, int port_index,
-                                        sim::SimTime birth) {
+                                        sim::SimTime birth, uint32_t span) {
   ReplicaMetrics& rm =
       metrics_.replicas[static_cast<size_t>(replica->pe_id)][static_cast<size_t>(replica->index)];
   if (!replica->alive || !replica->active || replica->resyncing) {
@@ -414,6 +472,11 @@ void StreamSimulation::DeliverToReplica(Replica* replica, int port_index,
                                            replica->pe_id, replica->index, replica->host,
                                            port_index);
         }
+        if (span != 0) {
+          options_.latency_tracer->RecordHop(span, obs::HopKind::kShed, simulator_.now(),
+                                             0.0, replica->pe_id, replica->index,
+                                             replica->host, port_index);
+        }
         return;
       }
     } else {
@@ -428,6 +491,11 @@ void StreamSimulation::DeliverToReplica(Replica* replica, int port_index,
                                        replica->pe_id, replica->index, replica->host,
                                        port_index);
     }
+    if (span != 0) {
+      options_.latency_tracer->RecordHop(span, obs::HopKind::kDrop, simulator_.now(), 0.0,
+                                         replica->pe_id, replica->index, replica->host,
+                                         port_index);
+    }
     return;
   }
   ++port.queued;
@@ -441,7 +509,12 @@ void StreamSimulation::DeliverToReplica(Replica* replica, int port_index,
                                        static_cast<double>(port.queued));
     }
   }
-  replica->fifo.push_back(Replica::QueuedTuple{port_index, birth});
+  if (span != 0) {
+    options_.latency_tracer->RecordHop(span, obs::HopKind::kEnqueue, simulator_.now(),
+                                       0.0, replica->pe_id, replica->index, replica->host,
+                                       port_index);
+  }
+  replica->fifo.push_back(Replica::QueuedTuple{port_index, birth, simulator_.now(), span});
   TryStartProcessing(replica);
 }
 
@@ -461,6 +534,13 @@ void StreamSimulation::TryStartProcessing(Replica* replica) {
   replica->processing_port = tuple.port;
   replica->processing_birth = tuple.birth;
   replica->processing_start = simulator_.now();
+  replica->processing_span = tuple.span;
+  if (tuple.span != 0) {
+    options_.latency_tracer->RecordHop(tuple.span, obs::HopKind::kDequeue,
+                                       simulator_.now(), simulator_.now() - tuple.enqueued,
+                                       replica->pe_id, replica->index, replica->host,
+                                       tuple.port);
+  }
   replica->remaining_cycles = port.cpu_cost;
   if (port.cpu_cost <= 0.0) {
     // Zero-cost tuple: complete synchronously without touching the host.
@@ -487,6 +567,14 @@ void StreamSimulation::FinishTuple(Replica* replica) {
                                   replica->pe_id, replica->index, replica->host,
                                   replica->processing_port);
   }
+  const uint32_t span = replica->processing_span;
+  replica->processing_span = 0;
+  if (span != 0) {
+    options_.latency_tracer->RecordHop(span, obs::HopKind::kProcess, simulator_.now(),
+                                       simulator_.now() - replica->processing_start,
+                                       replica->pe_id, replica->index, replica->host,
+                                       replica->processing_port);
+  }
   Port& port = replica->ports[static_cast<size_t>(replica->processing_port)];
   replica->processing_port = -1;
   // §5.2 footnote 3 selectivity semantics: an output tuple is produced for
@@ -494,13 +582,22 @@ void StreamSimulation::FinishTuple(Replica* replica) {
   port.selectivity_acc += port.selectivity;
   const int emit = static_cast<int>(std::floor(port.selectivity_acc));
   port.selectivity_acc -= emit;
-  if (emit > 0 && is_primary) {
-    rm.tuples_emitted += static_cast<uint64_t>(emit);
-    EmitFrom(replica, emit, replica->processing_birth);
+  if (emit > 0) {
+    if (is_primary) {
+      rm.tuples_emitted += static_cast<uint64_t>(emit);
+      EmitFrom(replica, emit, replica->processing_birth, span);
+    } else if (span != 0) {
+      // The replica produced output, but the proxy deduplicated it: only
+      // the primary's copy went downstream (§5.1).
+      options_.latency_tracer->RecordHop(span, obs::HopKind::kSuppress, simulator_.now(),
+                                         0.0, replica->pe_id, replica->index,
+                                         replica->host, /*port=*/-1);
+    }
   }
 }
 
-void StreamSimulation::EmitFrom(Replica* replica, int count, sim::SimTime birth) {
+void StreamSimulation::EmitFrom(Replica* replica, int count, sim::SimTime birth,
+                                uint32_t span) {
   PeState* pe = pes_[static_cast<size_t>(replica->pe_id)].get();
   for (const Output& output : pe->outputs) {
     for (int i = 0; i < count; ++i) {
@@ -510,10 +607,29 @@ void StreamSimulation::EmitFrom(Replica* replica, int count, sim::SimTime birth)
         if (options_.record_latency) {
           metrics_.sink_latency.Add(simulator_.now() - birth);
         }
+        if (span != 0) {
+          // Arrival on the parent span: the tracer derives the end-to-end
+          // latency from the root span's emission time.
+          options_.latency_tracer->RecordHop(span, obs::HopKind::kSink, simulator_.now(),
+                                             0.0, output.to, replica->index,
+                                             replica->host, /*port=*/-1);
+        }
       } else {
+        // Each delivered tuple is a new logical tuple: fork one child span
+        // per (output, copy) so downstream hops keep their own path.
+        uint32_t child = 0;
+        if (span != 0) {
+          child = options_.latency_tracer->Fork(span, replica->pe_id, simulator_.now());
+          if (child != 0) {
+            options_.latency_tracer->RecordHop(child, obs::HopKind::kEmit,
+                                               simulator_.now(), 0.0, replica->pe_id,
+                                               replica->index, replica->host,
+                                               output.port_index);
+          }
+        }
         PeState* downstream = pes_[static_cast<size_t>(output.to)].get();
         for (Replica& target : downstream->replicas) {
-          DeliverToReplica(&target, output.port_index, birth);
+          DeliverToReplica(&target, output.port_index, birth, child);
         }
       }
     }
@@ -574,6 +690,7 @@ void StreamSimulation::ApplyActivation(Replica* replica, bool active) {
       replica->processing = false;
       replica->remaining_cycles = 0.0;
       replica->processing_port = -1;
+      replica->processing_span = 0;
     }
     replica->fifo.clear();
     for (Port& port : replica->ports) {
@@ -633,6 +750,66 @@ void StreamSimulation::MonitorTick() {
 }
 
 // ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+void StreamSimulation::TelemetryTick() {
+  TelemetryState* t = telemetry_.get();
+  const sim::SimTime now = simulator_.now();
+  const double dt = now - t->prev_time;
+  if (dt > 0.0) {
+    auto rate = [dt](uint64_t current, uint64_t previous) {
+      return static_cast<double>(current - previous) / dt;
+    };
+    if (t->source_rate != nullptr) {
+      t->source_rate->Append(now, rate(metrics_.source_tuples, t->prev_source));
+    }
+    if (t->output_rate != nullptr) {
+      t->output_rate->Append(now, rate(metrics_.sink_tuples, t->prev_sink));
+    }
+    if (t->drop_rate != nullptr) {
+      t->drop_rate->Append(now, rate(metrics_.dropped_tuples, t->prev_dropped));
+    }
+    for (size_t h = 0; h < hosts_.size(); ++h) {
+      if (t->host_util[h] == nullptr) continue;
+      const HostState& host = *hosts_[h];
+      // Non-mutating estimate of the cycles consumed so far: the recorded
+      // total plus the in-flight integration interval. AdvanceHost runs on
+      // every busy-set change, so since `last_advance` the host has been
+      // either fully busy or fully idle — calling AdvanceHost here instead
+      // would split the processor-sharing FP integration at sample times
+      // and perturb the very run being observed.
+      const double cycles =
+          metrics_.host_cycles[h] +
+          (host.busy.empty() ? 0.0 : host.capacity * (now - host.last_advance));
+      const double util =
+          host.capacity > 0.0 ? (cycles - t->prev_host_cycles[h]) / (host.capacity * dt)
+                              : 0.0;
+      t->host_util[h]->Append(now, util);
+      t->prev_host_cycles[h] = cycles;
+    }
+    for (size_t c = 0; c < pes_.size(); ++c) {
+      if (t->queue_depth[c] == nullptr || pes_[c] == nullptr) continue;
+      size_t queued = 0;
+      for (const Replica& replica : pes_[c]->replicas) {
+        for (const Port& port : replica.ports) queued += port.queued;
+      }
+      t->queue_depth[c]->Append(now, static_cast<double>(queued));
+    }
+    if (t->pending_events != nullptr) {
+      t->pending_events->Append(now, static_cast<double>(simulator_.pending_events()));
+    }
+    t->prev_time = now;
+    t->prev_source = metrics_.source_tuples;
+    t->prev_sink = metrics_.sink_tuples;
+    t->prev_dropped = metrics_.dropped_tuples;
+  }
+  if (now + t->period <= trace_.TotalDuration()) {
+    simulator_.ScheduleAfter(t->period, [this] { TelemetryTick(); });
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Sources and failures
 // ---------------------------------------------------------------------------
 
@@ -640,15 +817,26 @@ void StreamSimulation::SourceEmit(SourceState* source) {
   ++source->emitted;
   ++metrics_.source_tuples;
   metrics_.source_series[BucketOf(simulator_.now())] += 1.0;
+  // Sampling decision at the source: a pure function of (seed, source,
+  // emission index), so it is identical however this emission interleaves
+  // with the rest of the run.
+  const uint32_t root =
+      LatencyTracing() ? options_.latency_tracer->SampleRoot(source->id, simulator_.now())
+                       : 0;
   for (const Output& output : source->outputs) {
     if (output.is_sink) {
       ++metrics_.sink_tuples;
       metrics_.sink_series[BucketOf(simulator_.now())] += 1.0;
       if (options_.record_latency) metrics_.sink_latency.Add(0.0);
+      if (root != 0) {
+        options_.latency_tracer->RecordHop(root, obs::HopKind::kSink, simulator_.now(),
+                                           0.0, output.to, /*replica=*/-1, /*host=*/-1,
+                                           /*port=*/-1);
+      }
     } else {
       PeState* downstream = pes_[static_cast<size_t>(output.to)].get();
       for (Replica& target : downstream->replicas) {
-        DeliverToReplica(&target, output.port_index, simulator_.now());
+        DeliverToReplica(&target, output.port_index, simulator_.now(), root);
       }
     }
   }
@@ -684,6 +872,7 @@ void StreamSimulation::CrashHost(model::HostId host, sim::SimTime duration) {
         replica.processing = false;
         replica.remaining_cycles = 0.0;
         replica.processing_port = -1;
+        replica.processing_span = 0;
       }
       replica.fifo.clear();
       for (Port& port : replica.ports) {
@@ -753,6 +942,10 @@ size_t StreamSimulation::BucketOf(sim::SimTime t) const {
 
 bool StreamSimulation::Tracing(obs::Category category) const {
   return options_.trace_recorder != nullptr && options_.trace_recorder->Wants(category);
+}
+
+bool StreamSimulation::LatencyTracing() const {
+  return options_.latency_tracer != nullptr && options_.latency_tracer->enabled();
 }
 
 void StreamSimulation::RecordReplicaCycles(Replica* replica, double cycles) {

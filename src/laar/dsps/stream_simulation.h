@@ -1,6 +1,7 @@
 #ifndef LAAR_DSPS_STREAM_SIMULATION_H_
 #define LAAR_DSPS_STREAM_SIMULATION_H_
 
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <vector>
@@ -80,6 +81,7 @@ class StreamSimulation {
   struct PeState;
   struct HostState;
   struct SourceState;
+  struct TelemetryState;
 
   // --- wiring ---
   Status Build();
@@ -92,10 +94,12 @@ class StreamSimulation {
   void RemoveBusy(Replica* replica);
 
   // --- operator mechanics ---
-  void DeliverToReplica(Replica* replica, int port_index, sim::SimTime birth);
+  /// `span` is the latency-tracer span the tuple belongs to (0 = untraced).
+  void DeliverToReplica(Replica* replica, int port_index, sim::SimTime birth,
+                        uint32_t span);
   void TryStartProcessing(Replica* replica);
   void FinishTuple(Replica* replica);
-  void EmitFrom(Replica* replica, int count, sim::SimTime birth);
+  void EmitFrom(Replica* replica, int count, sim::SimTime birth, uint32_t span);
 
   // --- replication control ---
   void ElectPrimary(PeState* pe);
@@ -104,6 +108,11 @@ class StreamSimulation {
 
   // --- middleware ---
   void MonitorTick();
+
+  // --- telemetry ---
+  /// Periodic read-only snapshot into the telemetry registry; never mutates
+  /// simulation state, so enabling it cannot perturb the run.
+  void TelemetryTick();
 
   // --- sources & failures ---
   void SourceEmit(SourceState* source);
@@ -117,6 +126,10 @@ class StreamSimulation {
   /// True when a recorder is attached and wants `category` — the guard every
   /// emission site checks before building an event.
   bool Tracing(obs::Category category) const;
+
+  /// True when a latency tracer is attached with a non-zero sample rate —
+  /// the guard every per-tuple hop site checks.
+  bool LatencyTracing() const;
 
   const model::ApplicationDescriptor& app_;
   const model::Cluster& cluster_;
@@ -133,6 +146,7 @@ class StreamSimulation {
   std::vector<std::unique_ptr<PeState>> pes_;      // [component], null unless PE
   std::vector<std::unique_ptr<HostState>> hosts_;  // [host]
   std::vector<std::unique_ptr<SourceState>> sources_;
+  std::unique_ptr<TelemetryState> telemetry_;  // null unless options_.telemetry
   model::ConfigId applied_config_ = 0;
   bool ran_ = false;
   bool built_ = false;

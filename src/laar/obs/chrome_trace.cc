@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "laar/common/strings.h"
+#include "laar/obs/latency_tracer.h"
 
 namespace laar::obs {
 
@@ -42,10 +43,66 @@ json::Value MetadataEvent(const char* name, int32_t pid, int32_t tid,
   return event;
 }
 
+/// Converts one tracer hop to the TraceEvent it appears as in the export.
+/// Queueing waits and service times become spans (their begin time is the
+/// hop time minus the measured duration); every other hop is an instant.
+TraceEvent HopToEvent(const Hop& hop, uint64_t trace_id) {
+  TraceEvent event;
+  event.trace = trace_id;
+  event.pe = hop.component;
+  event.replica = hop.replica;
+  event.host = hop.host;
+  event.port = hop.port;
+  event.time = hop.time;
+  switch (hop.kind) {
+    case HopKind::kEnqueue:
+      event.name = EventName::kTupleEnqueue;
+      break;
+    case HopKind::kDequeue:
+      event.name = EventName::kTupleQueuedSpan;
+      event.time = hop.time - hop.duration;
+      event.duration = hop.duration;
+      break;
+    case HopKind::kProcess:
+      event.name = EventName::kTupleProcessSpan;
+      event.time = hop.time - hop.duration;
+      event.duration = hop.duration;
+      break;
+    case HopKind::kEmit:
+      event.name = EventName::kTupleEmit;
+      break;
+    case HopKind::kSuppress:
+      event.name = EventName::kTupleSuppress;
+      break;
+    case HopKind::kDrop:
+      event.name = EventName::kTupleTracedDrop;
+      break;
+    case HopKind::kShed:
+      event.name = EventName::kTupleTracedShed;
+      break;
+    case HopKind::kSink:
+      event.name = EventName::kTupleSink;
+      event.value = hop.duration;  // end-to-end latency in seconds
+      break;
+  }
+  return event;
+}
+
 }  // namespace
 
 json::Value ToChromeTraceJson(const TraceRecorder& recorder) {
+  return ToChromeTraceJson(recorder, nullptr);
+}
+
+json::Value ToChromeTraceJson(const TraceRecorder& recorder, const LatencyTracer* tracer) {
   std::vector<TraceEvent> events = recorder.Events();
+  if (tracer != nullptr) {
+    events.reserve(events.size() + tracer->hops().size());
+    for (const Hop& hop : tracer->hops()) {
+      const Span* span = tracer->FindSpan(hop.span);
+      events.push_back(HopToEvent(hop, span != nullptr ? span->trace_id : 0));
+    }
+  }
   // Events are recorded in simulation order except pre-announced ones (the
   // input-trace schedule is emitted up front); a stable sort by timestamp
   // restores chronology while keeping same-time events in recording order.
@@ -111,6 +168,9 @@ json::Value ToChromeTraceJson(const TraceRecorder& recorder) {
       case EventPhase::kCounter:
         args.Set("value", json::Value::Number(event.value));
         break;
+    }
+    if (event.trace != 0) {
+      args.Set("trace", json::Value::Int(static_cast<int64_t>(event.trace)));
     }
     out.Set("args", std::move(args));
     trace_events.Append(std::move(out));

@@ -25,6 +25,16 @@ namespace laar::obs {
 /// serialized sorted.
 json::Value ToChromeTraceJson(const TraceRecorder& recorder);
 
+class LatencyTracer;
+
+/// Same export, with a latency tracer's sampled span trees merged in: each
+/// hop becomes a `tuples`-category event (queueing waits and service times
+/// as "X" spans on the replica thread that held the tuple, everything else
+/// as instants), carrying its causal trace id as `args.trace` so Perfetto
+/// can follow one sampled tuple across hosts. A null `tracer` degrades to
+/// the plain export.
+json::Value ToChromeTraceJson(const TraceRecorder& recorder, const LatencyTracer* tracer);
+
 /// Checks that `trace` is structurally valid Chrome trace-event JSON (the
 /// subset this library emits): an object with a "traceEvents" array whose
 /// entries carry a string "name", a "ph" in {M, i, X, C}, a finite numeric

@@ -1,0 +1,100 @@
+#ifndef LAAR_OBS_HEALTH_H_
+#define LAAR_OBS_HEALTH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "laar/common/result.h"
+#include "laar/json/json.h"
+#include "laar/obs/metrics_registry.h"
+#include "laar/obs/trace_recorder.h"
+
+namespace laar::obs {
+
+enum class AlertSeverity : uint8_t {
+  kWarning = 0,  ///< noted in the report; does not fail the run
+  kCritical,     ///< an SLO breach; makes the run unhealthy
+};
+
+const char* AlertSeverityName(AlertSeverity severity);
+
+enum class AlertComparison : uint8_t {
+  kAbove = 0,  ///< violate when value > threshold
+  kBelow,      ///< violate when value < threshold
+};
+
+/// One declarative threshold rule evaluated over recorded time series (and
+/// gauges, treated as single-sample series).
+///
+/// Text form, parsed by `ParseAlertRule`:
+///
+///   [name:] series[{key=value,...}] (>|<) THRESHOLD [for SECONDS] [warn|crit]
+///
+/// e.g. `backlog: ts_queue_depth{pe=3} > 50 for 5 warn` fires when PE 3's
+/// queue depth stays strictly above 50 for at least 5 consecutive
+/// sim-seconds. Omitting the label block matches every label set of the
+/// series (each evaluated independently); omitting `for` means any single
+/// violating sample fires; the default severity is `crit`.
+struct AlertRule {
+  std::string name;         ///< report key; defaults to the series name
+  std::string series;       ///< metric name to evaluate
+  MetricsRegistry::Labels labels;  ///< subset match; empty = every label set
+  AlertComparison comparison = AlertComparison::kAbove;
+  double threshold = 0.0;
+  double for_seconds = 0.0;  ///< sustained duration before firing
+  AlertSeverity severity = AlertSeverity::kCritical;
+
+  std::string ToString() const;
+};
+
+Result<AlertRule> ParseAlertRule(std::string_view text);
+
+/// Parses a semicolon-separated rule list (empty segments ignored).
+Result<std::vector<AlertRule>> ParseAlertRules(std::string_view text);
+
+/// One firing of a rule against one concrete series.
+struct AlertIncident {
+  std::string rule;        ///< AlertRule::name
+  std::string series_key;  ///< series name + labels, e.g. `ts_queue_depth{pe=3}`
+  AlertSeverity severity = AlertSeverity::kWarning;
+  double first_at = 0.0;   ///< time the violating streak began
+  double last_at = 0.0;    ///< last violating sample time
+  double duration = 0.0;   ///< last_at - first_at
+  double peak_value = 0.0; ///< most extreme violating value
+  uint64_t samples = 0;    ///< violating samples in the streak
+};
+
+/// The machine-readable end-of-run verdict: every incident plus the series
+/// snapshots they were judged against.
+struct HealthReport {
+  bool healthy = true;  ///< false iff any critical incident fired
+  std::vector<AlertIncident> incidents;
+  std::vector<AlertRule> rules;  ///< the rules that were evaluated
+  /// The evaluated series, embedded so the report alone reproduces the
+  /// evidence (written by `laar_simulate --health-out`).
+  std::vector<MetricsRegistry::SeriesSnapshot> series;
+
+  json::Value ToJson() const;
+  std::string ToString() const;
+};
+
+/// Evaluates `rules` over every time series and gauge in `registry`.
+///
+/// A rule fires once per matching series when a streak of consecutive
+/// violating samples spans at least `for_seconds` (a single sample has zero
+/// span, so sustained rules need the violation to persist across samples;
+/// `for_seconds == 0` fires on any violating sample). Gauges are
+/// single-sample series, so only zero-duration rules can fire on them.
+/// Comparison is strict: a sample equal to the threshold never violates.
+HealthReport EvaluateHealth(const MetricsRegistry& registry,
+                            const std::vector<AlertRule>& rules);
+
+/// Appends one `alert` instant event per incident to `recorder` (category
+/// `kHealth`, at the incident's `first_at`, value = peak), so alerts land on
+/// the Chrome trace timeline next to the behavior that tripped them.
+void EmitAlertEvents(TraceRecorder* recorder, const HealthReport& report);
+
+}  // namespace laar::obs
+
+#endif  // LAAR_OBS_HEALTH_H_

@@ -1,0 +1,306 @@
+#include "laar/obs/latency_tracer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "laar/common/rng.h"
+#include "laar/common/strings.h"
+
+namespace laar::obs {
+
+const char* HopKindName(HopKind kind) {
+  switch (kind) {
+    case HopKind::kEnqueue:
+      return "enqueue";
+    case HopKind::kDequeue:
+      return "dequeue";
+    case HopKind::kProcess:
+      return "process";
+    case HopKind::kEmit:
+      return "emit";
+    case HopKind::kSuppress:
+      return "suppress";
+    case HopKind::kDrop:
+      return "drop";
+    case HopKind::kShed:
+      return "shed";
+    case HopKind::kSink:
+      return "sink";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// One-shot avalanche of the (seed, source, index) triple. A stateless hash
+/// rather than a per-source stream keeps the decision independent of how
+/// source emissions interleave with everything else.
+uint64_t SampleHash(uint64_t seed, int32_t source, uint64_t index) {
+  const uint64_t mix = seed ^
+                       (static_cast<uint64_t>(source + 1) * 0x9E3779B97F4A7C15ULL) ^
+                       (index * 0xBF58476D1CE4E5B9ULL);
+  return SplitMix64(mix).Next();
+}
+
+}  // namespace
+
+LatencyTracer::LatencyTracer(const Options& options) : options_(options) {
+  options_.sample_rate = std::clamp(options_.sample_rate, 0.0, 1.0);
+  if (options_.sample_rate >= 1.0) {
+    threshold_ = UINT64_MAX;
+  } else {
+    threshold_ = static_cast<uint64_t>(options_.sample_rate * 18446744073709551616.0);
+  }
+  spans_.reserve(std::min<size_t>(options_.max_spans, 1024));
+  hops_.reserve(std::min<size_t>(options_.max_hops, 4096));
+}
+
+uint32_t LatencyTracer::SampleRoot(int32_t source, double time) {
+  if (!enabled()) return 0;
+  const size_t slot = source < 0 ? 0 : static_cast<size_t>(source);
+  if (slot >= source_emitted_.size()) source_emitted_.resize(slot + 1, 0);
+  const uint64_t index = source_emitted_[slot]++;
+  if (options_.sample_rate < 1.0 &&
+      SampleHash(options_.seed, source, index) >= threshold_) {
+    return 0;
+  }
+  ++sampled_roots_;
+  if (spans_.size() >= options_.max_spans) {
+    ++truncated_roots_;
+    return 0;
+  }
+  Span span;
+  span.trace_id = (static_cast<uint64_t>(source + 1) << 40) | index;
+  span.start = time;
+  span.root_start = time;
+  span.parent = 0;
+  span.component = source;
+  spans_.push_back(span);
+  return static_cast<uint32_t>(spans_.size());
+}
+
+uint32_t LatencyTracer::Fork(uint32_t parent, int32_t component, double time) {
+  if (parent == 0 || parent > spans_.size()) return 0;
+  if (spans_.size() >= options_.max_spans) {
+    ++dropped_hops_;
+    return 0;
+  }
+  const Span& from = spans_[parent - 1];
+  Span span;
+  span.trace_id = from.trace_id;
+  span.start = time;
+  span.root_start = from.root_start;
+  span.parent = parent;
+  span.component = component;
+  spans_.push_back(span);
+  return static_cast<uint32_t>(spans_.size());
+}
+
+void LatencyTracer::RecordHop(uint32_t span, HopKind kind, double time, double duration,
+                              int32_t component, int32_t replica, int32_t host,
+                              int32_t port) {
+  if (span == 0 || span > spans_.size()) return;
+  if (hops_.size() >= options_.max_hops) {
+    ++dropped_hops_;
+    return;
+  }
+  Hop hop;
+  hop.time = time;
+  hop.duration = kind == HopKind::kSink ? time - spans_[span - 1].root_start : duration;
+  hop.span = span;
+  hop.kind = kind;
+  hop.component = component;
+  hop.replica = replica;
+  hop.host = host;
+  hop.port = port;
+  hops_.push_back(hop);
+}
+
+const Span* LatencyTracer::FindSpan(uint32_t handle) const {
+  if (handle == 0 || handle > spans_.size()) return nullptr;
+  return &spans_[handle - 1];
+}
+
+std::string LatencyTracer::PathOf(uint32_t handle) const {
+  std::vector<int32_t> components;
+  while (handle != 0 && handle <= spans_.size()) {
+    const Span& span = spans_[handle - 1];
+    components.push_back(span.component);
+    handle = span.parent;
+  }
+  std::string path;
+  for (auto it = components.rbegin(); it != components.rend(); ++it) {
+    if (!path.empty()) path += '>';
+    path += std::to_string(*it);
+  }
+  return path;
+}
+
+LatencyBreakdown LatencyTracer::Breakdown() const {
+  LatencyBreakdown out;
+  out.sampled_roots = sampled_roots_;
+  out.spans = spans_.size();
+  out.hops = hops_.size();
+
+  std::map<int32_t, OperatorLatency> operators;
+  std::map<std::string, PathLatency> paths;
+  for (const Hop& hop : hops_) {
+    switch (hop.kind) {
+      case HopKind::kDequeue: {
+        OperatorLatency& op = operators[hop.component];
+        op.component = hop.component;
+        op.queue_wait.Add(hop.duration);
+        break;
+      }
+      case HopKind::kProcess: {
+        OperatorLatency& op = operators[hop.component];
+        op.component = hop.component;
+        op.service.Add(hop.duration);
+        break;
+      }
+      case HopKind::kDrop:
+      case HopKind::kShed: {
+        OperatorLatency& op = operators[hop.component];
+        op.component = hop.component;
+        ++op.drops;
+        break;
+      }
+      case HopKind::kSuppress: {
+        OperatorLatency& op = operators[hop.component];
+        op.component = hop.component;
+        ++op.suppressed;
+        break;
+      }
+      case HopKind::kSink: {
+        ++out.sink_arrivals;
+        out.end_to_end.Add(hop.duration);
+        std::string path = PathOf(hop.span);
+        path += '>';
+        path += std::to_string(hop.component);
+        PathLatency& pl = paths[path];
+        pl.path = path;
+        pl.end_to_end.Add(hop.duration);
+        break;
+      }
+      case HopKind::kEnqueue:
+      case HopKind::kEmit:
+        break;
+    }
+  }
+  out.operators.reserve(operators.size());
+  for (auto& [component, op] : operators) out.operators.push_back(std::move(op));
+  out.paths.reserve(paths.size());
+  for (auto& [path, pl] : paths) out.paths.push_back(std::move(pl));
+  return out;
+}
+
+std::string LatencyBreakdown::ToString() const {
+  std::string out = StrFormat(
+      "sampled latency breakdown: %llu roots, %llu spans, %llu hops, %llu sink "
+      "arrivals\n",
+      static_cast<unsigned long long>(sampled_roots),
+      static_cast<unsigned long long>(spans), static_cast<unsigned long long>(hops),
+      static_cast<unsigned long long>(sink_arrivals));
+  if (!operators.empty()) {
+    out +=
+        "  operator |     n |  queue p50 |  queue p95 |  queue p99 |  "
+        "svc p50 |  svc p95 |  svc p99 | drops | dedup\n";
+    for (const OperatorLatency& op : operators) {
+      out += StrFormat(
+          "  %8d | %5zu | %10.6f | %10.6f | %10.6f | %8.6f | %8.6f | %8.6f | %5llu | "
+          "%5llu\n",
+          op.component, op.queue_wait.count(), op.queue_wait.Percentile(50.0),
+          op.queue_wait.Percentile(95.0), op.queue_wait.Percentile(99.0),
+          op.service.Percentile(50.0), op.service.Percentile(95.0),
+          op.service.Percentile(99.0), static_cast<unsigned long long>(op.drops),
+          static_cast<unsigned long long>(op.suppressed));
+    }
+  }
+  if (!paths.empty()) {
+    out += "  path latencies (end-to-end seconds):\n";
+    for (const PathLatency& pl : paths) {
+      out += StrFormat("    %-20s n=%-5zu p50=%.6f p95=%.6f p99=%.6f\n", pl.path.c_str(),
+                       pl.end_to_end.count(), pl.end_to_end.Percentile(50.0),
+                       pl.end_to_end.Percentile(95.0), pl.end_to_end.Percentile(99.0));
+    }
+  }
+  if (end_to_end.count() > 0) {
+    out += StrFormat("  end-to-end: n=%zu p50=%.6f p95=%.6f p99=%.6f mean=%.6f\n",
+                     end_to_end.count(), end_to_end.Percentile(50.0),
+                     end_to_end.Percentile(95.0), end_to_end.Percentile(99.0),
+                     end_to_end.mean());
+  }
+  return out;
+}
+
+namespace {
+
+json::Value PercentilesJson(const SampleStats& stats) {
+  json::Value out = json::Value::MakeObject();
+  out.Set("count", json::Value::Int(static_cast<int64_t>(stats.count())));
+  out.Set("p50", json::Value::Number(stats.Percentile(50.0)));
+  out.Set("p95", json::Value::Number(stats.Percentile(95.0)));
+  out.Set("p99", json::Value::Number(stats.Percentile(99.0)));
+  out.Set("mean", json::Value::Number(stats.mean()));
+  return out;
+}
+
+}  // namespace
+
+json::Value LatencyBreakdown::ToJson() const {
+  json::Value out = json::Value::MakeObject();
+  out.Set("sampled_roots", json::Value::Int(static_cast<int64_t>(sampled_roots)));
+  out.Set("spans", json::Value::Int(static_cast<int64_t>(spans)));
+  out.Set("hops", json::Value::Int(static_cast<int64_t>(hops)));
+  out.Set("sink_arrivals", json::Value::Int(static_cast<int64_t>(sink_arrivals)));
+  json::Value ops = json::Value::MakeArray();
+  for (const OperatorLatency& op : operators) {
+    json::Value entry = json::Value::MakeObject();
+    entry.Set("component", json::Value::Int(op.component));
+    entry.Set("queue_wait_seconds", PercentilesJson(op.queue_wait));
+    entry.Set("service_seconds", PercentilesJson(op.service));
+    entry.Set("drops", json::Value::Int(static_cast<int64_t>(op.drops)));
+    entry.Set("suppressed", json::Value::Int(static_cast<int64_t>(op.suppressed)));
+    ops.Append(std::move(entry));
+  }
+  out.Set("operators", std::move(ops));
+  json::Value path_list = json::Value::MakeArray();
+  for (const PathLatency& pl : paths) {
+    json::Value entry = json::Value::MakeObject();
+    entry.Set("path", json::Value::String(pl.path));
+    entry.Set("end_to_end_seconds", PercentilesJson(pl.end_to_end));
+    path_list.Append(std::move(entry));
+  }
+  out.Set("paths", std::move(path_list));
+  out.Set("end_to_end_seconds", PercentilesJson(end_to_end));
+  return out;
+}
+
+void PublishBreakdown(MetricsRegistry* registry, const LatencyBreakdown& breakdown,
+                      const MetricsRegistry::Labels& labels) {
+  if (registry == nullptr) return;
+  auto set_gauge = [&](const std::string& name, const MetricsRegistry::Labels& extra,
+                       double value) {
+    MetricsRegistry::Labels merged = labels;
+    merged.insert(merged.end(), extra.begin(), extra.end());
+    if (Gauge* g = registry->GetGauge(name, merged); g != nullptr) g->Set(value);
+  };
+  set_gauge("trace_sampled_roots", {}, static_cast<double>(breakdown.sampled_roots));
+  set_gauge("trace_sink_arrivals", {}, static_cast<double>(breakdown.sink_arrivals));
+  set_gauge("trace_e2e_p50_seconds", {}, breakdown.end_to_end.Percentile(50.0));
+  set_gauge("trace_e2e_p95_seconds", {}, breakdown.end_to_end.Percentile(95.0));
+  set_gauge("trace_e2e_p99_seconds", {}, breakdown.end_to_end.Percentile(99.0));
+  for (const OperatorLatency& op : breakdown.operators) {
+    const MetricsRegistry::Labels pe = {{"pe", std::to_string(op.component)}};
+    set_gauge("trace_queue_p50_seconds", pe, op.queue_wait.Percentile(50.0));
+    set_gauge("trace_queue_p95_seconds", pe, op.queue_wait.Percentile(95.0));
+    set_gauge("trace_queue_p99_seconds", pe, op.queue_wait.Percentile(99.0));
+    set_gauge("trace_service_p50_seconds", pe, op.service.Percentile(50.0));
+    set_gauge("trace_service_p95_seconds", pe, op.service.Percentile(95.0));
+    set_gauge("trace_service_p99_seconds", pe, op.service.Percentile(99.0));
+    set_gauge("trace_dropped_tuples", pe, static_cast<double>(op.drops));
+    set_gauge("trace_suppressed_tuples", pe, static_cast<double>(op.suppressed));
+  }
+}
+
+}  // namespace laar::obs

@@ -1,0 +1,170 @@
+#ifndef LAAR_OBS_LATENCY_TRACER_H_
+#define LAAR_OBS_LATENCY_TRACER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "laar/common/stats.h"
+#include "laar/json/json.h"
+#include "laar/obs/metrics_registry.h"
+
+namespace laar::obs {
+
+/// Where in a sampled tuple's life a hop timestamp was taken.
+enum class HopKind : uint8_t {
+  kEnqueue = 0,  ///< accepted into a replica's input queue
+  kDequeue,      ///< left the queue; duration = queueing wait
+  kProcess,      ///< processing finished; duration = service time
+  kEmit,         ///< the primary forwarded output downstream (span forked)
+  kSuppress,     ///< a non-primary finished; its output was deduplicated
+  kDrop,         ///< lost to queue overflow
+  kShed,         ///< lost to load shedding
+  kSink,         ///< reached a sink; duration = end-to-end latency
+};
+
+const char* HopKindName(HopKind kind);
+
+/// One timestamped step of a sampled tuple, tied to a span.
+struct Hop {
+  double time = 0.0;
+  double duration = 0.0;  ///< kDequeue: wait; kProcess: service; kSink: e2e
+  uint32_t span = 0;
+  HopKind kind = HopKind::kEnqueue;
+  int32_t component = -1;
+  int32_t replica = -1;
+  int32_t host = -1;
+  int32_t port = -1;
+};
+
+/// One node of a sampled trace's span tree: a logical tuple between two
+/// components. The root span is the sampled source emission; every
+/// downstream forward forks a child span per emitted tuple, so following
+/// `parent` links reconstructs the exact component path of any hop. The k
+/// replicas of a PE share the span of the tuple they all received (their
+/// hops differ in the replica field) — active replication's proxy semantics
+/// made visible.
+struct Span {
+  uint64_t trace_id = 0;   ///< stable id of the whole tree (root's identity)
+  double start = 0.0;      ///< creation (source emission / fork) time
+  double root_start = 0.0; ///< the root's source-emission time
+  uint32_t parent = 0;     ///< parent span handle; 0 for roots
+  int32_t component = -1;  ///< component that created the tuple
+};
+
+/// Queueing-vs-processing percentiles of one operator, from sampled hops.
+struct OperatorLatency {
+  int32_t component = -1;
+  SampleStats queue_wait;  ///< seconds between enqueue and dequeue
+  SampleStats service;     ///< seconds between dequeue and completion
+  uint64_t drops = 0;      ///< sampled tuples lost here (overflow + shed)
+  uint64_t suppressed = 0; ///< sampled non-primary completions deduplicated
+};
+
+/// End-to-end latency of every sampled tuple that took one component path
+/// (`path` = component ids root-to-sink joined by '>').
+struct PathLatency {
+  std::string path;
+  SampleStats end_to_end;
+};
+
+/// The post-run digest of a tracer: per-operator and per-path p50/p95/p99.
+struct LatencyBreakdown {
+  uint64_t sampled_roots = 0;  ///< source tuples the sampler selected
+  uint64_t spans = 0;          ///< span-tree nodes recorded
+  uint64_t hops = 0;           ///< hop timestamps recorded
+  uint64_t sink_arrivals = 0;  ///< sampled tuples that reached a sink
+  std::vector<OperatorLatency> operators;  ///< sorted by component id
+  std::vector<PathLatency> paths;          ///< sorted by path string
+  SampleStats end_to_end;                  ///< all sink arrivals pooled
+
+  /// Fixed-width per-operator and per-path table (the CLI report).
+  std::string ToString() const;
+  json::Value ToJson() const;
+};
+
+/// Deterministic sampled per-tuple causal tracing.
+///
+/// The simulation holds a `LatencyTracer*` that is null by default, so a
+/// disabled tracer costs one pointer comparison per tuple. When enabled, a
+/// seeded hash — a pure function of (seed, source, emission index), so
+/// scheduling order cannot change a decision — selects `sample_rate` of each
+/// source's tuples. Sampled tuples get a trace id and a root span; every
+/// queueing step, processing step, forward, dedup-suppression, and drop is
+/// recorded as a timestamped hop. `Breakdown()` reduces the hops to the
+/// queueing-vs-processing percentiles; `chrome_trace.h` merges the span
+/// trees into the Chrome trace export.
+///
+/// Single-writer like `TraceRecorder`: one tracer belongs to one simulation.
+/// Memory is bounded by `max_spans`/`max_hops`; when either fills, *new*
+/// roots stop being sampled (counted in `truncated_roots()`) so already
+/// sampled tuples keep complete trees.
+class LatencyTracer {
+ public:
+  struct Options {
+    /// Fraction of each source's tuples to trace, in [0, 1]. 0 disables.
+    double sample_rate = 0.0;
+    /// Seed of the sampling hash; same seed => same decisions.
+    uint64_t seed = 1;
+    size_t max_spans = 1u << 16;
+    size_t max_hops = 1u << 20;
+  };
+
+  LatencyTracer() : LatencyTracer(Options{}) {}
+  explicit LatencyTracer(const Options& options);
+
+  LatencyTracer(const LatencyTracer&) = delete;
+  LatencyTracer& operator=(const LatencyTracer&) = delete;
+
+  bool enabled() const { return options_.sample_rate > 0.0; }
+
+  /// Sampling decision for the next tuple of `source`; every call advances
+  /// that source's emission index. Returns the root span handle, or 0 when
+  /// the tuple is not sampled (or the span table is full).
+  uint32_t SampleRoot(int32_t source, double time);
+
+  /// Forks a child span: the tuple `parent` emitted at `component`.
+  /// Returns 0 (and records nothing) when `parent` is 0 or tables are full.
+  uint32_t Fork(uint32_t parent, int32_t component, double time);
+
+  /// Records one hop of span `span`; no-op when `span` is 0 or the hop
+  /// table is full. For `kSink` the end-to-end duration is derived from the
+  /// root span's start time.
+  void RecordHop(uint32_t span, HopKind kind, double time, double duration,
+                 int32_t component, int32_t replica, int32_t host, int32_t port);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  const std::vector<Hop>& hops() const { return hops_; }
+  const Span* FindSpan(uint32_t handle) const;
+
+  /// Component path of `span`, root-first, ids joined by '>' (e.g. "0>2>5").
+  std::string PathOf(uint32_t handle) const;
+
+  uint64_t sampled_roots() const { return sampled_roots_; }
+  /// Tuples the sampler selected but could not trace (tables full).
+  uint64_t truncated_roots() const { return truncated_roots_; }
+  uint64_t dropped_hops() const { return dropped_hops_; }
+
+  LatencyBreakdown Breakdown() const;
+
+ private:
+  Options options_;
+  uint64_t threshold_ = 0;  ///< sample iff hash < threshold
+  std::vector<uint64_t> source_emitted_;  ///< per-source emission index
+  std::vector<Span> spans_;
+  std::vector<Hop> hops_;
+  uint64_t sampled_roots_ = 0;
+  uint64_t truncated_roots_ = 0;
+  uint64_t dropped_hops_ = 0;
+};
+
+/// Publishes a breakdown into `registry`: per-operator queueing/service
+/// percentile gauges (`trace_queue_p50_seconds{pe=..}` etc.), pooled
+/// end-to-end percentiles, and the sampling counters, tagged with `labels`.
+void PublishBreakdown(MetricsRegistry* registry, const LatencyBreakdown& breakdown,
+                      const MetricsRegistry::Labels& labels = {});
+
+}  // namespace laar::obs
+
+#endif  // LAAR_OBS_LATENCY_TRACER_H_

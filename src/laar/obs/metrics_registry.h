@@ -12,6 +12,7 @@
 
 #include "laar/common/stats.h"
 #include "laar/json/json.h"
+#include "laar/obs/timeseries.h"
 
 namespace laar::obs {
 
@@ -89,12 +90,33 @@ class MetricsRegistry {
   Gauge* GetGauge(const std::string& name, const Labels& labels = {});
   HistogramMetric* GetHistogram(const std::string& name, const Labels& labels, double lo,
                                 double hi, size_t bins);
+  TimeSeries* GetTimeSeries(const std::string& name, const Labels& labels,
+                            size_t capacity);
 
   /// Read-only lookup; null when absent or of a different type.
   const Counter* FindCounter(const std::string& name, const Labels& labels = {}) const;
   const Gauge* FindGauge(const std::string& name, const Labels& labels = {}) const;
   const HistogramMetric* FindHistogram(const std::string& name,
                                        const Labels& labels = {}) const;
+  const TimeSeries* FindTimeSeries(const std::string& name,
+                                   const Labels& labels = {}) const;
+
+  /// Point-in-time copy of one time series (or gauge, as a single-sample
+  /// series at time 0) — the unit the health engine and the exporters
+  /// consume without holding registry locks.
+  struct SeriesSnapshot {
+    std::string name;
+    Labels labels;  ///< canonicalized (sorted by key)
+    std::vector<TimeSeries::Sample> samples;
+  };
+
+  /// Every time-series entry, snapshotted, sorted by (name, labels) —
+  /// deterministic for a given registry content.
+  std::vector<SeriesSnapshot> SnapshotTimeSeries() const;
+
+  /// Every gauge entry as a single-sample series at time 0, sorted by
+  /// (name, labels). Lets threshold rules range over scalar metrics too.
+  std::vector<SeriesSnapshot> SnapshotGauges() const;
 
   /// Cross-label roll-ups: the sum of every counter named `name`, and the
   /// max of every gauge named `name`, over all label sets (0 when none
@@ -124,6 +146,7 @@ class MetricsRegistry {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<HistogramMetric> histogram;
+    std::unique_ptr<TimeSeries> series;
   };
 
   static std::string KeyOf(const std::string& name, const Labels& labels);
@@ -131,6 +154,16 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
 };
+
+/// Renders every time series in `registry` as CSV with the fixed header
+/// `series,labels,time,value` (labels as `k=v;k=v`), rows sorted by
+/// (name, labels) and then sample order — ready for gnuplot/matplotlib.
+/// Deterministic for a given registry content.
+std::string TimeSeriesCsv(const MetricsRegistry& registry);
+
+/// The same export as JSON:
+/// {"series": [{"name", "labels", "samples": [[t, v], ...]}, ...]}.
+json::Value TimeSeriesJson(const MetricsRegistry& registry);
 
 }  // namespace laar::obs
 

@@ -1,0 +1,48 @@
+#include "laar/obs/timeseries.h"
+
+#include <algorithm>
+
+namespace laar::obs {
+
+TimeSeries::TimeSeries(size_t capacity) : ring_(std::max<size_t>(1, capacity)) {}
+
+void TimeSeries::Append(double time, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_appended_;
+  if (size_ < ring_.size()) {
+    ring_[(head_ + size_) % ring_.size()] = Sample{time, value};
+    ++size_;
+  } else {
+    ring_[head_] = Sample{time, value};
+    head_ = (head_ + 1) % ring_.size();
+  }
+}
+
+std::vector<TimeSeries::Sample> TimeSeries::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  out.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+size_t TimeSeries::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+size_t TimeSeries::capacity() const { return ring_.size(); }
+
+uint64_t TimeSeries::total_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_appended_;
+}
+
+uint64_t TimeSeries::overwritten() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_appended_ - size_;
+}
+
+}  // namespace laar::obs

@@ -1,0 +1,55 @@
+#ifndef LAAR_OBS_TIMESERIES_H_
+#define LAAR_OBS_TIMESERIES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace laar::obs {
+
+/// A bounded sequence of (time, value) samples — the storage behind the
+/// telemetry layer's periodic snapshots (per-host CPU utilization, queue
+/// depths, drop/output rates over simulation time). Appends are O(1); once
+/// `capacity` samples are held the oldest is overwritten, so memory stays
+/// bounded no matter how long the run while the most recent history survives
+/// for plotting and health-rule evaluation.
+///
+/// Thread-safe like the other registry metric types: corpus workers publish
+/// to disjoint label sets (one writer per series), but snapshots may race
+/// with appends.
+class TimeSeries {
+ public:
+  struct Sample {
+    double time = 0.0;
+    double value = 0.0;
+  };
+
+  explicit TimeSeries(size_t capacity);
+
+  TimeSeries(const TimeSeries&) = delete;
+  TimeSeries& operator=(const TimeSeries&) = delete;
+
+  void Append(double time, double value);
+
+  /// Stored samples in append order (oldest surviving first).
+  std::vector<Sample> Samples() const;
+
+  size_t size() const;
+  size_t capacity() const;
+  /// Samples appended since construction (including evicted ones).
+  uint64_t total_appended() const;
+  /// Samples evicted because the ring was full.
+  uint64_t overwritten() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Sample> ring_;
+  size_t head_ = 0;  ///< index of the oldest stored sample
+  size_t size_ = 0;
+  uint64_t total_appended_ = 0;
+};
+
+}  // namespace laar::obs
+
+#endif  // LAAR_OBS_TIMESERIES_H_

@@ -17,9 +17,11 @@ enum class Category : uint32_t {
   kConfig = 1u << 4,      ///< input-configuration and control-plane changes
   kSpans = 1u << 5,       ///< per-tuple processing spans
   kEngine = 1u << 6,      ///< event-engine backlog counters
+  kTuples = 1u << 7,      ///< sampled per-tuple causal hops (latency tracer)
+  kHealth = 1u << 8,      ///< alert-engine incidents
 };
 
-inline constexpr uint32_t kAllCategories = 0x7f;
+inline constexpr uint32_t kAllCategories = 0x1ff;
 
 const char* CategoryName(Category category);
 
@@ -57,6 +59,15 @@ enum class EventName : uint8_t {
   kControlDecision,     ///< the HAController decided to reconfigure
   kProcessSpan,         ///< one tuple's processing on a replica
   kEngineBacklog,       ///< pending simulator events (sampled)
+  kTupleEnqueue,        ///< sampled tuple accepted into an input queue
+  kTupleQueuedSpan,     ///< sampled tuple's queueing wait (span)
+  kTupleProcessSpan,    ///< sampled tuple's service time (span)
+  kTupleEmit,           ///< sampled tuple forwarded downstream by the primary
+  kTupleSuppress,       ///< sampled tuple's non-primary output deduplicated
+  kTupleTracedDrop,     ///< sampled tuple lost to queue overflow
+  kTupleTracedShed,     ///< sampled tuple lost to load shedding
+  kTupleSink,           ///< sampled tuple reached a sink; value = e2e latency
+  kAlert,               ///< a health rule fired; value = peak series value
   kCount,               ///< sentinel — number of event kinds
 };
 
@@ -74,6 +85,7 @@ struct TraceEvent {
   double time = 0.0;
   double duration = 0.0;  ///< spans only
   double value = 0.0;     ///< payload: queue depth, config id, counter value
+  uint64_t trace = 0;     ///< causal trace id (sampled tuples); 0 = none
   EventName name = EventName::kTupleDrop;
   int32_t pe = -1;
   int32_t replica = -1;

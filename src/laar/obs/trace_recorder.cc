@@ -24,6 +24,15 @@ constexpr EventInfo kEventTable[static_cast<size_t>(EventName::kCount)] = {
     {"control_decision", Category::kConfig, EventPhase::kInstant},
     {"process", Category::kSpans, EventPhase::kSpan},
     {"pending_events", Category::kEngine, EventPhase::kCounter},
+    {"tuple_enqueue", Category::kTuples, EventPhase::kInstant},
+    {"tuple_queued", Category::kTuples, EventPhase::kSpan},
+    {"tuple_process", Category::kTuples, EventPhase::kSpan},
+    {"tuple_emit", Category::kTuples, EventPhase::kInstant},
+    {"tuple_suppress", Category::kTuples, EventPhase::kInstant},
+    {"tuple_traced_drop", Category::kTuples, EventPhase::kInstant},
+    {"tuple_traced_shed", Category::kTuples, EventPhase::kInstant},
+    {"tuple_sink", Category::kTuples, EventPhase::kInstant},
+    {"alert", Category::kHealth, EventPhase::kInstant},
 };
 
 }  // namespace
@@ -48,6 +57,10 @@ const char* CategoryName(Category category) {
       return "spans";
     case Category::kEngine:
       return "engine";
+    case Category::kTuples:
+      return "tuples";
+    case Category::kHealth:
+      return "health";
   }
   return "?";
 }
@@ -56,7 +69,8 @@ uint32_t CategoryBitFromName(const char* name) {
   constexpr Category kAll[] = {Category::kDrops,    Category::kQueues,
                                Category::kActivation, Category::kFailures,
                                Category::kConfig,   Category::kSpans,
-                               Category::kEngine};
+                               Category::kEngine,   Category::kTuples,
+                               Category::kHealth};
   const std::string_view wanted(name);
   for (Category c : kAll) {
     if (wanted == CategoryName(c)) return static_cast<uint32_t>(c);

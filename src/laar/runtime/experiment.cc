@@ -10,6 +10,7 @@
 #include "laar/common/strings.h"
 #include "laar/ftsearch/ft_search.h"
 #include "laar/obs/chrome_trace.h"
+#include "laar/obs/latency_tracer.h"
 #include "laar/obs/trace_recorder.h"
 
 namespace laar::runtime {
@@ -194,6 +195,24 @@ Result<AppExperimentRecord> RunAppExperiment(const HarnessOptions& options, uint
       recorder.emplace(trace_options);
       runtime.trace_recorder = &*recorder;
     }
+    const obs::MetricsRegistry::Labels scenario_labels = {
+        {"seed", seed_label},
+        {"variant", variant.name},
+        {"scenario", FailureScenarioName(scenario.scenario)}};
+    if (options.metrics != nullptr && options.record_timeseries) {
+      runtime.telemetry = options.metrics;
+      runtime.telemetry_period_seconds = options.telemetry_period_seconds;
+      runtime.telemetry_capacity = options.telemetry_capacity;
+      runtime.telemetry_labels = scenario_labels;
+    }
+    std::optional<obs::LatencyTracer> tracer;
+    if (options.metrics != nullptr && options.latency_sample_rate > 0.0) {
+      obs::LatencyTracer::Options tracer_options;
+      tracer_options.sample_rate = options.latency_sample_rate;
+      tracer_options.seed = options.latency_seed;
+      tracer.emplace(tracer_options);
+      runtime.latency_tracer = &*tracer;
+    }
     LAAR_ASSIGN_OR_RETURN(dsps::SimulationMetrics metrics,
                           RunScenario(app, variant.strategy, trace, runtime, scenario));
     if (recorder.has_value()) {
@@ -201,13 +220,15 @@ Result<AppExperimentRecord> RunAppExperiment(const HarnessOptions& options, uint
           StrFormat("%s/seed%s_%s_%s.json", options.trace_dir.c_str(),
                     seed_label.c_str(), variant.name.c_str(),
                     FailureScenarioName(scenario.scenario));
-      LAAR_RETURN_IF_ERROR(json::WriteFile(obs::ToChromeTraceJson(*recorder), path));
+      LAAR_RETURN_IF_ERROR(json::WriteFile(
+          obs::ToChromeTraceJson(*recorder, tracer.has_value() ? &*tracer : nullptr),
+          path));
     }
     if (options.metrics != nullptr) {
-      dsps::PublishTo(options.metrics, metrics,
-                      {{"seed", seed_label},
-                       {"variant", variant.name},
-                       {"scenario", FailureScenarioName(scenario.scenario)}});
+      dsps::PublishTo(options.metrics, metrics, scenario_labels);
+      if (tracer.has_value()) {
+        obs::PublishBreakdown(options.metrics, tracer->Breakdown(), scenario_labels);
+      }
     }
     return metrics;
   };

@@ -134,6 +134,20 @@ struct HarnessOptions {
   /// label combination has a single writer, so a corpus run fills it
   /// identically for any --jobs value. Must outlive the run.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// When set (and `metrics` is non-null), every simulation also records
+  /// `ts_*` telemetry series into the registry, labelled with
+  /// (seed, variant, scenario) — one writer per label set, so the series
+  /// are --jobs-invariant like the scalar aggregates.
+  bool record_timeseries = false;
+  double telemetry_period_seconds = 1.0;
+  size_t telemetry_capacity = 1u << 12;
+
+  /// When > 0 (and `metrics` is non-null), every simulation runs a sampled
+  /// latency tracer at this rate and publishes its per-operator and
+  /// end-to-end percentile gauges (`trace_*`) per (seed, variant, scenario).
+  double latency_sample_rate = 0.0;
+  uint64_t latency_seed = 1;
 };
 
 /// Generates an application from `seed`, builds all variants, and runs the

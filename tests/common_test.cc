@@ -1,4 +1,5 @@
 #include <cmath>
+#include <limits>
 #include <set>
 #include <string>
 #include <vector>
@@ -294,6 +295,31 @@ TEST(SampleStatsTest, BoxPlotWhiskersAndOutliers) {
   EXPECT_LE(box.whisker_high, 1.7);
   EXPECT_DOUBLE_EQ(box.whisker_low, 1.0);
   EXPECT_DOUBLE_EQ(box.max, 100.0);
+}
+
+TEST(SampleStatsTest, PercentileEdgeCases) {
+  // Empty: every quantile (including out-of-range and NaN) is a defined 0.
+  SampleStats empty;
+  EXPECT_DOUBLE_EQ(empty.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(100), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(-5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(std::numeric_limits<double>::quiet_NaN()), 0.0);
+
+  // One sample: every quantile is that sample.
+  SampleStats single;
+  single.Add(7.5);
+  EXPECT_DOUBLE_EQ(single.Percentile(0), 7.5);
+  EXPECT_DOUBLE_EQ(single.Percentile(50), 7.5);
+  EXPECT_DOUBLE_EQ(single.Percentile(100), 7.5);
+  EXPECT_DOUBLE_EQ(single.Percentile(std::numeric_limits<double>::quiet_NaN()), 7.5);
+
+  // Multiple samples: out-of-range quantiles clamp to min/max, and a NaN
+  // quantile falls back to the minimum instead of indexing out of bounds.
+  SampleStats stats;
+  stats.AddAll({10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(stats.Percentile(-1), 10.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(250), 30.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(std::numeric_limits<double>::quiet_NaN()), 10.0);
 }
 
 TEST(SampleStatsTest, PercentileAfterLaterAdds) {

@@ -17,7 +17,9 @@
 #include "laar/model/descriptor.h"
 #include "laar/model/placement.h"
 #include "laar/obs/chrome_trace.h"
+#include "laar/obs/latency_tracer.h"
 #include "laar/obs/metrics_registry.h"
+#include "laar/obs/timeseries.h"
 #include "laar/obs/trace_recorder.h"
 #include "laar/runtime/corpus.h"
 #include "laar/strategy/activation_strategy.h"
@@ -126,6 +128,54 @@ TEST(MetricsRegistryTest, CrossLabelRollups) {
   EXPECT_DOUBLE_EQ(registry.MaxGauge("depth"), 7.0);
   EXPECT_DOUBLE_EQ(registry.SumCounters("absent"), 0.0);
   EXPECT_DOUBLE_EQ(registry.MaxGauge("absent"), 0.0);
+}
+
+TEST(TimeSeriesTest, RingEvictsOldestAndReportsCounts) {
+  obs::TimeSeries series(4);
+  for (int i = 0; i < 10; ++i) series.Append(static_cast<double>(i), i * 10.0);
+  EXPECT_EQ(series.size(), 4u);
+  EXPECT_EQ(series.capacity(), 4u);
+  EXPECT_EQ(series.total_appended(), 10u);
+  EXPECT_EQ(series.overwritten(), 6u);
+  const std::vector<obs::TimeSeries::Sample> samples = series.Samples();
+  ASSERT_EQ(samples.size(), 4u);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(samples[i].time, 6.0 + static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(samples[i].value, (6.0 + static_cast<double>(i)) * 10.0);
+  }
+}
+
+TEST(MetricsRegistryTest, TimeSeriesEntriesExportDeterministically) {
+  obs::MetricsRegistry forward;
+  obs::MetricsRegistry backward;
+  for (int i = 0; i < 3; ++i) {
+    const std::string label = std::to_string(i);
+    obs::TimeSeries* s = forward.GetTimeSeries("ts_x", {{"pe", label}}, 8);
+    ASSERT_NE(s, nullptr);
+    s->Append(1.0, i);
+    s->Append(2.0, i + 0.5);
+  }
+  for (int i = 2; i >= 0; --i) {
+    const std::string label = std::to_string(i);
+    obs::TimeSeries* s = backward.GetTimeSeries("ts_x", {{"pe", label}}, 8);
+    ASSERT_NE(s, nullptr);
+    s->Append(1.0, i);
+    s->Append(2.0, i + 0.5);
+  }
+  EXPECT_EQ(obs::TimeSeriesCsv(forward), obs::TimeSeriesCsv(backward));
+  EXPECT_EQ(obs::TimeSeriesJson(forward).Dump(), obs::TimeSeriesJson(backward).Dump());
+  EXPECT_EQ(forward.ToJson().Dump(), backward.ToJson().Dump());
+  // The CSV carries the fixed header and one row per sample.
+  const std::string csv = obs::TimeSeriesCsv(forward);
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "series,labels,time,value");
+  EXPECT_NE(csv.find("ts_x,pe=1,2,1.5"), std::string::npos);
+  // Type exclusivity extends to series: the name cannot come back as gauge.
+  EXPECT_EQ(forward.GetGauge("ts_x", {{"pe", "1"}}), nullptr);
+  // Snapshots are sorted by (name, labels).
+  const auto snapshots = forward.SnapshotTimeSeries();
+  ASSERT_EQ(snapshots.size(), 3u);
+  EXPECT_EQ(snapshots[0].labels[0].second, "0");
+  EXPECT_EQ(snapshots[2].labels[0].second, "2");
 }
 
 TEST(HistogramTest, FromCountsRoundTripsSerializedState) {
@@ -285,6 +335,178 @@ TEST(SimulationTracingTest, RegistrySummaryReflectsTheRun) {
   EXPECT_EQ(summary.substr(0, aggregate.size()), aggregate);
 }
 
+// --------------------------------------------------------- latency tracing
+
+TEST(LatencyTracerTest, SamplingDecisionsAreSeededAndDeterministic) {
+  obs::LatencyTracer::Options options;
+  options.sample_rate = 0.5;
+  options.seed = 7;
+  obs::LatencyTracer a(options);
+  obs::LatencyTracer b(options);
+  std::vector<uint32_t> decisions_a;
+  std::vector<uint32_t> decisions_b;
+  for (int i = 0; i < 200; ++i) {
+    decisions_a.push_back(a.SampleRoot(0, i * 0.1));
+    decisions_b.push_back(b.SampleRoot(0, i * 0.1));
+  }
+  EXPECT_EQ(decisions_a, decisions_b);  // same seed => same decisions
+  EXPECT_GT(a.sampled_roots(), 50u);    // roughly half, seeded hash
+  EXPECT_LT(a.sampled_roots(), 150u);
+
+  options.seed = 8;
+  obs::LatencyTracer c(options);
+  std::vector<uint32_t> decisions_c;
+  for (int i = 0; i < 200; ++i) decisions_c.push_back(c.SampleRoot(0, i * 0.1));
+  EXPECT_NE(decisions_a, decisions_c);  // a different seed reshuffles
+
+  obs::LatencyTracer disabled;  // default rate 0
+  EXPECT_FALSE(disabled.enabled());
+  EXPECT_EQ(disabled.SampleRoot(0, 0.0), 0u);
+}
+
+TEST(LatencyTracerTest, RateOneTracesEveryTupleAndBuildsSpanTrees) {
+  obs::LatencyTracer::Options options;
+  options.sample_rate = 1.0;
+  obs::LatencyTracer tracer(options);
+  const uint32_t root = tracer.SampleRoot(0, 1.0);
+  ASSERT_NE(root, 0u);
+  tracer.RecordHop(root, obs::HopKind::kEnqueue, 1.0, 0.0, 2, 0, 0, 0);
+  tracer.RecordHop(root, obs::HopKind::kDequeue, 1.5, 0.5, 2, 0, 0, 0);
+  tracer.RecordHop(root, obs::HopKind::kProcess, 1.7, 0.2, 2, 0, 0, 0);
+  const uint32_t child = tracer.Fork(root, 2, 1.7);
+  ASSERT_NE(child, 0u);
+  tracer.RecordHop(child, obs::HopKind::kSink, 2.0, 0.0, 5, -1, -1, 0);
+  EXPECT_EQ(tracer.sampled_roots(), 1u);
+  EXPECT_EQ(tracer.PathOf(child), "0>2");
+
+  const obs::LatencyBreakdown breakdown = tracer.Breakdown();
+  EXPECT_EQ(breakdown.sink_arrivals, 1u);
+  ASSERT_EQ(breakdown.operators.size(), 1u);
+  EXPECT_EQ(breakdown.operators[0].component, 2);
+  EXPECT_EQ(breakdown.operators[0].queue_wait.count(), 1u);
+  EXPECT_DOUBLE_EQ(breakdown.operators[0].queue_wait.mean(), 0.5);
+  EXPECT_DOUBLE_EQ(breakdown.operators[0].service.mean(), 0.2);
+  ASSERT_EQ(breakdown.paths.size(), 1u);
+  EXPECT_EQ(breakdown.paths[0].path, "0>2>5");
+  EXPECT_DOUBLE_EQ(breakdown.end_to_end.mean(), 1.0);  // 2.0 - root start 1.0
+  EXPECT_FALSE(breakdown.ToString().empty());
+  EXPECT_TRUE(breakdown.ToJson().is_object());
+}
+
+TEST(SimulationLatencyTracingTest, SamplingChangesNoMetricsAndIsReproducible) {
+  SimFixture f;
+  auto trace = InputTrace::Step(0, 1, 30.0, 60.0);
+  ASSERT_TRUE(trace.ok());
+  ActivationStrategy laar = f.LaarStrategy();
+
+  RuntimeOptions plain;
+  StreamSimulation baseline(f.app, f.cluster, f.placement, laar, *trace, plain);
+  ASSERT_TRUE(baseline.Run().ok());
+
+  auto run_traced = [&](std::string* chrome_dump, std::string* breakdown_dump,
+                        dsps::SimulationMetrics* metrics) {
+    obs::TraceRecorder recorder;
+    obs::LatencyTracer::Options tracer_options;
+    tracer_options.sample_rate = 0.25;
+    tracer_options.seed = 42;
+    obs::LatencyTracer tracer(tracer_options);
+    RuntimeOptions options;
+    options.trace_recorder = &recorder;
+    options.latency_tracer = &tracer;
+    StreamSimulation simulation(f.app, f.cluster, f.placement, laar, *trace, options);
+    ASSERT_TRUE(simulation.Run().ok());
+    EXPECT_GT(tracer.sampled_roots(), 0u);
+    const obs::LatencyBreakdown breakdown = tracer.Breakdown();
+    EXPECT_GT(breakdown.sink_arrivals, 0u);
+    EXPECT_GT(breakdown.operators.size(), 0u);
+    // The High period overflows queues, so sampled tuples hit drops too.
+    uint64_t drops = 0;
+    for (const obs::OperatorLatency& op : breakdown.operators) drops += op.drops;
+    EXPECT_GT(drops, 0u);
+    const json::Value chrome = obs::ToChromeTraceJson(recorder, &tracer);
+    EXPECT_TRUE(obs::ValidateChromeTrace(chrome).ok());
+    *chrome_dump = chrome.Dump();
+    *breakdown_dump = breakdown.ToJson().Dump();
+    *metrics = simulation.metrics();
+  };
+
+  std::string chrome1, chrome2, breakdown1, breakdown2;
+  dsps::SimulationMetrics m1, m2;
+  run_traced(&chrome1, &breakdown1, &m1);
+  run_traced(&chrome2, &breakdown2, &m2);
+
+  // Same seed => byte-identical artifacts.
+  EXPECT_EQ(chrome1, chrome2);
+  EXPECT_EQ(breakdown1, breakdown2);
+
+  // Sampling must observe, never perturb: metrics match the plain run.
+  EXPECT_EQ(baseline.metrics().source_tuples, m1.source_tuples);
+  EXPECT_EQ(baseline.metrics().sink_tuples, m1.sink_tuples);
+  EXPECT_EQ(baseline.metrics().dropped_tuples, m1.dropped_tuples);
+  EXPECT_EQ(baseline.metrics().activation_switches, m1.activation_switches);
+  EXPECT_EQ(baseline.metrics().TotalProcessed(), m1.TotalProcessed());
+  EXPECT_DOUBLE_EQ(baseline.metrics().TotalCpuCycles(), m1.TotalCpuCycles());
+
+  // The merged trace carries the tuple-level span events.
+  EXPECT_NE(chrome1.find("tuple_queued"), std::string::npos);
+  EXPECT_NE(chrome1.find("tuple_process"), std::string::npos);
+  EXPECT_NE(chrome1.find("tuple_sink"), std::string::npos);
+}
+
+TEST(SimulationTelemetryTest, PeriodicSeriesAreRecordedAndReproducible) {
+  SimFixture f;
+  auto trace = InputTrace::Step(0, 1, 30.0, 60.0);
+  ASSERT_TRUE(trace.ok());
+  ActivationStrategy laar = f.LaarStrategy();
+
+  RuntimeOptions plain;
+  StreamSimulation baseline(f.app, f.cluster, f.placement, laar, *trace, plain);
+  ASSERT_TRUE(baseline.Run().ok());
+
+  auto run_telemetry = [&](std::string* csv, uint64_t* sinks) {
+    obs::MetricsRegistry registry;
+    RuntimeOptions options;
+    options.telemetry = &registry;
+    options.telemetry_period_seconds = 2.0;
+    StreamSimulation simulation(f.app, f.cluster, f.placement, laar, *trace, options);
+    ASSERT_TRUE(simulation.Run().ok());
+    *csv = obs::TimeSeriesCsv(registry);
+    *sinks = simulation.metrics().sink_tuples;
+
+    // Every advertised series exists; the sampled ones carry data.
+    for (const char* name :
+         {"ts_source_rate", "ts_output_rate", "ts_drop_rate", "ts_pending_events"}) {
+      ASSERT_NE(registry.FindTimeSeries(name), nullptr) << name;
+    }
+    const obs::TimeSeries* cpu =
+        registry.FindTimeSeries("ts_host_cpu_util", {{"host", "0"}});
+    ASSERT_NE(cpu, nullptr);
+    EXPECT_GT(cpu->size(), 20u);  // 60 s at 2 s period
+    double peak_util = 0.0;
+    for (const auto& sample : cpu->Samples()) {
+      peak_util = std::max(peak_util, sample.value);
+      EXPECT_GE(sample.value, 0.0);
+      EXPECT_LE(sample.value, 1.0 + 1e-9);
+    }
+    EXPECT_GT(peak_util, 0.5);  // the High period saturates host 0
+    const obs::TimeSeries* depth =
+        registry.FindTimeSeries("ts_queue_depth", {{"pe", std::to_string(f.pe0)}});
+    ASSERT_NE(depth, nullptr);
+    EXPECT_GT(depth->size(), 0u);
+  };
+
+  std::string csv1, csv2;
+  uint64_t sinks1 = 0, sinks2 = 0;
+  run_telemetry(&csv1, &sinks1);
+  run_telemetry(&csv2, &sinks2);
+  EXPECT_EQ(csv1, csv2);  // byte-identical CSV across same-seed runs
+  EXPECT_FALSE(csv1.empty());
+
+  // Telemetry sampling never perturbs the simulation itself.
+  EXPECT_EQ(baseline.metrics().sink_tuples, sinks1);
+  EXPECT_EQ(sinks1, sinks2);
+}
+
 // ------------------------------------------------------------------ corpus
 
 runtime::HarnessOptions TinyHarness() {
@@ -326,6 +548,12 @@ TEST(CorpusTracingTest, TraceFilesAndRegistryAreIdenticalAcrossJobs) {
     obs::MetricsRegistry registry;
     harness.trace_dir = dir.string();
     harness.metrics = &registry;
+    // Telemetry series and sampled latency gauges are labelled per
+    // (seed, variant, scenario) — one writer each — so they must be
+    // --jobs-invariant like the scalar aggregates and the trace files.
+    harness.record_timeseries = true;
+    harness.telemetry_period_seconds = 2.0;
+    harness.latency_sample_rate = 0.1;
     corpus.jobs = jobs;
     const runtime::CorpusResult result = runtime::RunCorpus(harness, corpus);
     ASSERT_EQ(result.records.size(), 2u) << "jobs=" << jobs;
@@ -340,7 +568,8 @@ TEST(CorpusTracingTest, TraceFilesAndRegistryAreIdenticalAcrossJobs) {
     for (const std::string& name : files) {
       contents.push_back(name + "\n" + ReadFileBytes(dir / name));
     }
-    const std::string metrics_dump = registry.ToJson().Dump();
+    const std::string metrics_dump =
+        registry.ToJson().Dump() + "\n" + obs::TimeSeriesCsv(registry);
     if (jobs == 1) {
       reference_files = std::move(contents);
       reference_metrics = metrics_dump;

@@ -11,6 +11,11 @@
 //                 [--jobs=N]
 //                 [--trace-out=run.json] [--trace-categories=drops,failures]
 //                 [--trace-capacity=N]
+//                 [--latency-sample-rate=0.01] [--latency-seed=1]
+//                 [--metrics-out=metrics.json]
+//                 [--timeseries-out=ts.csv|ts.json] [--telemetry-period=1]
+//                 [--health-out=health.json] [--alerts="RULE;RULE;..."]
+//                 [--slo-latency-p99=S] [--slo-drop-rate=R]
 //
 // Under --worst-case or --crash-host a failure-free reference simulation
 // also runs (in parallel with the failure scenario when --jobs > 1) and the
@@ -21,18 +26,39 @@
 // writes them as Chrome trace-event JSON, openable in Perfetto or
 // chrome://tracing. --trace-categories restricts recording to a
 // comma-separated subset of {drops, queues, activation, failures, config,
-// spans, engine}; --trace-capacity bounds the event ring (default 262144).
+// spans, engine, tuples, health}; --trace-capacity bounds the event ring
+// (default 262144).
+//
+// --latency-sample-rate traces that fraction of each source's tuples through
+// every queue, operator, and replica proxy, and prints a per-operator
+// queueing-vs-processing p50/p95/p99 table plus per-path end-to-end
+// percentiles. Sampled span trees are merged into --trace-out.
+//
+// --timeseries-out samples per-host CPU utilization, per-operator queue
+// depth, and source/output/drop rates every --telemetry-period sim-seconds,
+// written as CSV (path ending .csv) or JSON. --metrics-out dumps the entire
+// metrics registry as JSON.
+//
+// --health-out evaluates declarative alert rules over the recorded series
+// (see --alerts for the rule grammar; --slo-latency-p99/--slo-drop-rate add
+// the two common SLO rules) and writes a machine-readable health report.
+// The process exits 3 when a critical rule fired — "SLO met" becomes a
+// scriptable exit code.
 
 #include <algorithm>
 #include <cstdio>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "laar/common/flags.h"
+#include "laar/common/strings.h"
 #include "laar/dsps/stream_simulation.h"
 #include "laar/exec/parallel.h"
 #include "laar/model/descriptor.h"
 #include "laar/obs/chrome_trace.h"
+#include "laar/obs/health.h"
+#include "laar/obs/latency_tracer.h"
 #include "laar/obs/metrics_registry.h"
 #include "laar/obs/trace_recorder.h"
 #include "laar/placement/placement_algorithms.h"
@@ -50,7 +76,12 @@ int main(int argc, char** argv) {
                  "       [--high-fraction=F] [--cycles=N] [--worst-case]\n"
                  "       [--crash-host=H --crash-at=T --crash-duration=16]\n"
                  "       [--trace-out=run.json] [--trace-categories=a,b,...]\n"
-                 "       [--trace-capacity=N]\n");
+                 "       [--trace-capacity=N]\n"
+                 "       [--latency-sample-rate=R] [--latency-seed=S]\n"
+                 "       [--metrics-out=metrics.json]\n"
+                 "       [--timeseries-out=ts.csv|ts.json] [--telemetry-period=S]\n"
+                 "       [--health-out=health.json] [--alerts='RULE;RULE']\n"
+                 "       [--slo-latency-p99=S] [--slo-drop-rate=R]\n");
     return 2;
   }
 
@@ -112,6 +143,29 @@ int main(int argc, char** argv) {
     recorder.emplace(trace_options);
     runtime.trace_recorder = &*recorder;
   }
+
+  // Everything this run measures lands in one registry: the canonical sim_*
+  // aggregates, the trace_* latency percentiles, and the ts_* telemetry
+  // series the health rules range over.
+  laar::obs::MetricsRegistry registry;
+  const std::string metrics_out = flags.GetString("metrics-out", "");
+  const std::string timeseries_out = flags.GetString("timeseries-out", "");
+  const std::string health_out = flags.GetString("health-out", "");
+  const bool want_health = !health_out.empty() || flags.Has("alerts") ||
+                           flags.Has("slo-latency-p99") || flags.Has("slo-drop-rate");
+  if (!timeseries_out.empty() || !metrics_out.empty() || want_health) {
+    runtime.telemetry = &registry;
+    runtime.telemetry_period_seconds = flags.GetDouble("telemetry-period", 1.0);
+  }
+  std::optional<laar::obs::LatencyTracer> tracer;
+  const double sample_rate = flags.GetDouble("latency-sample-rate", 0.0);
+  if (sample_rate > 0.0) {
+    laar::obs::LatencyTracer::Options tracer_options;
+    tracer_options.sample_rate = sample_rate;
+    tracer_options.seed = flags.GetUint64("latency-seed", 1);
+    tracer.emplace(tracer_options);
+    runtime.latency_tracer = &*tracer;
+  }
   laar::dsps::StreamSimulation simulation(*app, cluster, *placement, *strategy, *trace,
                                           runtime);
   const bool has_failures = flags.Has("worst-case") || flags.Has("crash-host");
@@ -140,10 +194,13 @@ int main(int argc, char** argv) {
   // completeness ratio; --jobs > 1 runs the two simulations concurrently.
   std::optional<laar::dsps::StreamSimulation> reference;
   if (has_failures) {
-    // The recorder is single-writer and the two simulations may run
-    // concurrently: only the failure scenario is traced.
+    // The recorder, tracer, and telemetry series are single-writer and the
+    // two simulations may run concurrently: only the failure scenario is
+    // observed.
     laar::dsps::RuntimeOptions reference_runtime = runtime;
     reference_runtime.trace_recorder = nullptr;
+    reference_runtime.latency_tracer = nullptr;
+    reference_runtime.telemetry = nullptr;
     reference.emplace(*app, cluster, *placement, *strategy, *trace, reference_runtime);
   }
   laar::Status status = laar::Status::OK();
@@ -204,12 +261,93 @@ int main(int argc, char** argv) {
 
   // One-line digest sourced from the metrics registry (the same canonical
   // keys the corpus reports publish).
-  laar::obs::MetricsRegistry registry;
   laar::dsps::PublishTo(&registry, m);
+  if (tracer.has_value()) {
+    const laar::obs::LatencyBreakdown breakdown = tracer->Breakdown();
+    std::printf("%s", breakdown.ToString().c_str());
+    laar::obs::PublishBreakdown(&registry, breakdown);
+  }
   std::printf("summary: %s\n", laar::dsps::RunSummaryFromRegistry(registry).c_str());
 
+  if (!metrics_out.empty()) {
+    const laar::Status write_status = laar::json::WriteFile(registry.ToJson(), metrics_out);
+    if (!write_status.ok()) {
+      std::fprintf(stderr, "metrics write failed: %s\n", write_status.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics: wrote %s\n", metrics_out.c_str());
+  }
+  if (!timeseries_out.empty()) {
+    laar::Status write_status = laar::Status::OK();
+    if (laar::EndsWith(timeseries_out, ".csv")) {
+      const std::string csv = laar::obs::TimeSeriesCsv(registry);
+      std::FILE* f = std::fopen(timeseries_out.c_str(), "w");
+      if (f == nullptr ||
+          std::fwrite(csv.data(), 1, csv.size(), f) != csv.size() ||
+          std::fclose(f) != 0) {
+        write_status = laar::Status::IoError("cannot write " + timeseries_out);
+        if (f != nullptr) std::fclose(f);
+      }
+    } else {
+      write_status = laar::json::WriteFile(laar::obs::TimeSeriesJson(registry),
+                                           timeseries_out);
+    }
+    if (!write_status.ok()) {
+      std::fprintf(stderr, "timeseries write failed: %s\n",
+                   write_status.ToString().c_str());
+      return 1;
+    }
+    std::printf("timeseries: wrote %s\n", timeseries_out.c_str());
+  }
+
+  bool healthy = true;
+  if (want_health) {
+    std::vector<laar::obs::AlertRule> rules;
+    auto parsed = laar::obs::ParseAlertRules(flags.GetString("alerts", ""));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 2;
+    }
+    rules = std::move(parsed).value();
+    if (flags.Has("slo-latency-p99")) {
+      auto slo = laar::obs::ParseAlertRule(
+          laar::StrFormat("slo_latency_p99: sim_sink_latency_p99_seconds > %.17g crit",
+                          flags.GetDouble("slo-latency-p99", 1.0)));
+      rules.push_back(std::move(slo).value());
+    }
+    if (flags.Has("slo-drop-rate")) {
+      auto slo = laar::obs::ParseAlertRule(
+          laar::StrFormat("slo_drop_rate: ts_drop_rate > %.17g crit",
+                          flags.GetDouble("slo-drop-rate", 0.0)));
+      rules.push_back(std::move(slo).value());
+    }
+    if (rules.empty()) {
+      // Default watchdogs so --health-out alone yields a useful report:
+      // any drops, or a host pinned near saturation, are worth a warning.
+      rules.push_back(
+          laar::obs::ParseAlertRule("drops: ts_drop_rate > 0 warn").value());
+      rules.push_back(
+          laar::obs::ParseAlertRule("saturation: ts_host_cpu_util > 0.99 for 5 warn")
+              .value());
+    }
+    const laar::obs::HealthReport report = laar::obs::EvaluateHealth(registry, rules);
+    healthy = report.healthy;
+    std::printf("%s", report.ToString().c_str());
+    if (recorder.has_value()) laar::obs::EmitAlertEvents(&*recorder, report);
+    if (!health_out.empty()) {
+      const laar::Status write_status = laar::json::WriteFile(report.ToJson(), health_out);
+      if (!write_status.ok()) {
+        std::fprintf(stderr, "health write failed: %s\n",
+                     write_status.ToString().c_str());
+        return 1;
+      }
+      std::printf("health: wrote %s\n", health_out.c_str());
+    }
+  }
+
   if (recorder.has_value()) {
-    const laar::json::Value chrome = laar::obs::ToChromeTraceJson(*recorder);
+    const laar::json::Value chrome = laar::obs::ToChromeTraceJson(
+        *recorder, tracer.has_value() ? &*tracer : nullptr);
     const laar::Status write_status = laar::json::WriteFile(chrome, trace_out);
     if (!write_status.ok()) {
       std::fprintf(stderr, "trace write failed: %s\n",
@@ -220,5 +358,5 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(recorder->size()),
                 static_cast<unsigned long long>(recorder->overwritten()));
   }
-  return 0;
+  return healthy ? 0 : 3;
 }

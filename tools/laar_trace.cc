@@ -3,15 +3,26 @@
 // traces).
 //
 // Usage:
-//   laar_trace --in=run.json                     # summarize (default)
-//   laar_trace --in=run.json --validate          # schema check, exit 0/1
-//   laar_trace --in=run.json --filter=drops,failures --out=small.json
+//   laar_trace summarize --in=run.json            # also the default
+//   laar_trace validate --in=run.json             # schema check, exit 0/1
+//   laar_trace filter --in=run.json --filter=drops,failures --out=small.json
+//   laar_trace timeseries --in=run.json [--bucket=S] [--out=series.csv]
 //
-// Filtering keeps metadata records plus the events of the named categories
-// ({drops, queues, activation, failures, config, spans, engine}) and writes
-// the result — still valid Chrome trace JSON — to --out.
+// The subcommand word is optional for the first three (legacy flag-driven
+// invocations keep working: --validate, --filter imply their subcommands).
+//
+// `filter` keeps metadata records plus the events of the named categories
+// ({drops, queues, activation, failures, config, spans, engine, tuples,
+// health}) and writes the result — still valid Chrome trace JSON — to
+// --out.
+//
+// `timeseries` re-derives plottable series from a recorded trace: every
+// counter ("C") event becomes one CSV row, and with --bucket=S each event
+// category additionally gets a bucketed event-count series — CSV with the
+// fixed header `time_seconds,series,value`, to --out or stdout.
 
 #include <cstdio>
+#include <map>
 #include <string>
 
 #include "laar/common/flags.h"
@@ -20,13 +31,73 @@
 #include "laar/obs/chrome_trace.h"
 #include "laar/obs/trace_event.h"
 
+namespace {
+
+/// CSV rows of every counter event, plus optional per-category bucketed
+/// event counts. Sorted by series name then time — deterministic for a
+/// given trace.
+std::string TimeSeriesCsvFromTrace(const laar::json::Value& trace, double bucket_seconds) {
+  const laar::json::Value empty_array = laar::json::Value::MakeArray();
+  const laar::json::Value& events = trace.GetOr("traceEvents", empty_array);
+  // series name -> time -> value (map: sorted, last write wins per instant)
+  std::map<std::string, std::map<double, double>> series;
+  for (const laar::json::Value& event : events.array()) {
+    if (!event.is_object()) continue;
+    const std::string phase =
+        event.GetOr("ph", laar::json::Value::String("")).string_value();
+    if (phase == "M") continue;
+    const laar::json::Value ts = event.GetOr("ts", laar::json::Value::Number(0.0));
+    if (!ts.is_number()) continue;
+    const double time = ts.number_value() / 1e6;
+    if (phase == "C") {
+      auto pid = event.GetOr("pid", laar::json::Value::Int(-1)).AsInt();
+      const std::string name =
+          event.GetOr("name", laar::json::Value::String("?")).string_value();
+      const laar::json::Value args =
+          event.GetOr("args", laar::json::Value::MakeObject());
+      const laar::json::Value value = args.GetOr("value", laar::json::Value::Number(0.0));
+      if (!value.is_number()) continue;
+      series[laar::StrFormat("%s@pid%lld", name.c_str(),
+                             static_cast<long long>(pid.ok() ? *pid : -1))][time] =
+          value.number_value();
+    }
+    if (bucket_seconds > 0.0) {
+      const std::string category =
+          event.GetOr("cat", laar::json::Value::String("?")).string_value();
+      const double bucket =
+          static_cast<double>(static_cast<long long>(time / bucket_seconds)) *
+          bucket_seconds;
+      series["events:" + category][bucket] += 1.0;
+    }
+  }
+  std::string out = "time_seconds,series,value\n";
+  for (const auto& [name, samples] : series) {
+    for (const auto& [time, value] : samples) {
+      out += laar::StrFormat("%.9g,%s,%.9g\n", time, name.c_str(), value);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   laar::Flags flags(argc, argv);
+  // Optional positional subcommand (the flags parser ignores non-`--` argv).
+  std::string command = "summarize";
+  if (argc > 1 && argv[1][0] != '-') command = argv[1];
+  if (flags.Has("validate")) command = "validate";
+  if (flags.Has("filter")) command = "filter";
+
   const std::string in_path = flags.GetString("in", "");
-  if (in_path.empty()) {
+  if (in_path.empty() || (command != "summarize" && command != "validate" &&
+                          command != "filter" && command != "timeseries")) {
     std::fprintf(stderr,
-                 "usage: laar_trace --in=run.json [--validate]\n"
-                 "       [--filter=cat1,cat2,... --out=filtered.json]\n");
+                 "usage: laar_trace [summarize|validate|timeseries] --in=run.json\n"
+                 "       laar_trace filter --in=run.json --filter=cat1,cat2,...\n"
+                 "                  --out=filtered.json\n"
+                 "       laar_trace timeseries --in=run.json [--bucket=S]\n"
+                 "                  [--out=series.csv]\n");
     return 2;
   }
 
@@ -37,7 +108,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (flags.Has("validate")) {
+  if (command == "validate") {
     const laar::Status status = laar::obs::ValidateChromeTrace(*trace);
     if (!status.ok()) {
       std::fprintf(stderr, "INVALID: %s\n", status.ToString().c_str());
@@ -47,7 +118,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (flags.Has("filter")) {
+  if (command == "filter") {
     const std::string out_path = flags.GetString("out", "");
     if (out_path.empty()) {
       std::fprintf(stderr, "--filter requires --out=FILE\n");
@@ -70,6 +141,25 @@ int main(int argc, char** argv) {
     const laar::Status status = laar::json::WriteFile(*filtered, out_path);
     if (!status.ok()) {
       std::fprintf(stderr, "write failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+  }
+
+  if (command == "timeseries") {
+    const std::string csv =
+        TimeSeriesCsvFromTrace(*trace, flags.GetDouble("bucket", 0.0));
+    const std::string out_path = flags.GetString("out", "");
+    if (out_path.empty()) {
+      std::printf("%s", csv.c_str());
+      return 0;
+    }
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr || std::fwrite(csv.data(), 1, csv.size(), f) != csv.size() ||
+        std::fclose(f) != 0) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      if (f != nullptr) std::fclose(f);
       return 1;
     }
     std::printf("wrote %s\n", out_path.c_str());
