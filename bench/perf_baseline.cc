@@ -1,0 +1,256 @@
+// Perf-baseline writer and regression guard for the event engine.
+//
+// Runs a fixed set of stages through the DES hot path and records, per
+// stage, events executed, wall-clock seconds, and events/sec, plus the
+// process peak RSS — the committed baseline (`BENCH_5.json`) documents the
+// engine-overhaul speedup and anchors the CI regression guard.
+//
+// Usage:
+//   perf_baseline --bench-out=BENCH_5.json [--repeat=N]
+//   perf_baseline --check=BENCH_5.json [--tolerance=0.30]
+//
+// `--check` compares each stage's events/sec against the baseline file and
+// exits non-zero when any stage is slower by more than `--tolerance`
+// (fractional; default 0.30). The guard is deliberately coarse: it catches
+// order-of-magnitude regressions, not scheduler noise.
+
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "laar/appgen/app_generator.h"
+#include "laar/common/stopwatch.h"
+#include "laar/dsps/stream_simulation.h"
+#include "laar/json/json.h"
+#include "laar/obs/latency_tracer.h"
+#include "laar/obs/metrics_registry.h"
+#include "laar/obs/trace_recorder.h"
+#include "laar/sim/simulator.h"
+#include "laar/strategy/baselines.h"
+
+namespace laar::bench {
+namespace {
+
+struct StageResult {
+  std::string name;
+  uint64_t events = 0;
+  double wall_seconds = 0.0;
+
+  double EventsPerSec() const {
+    return wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds : 0.0;
+  }
+};
+
+appgen::GeneratedApplication MakeApp(int num_pes, int num_hosts, uint64_t seed) {
+  appgen::GeneratorOptions options;
+  options.num_pes = num_pes;
+  options.num_hosts = num_hosts;
+  for (;; ++seed) {
+    auto app = appgen::GenerateApplication(options, seed);
+    if (app.ok()) return std::move(*app);
+  }
+}
+
+/// Raw engine churn: self-rescheduling chains mixed with cancels and
+/// reschedules — the pooled-slot / indexed-heap fast path with no
+/// simulation logic on top.
+StageResult RunEngineChurn(int repeat) {
+  StageResult result;
+  result.name = "engine_churn";
+  Stopwatch watch;
+  for (int rep = 0; rep < repeat * 4; ++rep) {
+    sim::Simulator simulator;
+    int remaining = 200000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) simulator.ScheduleAfter(0.001, tick);
+    };
+    simulator.ScheduleAfter(0.001, tick);
+    // A side population the chain repeatedly cancels and reschedules.
+    std::vector<sim::EventId> side;
+    for (int i = 0; i < 256; ++i) {
+      side.push_back(simulator.ScheduleAfter(1000.0, [] {}));
+    }
+    for (int i = 0; i < 50000; ++i) {
+      const size_t pick = static_cast<size_t>(i) % side.size();
+      if (i % 2 == 0) {
+        simulator.Reschedule(side[pick], 1000.0 + i);
+      } else {
+        simulator.Cancel(side[pick]);
+        side[pick] = simulator.ScheduleAfter(1000.0, [] {});
+      }
+    }
+    for (sim::EventId id : side) simulator.Cancel(id);
+    simulator.Run();
+    result.events += simulator.events_processed() + 50000;
+  }
+  result.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+/// One full StreamSimulation run; returns logical engine events executed.
+uint64_t RunSimulationOnce(const appgen::GeneratedApplication& app,
+                           const strategy::ActivationStrategy& strategy,
+                           const dsps::InputTrace& trace, bool traced) {
+  obs::TraceRecorder recorder;
+  obs::LatencyTracer::Options tracer_options;
+  tracer_options.sample_rate = 0.05;
+  obs::LatencyTracer tracer(tracer_options);
+  obs::MetricsRegistry telemetry;
+  dsps::RuntimeOptions options;
+  if (traced) {
+    options.trace_recorder = &recorder;
+    options.latency_tracer = &tracer;
+    options.telemetry = &telemetry;
+  }
+  dsps::StreamSimulation simulation(app.descriptor, app.cluster, app.placement,
+                                    strategy, trace, options);
+  simulation.Run().CheckOK();
+  return simulation.metrics().engine_events;
+}
+
+/// End-to-end DES runs of the benchmark application (12 PEs / 6 hosts,
+/// alternating peak/off-peak input), untraced and fully traced.
+StageResult RunEndToEnd(const char* name, bool traced, int repeat) {
+  StageResult result;
+  result.name = name;
+  const auto app = MakeApp(12, 6, 1);
+  const auto strategy = strategy::MakeStaticReplication(
+      app.descriptor.graph, app.descriptor.input_space, 2);
+  const auto trace = *dsps::InputTrace::Alternating(
+      0, 20.0, app.descriptor.input_space.PeakConfig(), 10.0, 1);
+  Stopwatch watch;
+  for (int rep = 0; rep < repeat * 8; ++rep) {
+    result.events += RunSimulationOnce(app, strategy, trace, traced);
+  }
+  result.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+/// A small corpus sweep: distinct generated applications back to back, the
+/// shape of the Fig. 9–12 experiment harness workload.
+StageResult RunMiniCorpus(int repeat) {
+  StageResult result;
+  result.name = "sim_corpus";
+  std::vector<appgen::GeneratedApplication> apps;
+  std::vector<strategy::ActivationStrategy> strategies;
+  for (uint64_t seed : {2, 5, 6, 8, 11}) {
+    apps.push_back(MakeApp(12, 6, seed));
+    strategies.push_back(strategy::MakeStaticReplication(
+        apps.back().descriptor.graph, apps.back().descriptor.input_space, 2));
+  }
+  Stopwatch watch;
+  for (int rep = 0; rep < repeat * 2; ++rep) {
+    for (size_t i = 0; i < apps.size(); ++i) {
+      const auto trace = *dsps::InputTrace::Alternating(
+          0, 20.0, apps[i].descriptor.input_space.PeakConfig(), 10.0, 1);
+      result.events += RunSimulationOnce(apps[i], strategies[i], trace, false);
+    }
+  }
+  result.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+long PeakRssKb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;  // kilobytes on Linux
+}
+
+json::Value ToJson(const std::vector<StageResult>& stages) {
+  json::Value doc = json::Value::MakeObject();
+  doc.Set("schema", json::Value::String("laar-perf-baseline-v1"));
+  json::Value stage_array = json::Value::MakeArray();
+  for (const StageResult& stage : stages) {
+    json::Value entry = json::Value::MakeObject();
+    entry.Set("name", json::Value::String(stage.name));
+    entry.Set("events", json::Value::Int(static_cast<int64_t>(stage.events)));
+    entry.Set("wall_seconds", json::Value::Number(stage.wall_seconds));
+    entry.Set("events_per_sec", json::Value::Number(stage.EventsPerSec()));
+    stage_array.Append(std::move(entry));
+  }
+  doc.Set("stages", std::move(stage_array));
+  doc.Set("peak_rss_kb", json::Value::Int(PeakRssKb()));
+  return doc;
+}
+
+/// Returns the number of stages regressed beyond `tolerance` vs `baseline`.
+int CheckAgainstBaseline(const std::vector<StageResult>& stages,
+                         const json::Value& baseline, double tolerance) {
+  int regressions = 0;
+  const json::Value* stage_array = *baseline.Get("stages");
+  for (const json::Value& entry : stage_array->array()) {
+    const std::string name = *entry.Get("name").value()->AsString();
+    const double base_rate = *entry.Get("events_per_sec").value()->AsDouble();
+    const StageResult* current = nullptr;
+    for (const StageResult& stage : stages) {
+      if (stage.name == name) current = &stage;
+    }
+    if (current == nullptr) {
+      std::printf("MISSING  %-16s (in baseline, not measured)\n", name.c_str());
+      ++regressions;
+      continue;
+    }
+    const double rate = current->EventsPerSec();
+    const double floor = base_rate * (1.0 - tolerance);
+    const bool regressed = rate < floor;
+    std::printf("%-8s %-16s %12.0f ev/s vs baseline %12.0f (floor %12.0f)\n",
+                regressed ? "REGRESS" : "OK", name.c_str(), rate, base_rate, floor);
+    if (regressed) ++regressions;
+  }
+  return regressions;
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const int repeat = flags.GetInt("repeat", 4);
+  const double tolerance = flags.GetDouble("tolerance", 0.30);
+
+  std::vector<StageResult> stages;
+  stages.push_back(RunEngineChurn(repeat));
+  stages.push_back(RunEndToEnd("end_to_end_sim", /*traced=*/false, repeat));
+  stages.push_back(RunEndToEnd("traced_sim", /*traced=*/true, repeat));
+  stages.push_back(RunMiniCorpus(repeat));
+
+  for (const StageResult& stage : stages) {
+    std::printf("%-16s events=%-12llu wall=%7.3fs  %12.0f events/sec\n",
+                stage.name.c_str(),
+                static_cast<unsigned long long>(stage.events),
+                stage.wall_seconds, stage.EventsPerSec());
+  }
+  std::printf("peak_rss_kb=%ld\n", PeakRssKb());
+
+  const std::string out_path = flags.GetString("bench-out", "");
+  if (!out_path.empty()) {
+    json::WriteFile(ToJson(stages), out_path).CheckOK();
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+
+  const std::string check_path = flags.GetString("check", "");
+  if (!check_path.empty()) {
+    auto baseline = json::ParseFile(check_path);
+    if (!baseline.ok()) {
+      std::fprintf(stderr, "cannot read baseline %s: %s\n", check_path.c_str(),
+                   baseline.status().ToString().c_str());
+      return 2;
+    }
+    const int regressions = CheckAgainstBaseline(stages, *baseline, tolerance);
+    if (regressions > 0) {
+      std::fprintf(stderr, "%d stage(s) regressed beyond %.0f%%\n", regressions,
+                   tolerance * 100.0);
+      return 1;
+    }
+    std::printf("all stages within %.0f%% of baseline\n", tolerance * 100.0);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace laar::bench
+
+int main(int argc, char** argv) { return laar::bench::Main(argc, argv); }

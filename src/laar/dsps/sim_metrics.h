@@ -49,6 +49,11 @@ struct SimulationMetrics {
   /// Deepest any port queue ever got, in tuples.
   uint64_t max_queue_depth = 0;
 
+  /// Logical DES events the engine executed for this run (batched inline
+  /// deliveries included) — the numerator of the events/sec perf baseline.
+  /// Not serialized: a perf-side statistic, not a simulation outcome.
+  uint64_t engine_events = 0;
+
   /// Per-bucket source-emission and sink-arrival counts.
   std::vector<double> source_series;
   std::vector<double> sink_series;

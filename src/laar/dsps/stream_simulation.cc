@@ -17,6 +17,69 @@ namespace {
 /// processor-sharing integration).
 constexpr double kCompletionSlackSeconds = 1e-9;
 
+/// One buffered tuple: its port, the source-emission time it traces back
+/// to (for end-to-end latency), when it entered the queue, and its
+/// latency-tracer span (0 for the untraced majority).
+struct QueuedTuple {
+  int port;
+  sim::SimTime birth;
+  sim::SimTime enqueued = 0.0;
+  uint32_t span = 0;
+};
+
+/// Fixed-capacity tuple FIFO, allocated once per replica at build time and
+/// recycled in place. A replica's backlog is provably bounded by the sum of
+/// its port capacities (DeliverToReplica drops past that), so sizing the
+/// ring to that sum makes every push during the run allocation-free — the
+/// per-node std::deque churn this replaces was a top allocation site.
+class TupleRing {
+ public:
+  void Init(size_t capacity) {
+    slots_.assign(std::max<size_t>(1, capacity), QueuedTuple{});
+    head_ = 0;
+    tail_ = 0;
+    size_ = 0;
+  }
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+  const QueuedTuple& front() const { return slots_[head_]; }
+
+  void pop_front() {
+    head_ = Next(head_);
+    --size_;
+  }
+
+  void push_back(const QueuedTuple& tuple) {
+    if (size_ == slots_.size()) Grow();  // defensive; the capacity proof holds
+    slots_[tail_] = tuple;
+    tail_ = Next(tail_);
+    ++size_;
+  }
+
+  void clear() {
+    head_ = 0;
+    tail_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  size_t Next(size_t i) const { return i + 1 == slots_.size() ? 0 : i + 1; }
+
+  void Grow() {
+    std::vector<QueuedTuple> bigger(slots_.size() * 2);
+    for (size_t i = 0; i < size_; ++i) bigger[i] = slots_[(head_ + i) % slots_.size()];
+    slots_ = std::move(bigger);
+    head_ = 0;
+    tail_ = size_;
+  }
+
+  std::vector<QueuedTuple> slots_;
+  size_t head_ = 0;
+  size_t tail_ = 0;
+  size_t size_ = 0;
+};
+
 }  // namespace
 
 /// One bounded input queue of a replica, fed by a single upstream component
@@ -59,18 +122,8 @@ struct StreamSimulation::Replica {
   sim::SimTime processing_start = 0.0;  // when the in-flight tuple left the queue
   uint32_t processing_span = 0;         // latency-tracer span of that tuple
 
-  /// One buffered tuple: its port, the source-emission time it traces back
-  /// to (for end-to-end latency), when it entered the queue, and its
-  /// latency-tracer span (0 for the untraced majority).
-  struct QueuedTuple {
-    int port;
-    sim::SimTime birth;
-    sim::SimTime enqueued = 0.0;
-    uint32_t span = 0;
-  };
-
   std::vector<Port> ports;
-  std::deque<QueuedTuple> fifo;  // arrival order of queued tuples
+  TupleRing fifo;  // arrival order of queued tuples, pooled (see TupleRing)
 };
 
 struct StreamSimulation::PeState {
@@ -85,7 +138,12 @@ struct StreamSimulation::HostState {
   double capacity = 0.0;  // cycles/sec
   std::vector<Replica*> busy;
   sim::SimTime last_advance = 0.0;
+
+  /// The host's single service event, kept alive across busy-set changes
+  /// and moved in place with Simulator::Reschedule; `completion_target` is
+  /// its payload (the replica whose completion the event realizes).
   sim::EventId completion_event = sim::kInvalidEvent;
+  Replica* completion_target = nullptr;
 };
 
 struct StreamSimulation::SourceState {
@@ -160,6 +218,7 @@ Status StreamSimulation::Build() {
   }
 
   hosts_.clear();
+  hosts_.reserve(cluster_.hosts().size());
   for (const model::Host& host : cluster_.hosts()) {
     auto state = std::make_unique<HostState>();
     state->id = host.id;
@@ -187,6 +246,7 @@ Status StreamSimulation::Build() {
       if (replica.host == model::kInvalidHost) {
         return Status::FailedPrecondition(StrFormat("PE %d replica %d is unplaced", pe, r));
       }
+      replica.ports.reserve(graph.IncomingEdges(pe).size());
       for (size_t edge_index : graph.IncomingEdges(pe)) {
         const model::Edge& e = graph.edges()[edge_index];
         Port port;
@@ -204,6 +264,9 @@ Status StreamSimulation::Build() {
                                              static_cast<double>(port.capacity))));
         replica.ports.push_back(port);
       }
+      size_t backlog_bound = 0;
+      for (const Port& port : replica.ports) backlog_bound += port.capacity;
+      replica.fifo.Init(backlog_bound);
     }
     pes_[static_cast<size_t>(pe)] = std::move(state);
   }
@@ -219,6 +282,7 @@ Status StreamSimulation::Build() {
   };
   auto outputs_of = [&](model::ComponentId id) {
     std::vector<Output> outputs;
+    outputs.reserve(graph.OutgoingEdges(id).size());
     for (size_t edge_index : graph.OutgoingEdges(id)) {
       const model::Edge& e = graph.edges()[edge_index];
       Output output;
@@ -234,6 +298,7 @@ Status StreamSimulation::Build() {
   }
 
   sources_.clear();
+  sources_.reserve(graph.Sources().size());
   for (model::ComponentId source : graph.Sources()) {
     auto state = std::make_unique<SourceState>();
     state->id = source;
@@ -363,6 +428,7 @@ Status StreamSimulation::Run() {
 
   // Flush processor-sharing accounting up to the horizon.
   for (auto& host : hosts_) AdvanceHost(host.get());
+  metrics_.engine_events = simulator_.events_processed();
   return Status::OK();
 }
 
@@ -384,37 +450,53 @@ void StreamSimulation::AdvanceHost(HostState* host) {
 }
 
 void StreamSimulation::RescheduleHost(HostState* host) {
-  if (host->completion_event != sim::kInvalidEvent) {
-    simulator_.Cancel(host->completion_event);
-    host->completion_event = sim::kInvalidEvent;
+  if (host->busy.empty()) {
+    if (host->completion_event != sim::kInvalidEvent) {
+      simulator_.Cancel(host->completion_event);
+      host->completion_event = sim::kInvalidEvent;
+      host->completion_target = nullptr;
+    }
+    return;
   }
-  if (host->busy.empty()) return;
   Replica* next = host->busy.front();
   for (Replica* replica : host->busy) {
     if (replica->remaining_cycles < next->remaining_cycles) next = replica;
   }
   const double share = host->capacity / static_cast<double>(host->busy.size());
   const double delay = std::max(0.0, next->remaining_cycles) / share;
-  host->completion_event = simulator_.ScheduleAfter(
-      delay, [this, host, next] { HostCompletionEvent(host, next); });
+  // One pooled service event per host, moved in place on every busy-set
+  // change. A reschedule re-draws the tie-break sequence exactly like the
+  // cancel + schedule it replaces, so firing order is unchanged.
+  host->completion_target = next;
+  const sim::SimTime when = simulator_.now() + delay;
+  if (host->completion_event == sim::kInvalidEvent ||
+      !simulator_.Reschedule(host->completion_event, when)) {
+    host->completion_event =
+        simulator_.ScheduleAt(when, [this, host] { HostCompletionEvent(host); });
+  }
 }
 
-void StreamSimulation::HostCompletionEvent(HostState* host, Replica* target) {
+void StreamSimulation::HostCompletionEvent(HostState* host) {
+  Replica* target = host->completion_target;
   host->completion_event = sim::kInvalidEvent;
+  host->completion_target = nullptr;
   AdvanceHost(host);
   const double slack = host->capacity * kCompletionSlackSeconds;
-  std::vector<Replica*> finished;
-  std::vector<Replica*> still_busy;
+  // Partition busy in place; the finished set lives in a member scratch
+  // vector reused across events. Callees only ever append to host->busy
+  // (AddBusy) and never re-enter this handler, so both loops are safe.
+  finished_scratch_.clear();
+  size_t kept = 0;
   for (Replica* replica : host->busy) {
     if (replica == target || replica->remaining_cycles <= slack) {
-      finished.push_back(replica);
+      finished_scratch_.push_back(replica);
     } else {
-      still_busy.push_back(replica);
+      host->busy[kept++] = replica;
     }
   }
-  host->busy = std::move(still_busy);
+  host->busy.resize(kept);
   RescheduleHost(host);
-  for (Replica* replica : finished) {
+  for (Replica* replica : finished_scratch_) {
     replica->processing = false;
     replica->remaining_cycles = 0.0;
     FinishTuple(replica);
@@ -514,7 +596,7 @@ void StreamSimulation::DeliverToReplica(Replica* replica, int port_index,
                                        0.0, replica->pe_id, replica->index, replica->host,
                                        port_index);
   }
-  replica->fifo.push_back(Replica::QueuedTuple{port_index, birth, simulator_.now(), span});
+  replica->fifo.push_back(QueuedTuple{port_index, birth, simulator_.now(), span});
   TryStartProcessing(replica);
 }
 
@@ -523,7 +605,7 @@ void StreamSimulation::TryStartProcessing(Replica* replica) {
     return;
   }
   if (replica->fifo.empty()) return;
-  const Replica::QueuedTuple tuple = replica->fifo.front();
+  const QueuedTuple tuple = replica->fifo.front();
   replica->fifo.pop_front();
   Port& port = replica->ports[static_cast<size_t>(tuple.port)];
   --port.queued;
@@ -814,39 +896,51 @@ void StreamSimulation::TelemetryTick() {
 // ---------------------------------------------------------------------------
 
 void StreamSimulation::SourceEmit(SourceState* source) {
-  ++source->emitted;
-  ++metrics_.source_tuples;
-  metrics_.source_series[BucketOf(simulator_.now())] += 1.0;
-  // Sampling decision at the source: a pure function of (seed, source,
-  // emission index), so it is identical however this emission interleaves
-  // with the rest of the run.
-  const uint32_t root =
-      LatencyTracing() ? options_.latency_tracer->SampleRoot(source->id, simulator_.now())
-                       : 0;
-  for (const Output& output : source->outputs) {
-    if (output.is_sink) {
-      ++metrics_.sink_tuples;
-      metrics_.sink_series[BucketOf(simulator_.now())] += 1.0;
-      if (options_.record_latency) metrics_.sink_latency.Add(0.0);
-      if (root != 0) {
-        options_.latency_tracer->RecordHop(root, obs::HopKind::kSink, simulator_.now(),
-                                           0.0, output.to, /*replica=*/-1, /*host=*/-1,
-                                           /*port=*/-1);
-      }
-    } else {
-      PeState* downstream = pes_[static_cast<size_t>(output.to)].get();
-      for (Replica& target : downstream->replicas) {
-        DeliverToReplica(&target, output.port_index, simulator_.now(), root);
+  for (;;) {
+    ++source->emitted;
+    ++metrics_.source_tuples;
+    metrics_.source_series[BucketOf(simulator_.now())] += 1.0;
+    // Sampling decision at the source: a pure function of (seed, source,
+    // emission index), so it is identical however this emission interleaves
+    // with the rest of the run.
+    const uint32_t root = LatencyTracing()
+                              ? options_.latency_tracer->SampleRoot(source->id,
+                                                                    simulator_.now())
+                              : 0;
+    for (const Output& output : source->outputs) {
+      if (output.is_sink) {
+        ++metrics_.sink_tuples;
+        metrics_.sink_series[BucketOf(simulator_.now())] += 1.0;
+        if (options_.record_latency) metrics_.sink_latency.Add(0.0);
+        if (root != 0) {
+          options_.latency_tracer->RecordHop(root, obs::HopKind::kSink, simulator_.now(),
+                                             0.0, output.to, /*replica=*/-1, /*host=*/-1,
+                                             /*port=*/-1);
+        }
+      } else {
+        PeState* downstream = pes_[static_cast<size_t>(output.to)].get();
+        for (Replica& target : downstream->replicas) {
+          DeliverToReplica(&target, output.port_index, simulator_.now(), root);
+        }
       }
     }
-  }
-  const double rate =
-      app_.input_space.RateOf(source->source_index, trace_.ConfigAt(simulator_.now()));
-  if (rate > 0.0) {
+    const double rate =
+        app_.input_space.RateOf(source->source_index, trace_.ConfigAt(simulator_.now()));
+    if (rate <= 0.0) return;
     const sim::SimTime next = simulator_.now() + 1.0 / rate;
-    if (next <= trace_.TotalDuration()) {
+    if (next > trace_.TotalDuration()) return;
+    // Batched emission: while this source's next tuple strictly precedes
+    // every other pending event, drain it inline instead of paying a heap
+    // round-trip per tuple. A tie defers to the pending event — it was
+    // scheduled earlier and would win the (time, sequence) tie-break — and
+    // AdvanceInline keeps time, event counts, and the backlog-sample
+    // cadence identical to the unbatched schedule-then-pop.
+    sim::SimTime pending_at;
+    if (simulator_.NextEventTime(&pending_at) && next >= pending_at) {
       simulator_.ScheduleAt(next, [this, source] { SourceEmit(source); });
+      return;
     }
+    simulator_.AdvanceInline(next);
   }
 }
 

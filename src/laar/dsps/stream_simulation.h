@@ -2,7 +2,6 @@
 #define LAAR_DSPS_STREAM_SIMULATION_H_
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -89,7 +88,7 @@ class StreamSimulation {
   // --- host processor sharing ---
   void AdvanceHost(HostState* host);
   void RescheduleHost(HostState* host);
-  void HostCompletionEvent(HostState* host, Replica* target);
+  void HostCompletionEvent(HostState* host);
   void AddBusy(Replica* replica);
   void RemoveBusy(Replica* replica);
 
@@ -145,6 +144,8 @@ class StreamSimulation {
 
   std::vector<std::unique_ptr<PeState>> pes_;      // [component], null unless PE
   std::vector<std::unique_ptr<HostState>> hosts_;  // [host]
+  std::vector<Replica*> finished_scratch_;  // HostCompletionEvent working set, reused
+                                            // across events (steady-state alloc-free)
   std::vector<std::unique_ptr<SourceState>> sources_;
   std::unique_ptr<TelemetryState> telemetry_;  // null unless options_.telemetry
   model::ConfigId applied_config_ = 0;

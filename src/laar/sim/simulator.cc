@@ -1,7 +1,7 @@
 #include "laar/sim/simulator.h"
 
 #include <algorithm>
-#include <utility>
+#include <cassert>
 
 #include "laar/obs/trace_recorder.h"
 
@@ -13,42 +13,155 @@ void Simulator::set_trace_recorder(obs::TraceRecorder* recorder,
   trace_sample_interval_ = std::max<uint64_t>(1, sample_interval);
 }
 
-EventId Simulator::ScheduleAt(SimTime when, std::function<void()> callback) {
-  if (when < now_) when = now_;
-  const EventId id = next_id_++;
-  queue_.push(Event{when, next_sequence_++, id, std::move(callback)});
-  return id;
+uint32_t Simulator::FindSlot(EventId id) const {
+  const auto slot_index = static_cast<uint32_t>(id);
+  const auto generation = static_cast<uint32_t>(id >> 32);
+  if (slot_index >= slots_.size()) return kNullPos;
+  const Slot& slot = slots_[slot_index];
+  if (slot.generation != generation || slot.heap_pos == kNullPos) return kNullPos;
+  return slot_index;
 }
 
-EventId Simulator::ScheduleAfter(SimTime delay, std::function<void()> callback) {
+uint32_t Simulator::AllocSlot() {
+  if (free_head_ != kNullPos) {
+    ++stats_.pool_reuses;
+    const uint32_t slot_index = free_head_;
+    free_head_ = slots_[slot_index].next_free;
+    slots_[slot_index].next_free = kNullPos;
+    return slot_index;
+  }
+  ++stats_.slots_created;
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::FreeSlot(uint32_t slot_index) {
+  Slot& slot = slots_[slot_index];
+  // Bumping the generation here permanently invalidates every outstanding
+  // id for this slot — a later Cancel/Reschedule of a fired event is a
+  // no-op with no tombstone left behind.
+  ++slot.generation;
+  slot.callback.Reset();
+  slot.heap_pos = kNullPos;
+  slot.next_free = free_head_;
+  free_head_ = slot_index;
+}
+
+void Simulator::HeapPush(uint32_t slot_index, SimTime when, uint64_t sequence) {
+  slots_[slot_index].heap_pos = static_cast<uint32_t>(heap_.size());
+  heap_.push_back(HeapEntry{when, sequence, slot_index});
+  SiftUp(heap_.size() - 1);
+}
+
+size_t Simulator::SiftUp(size_t pos) {
+  const HeapEntry entry = heap_[pos];
+  while (pos > 0) {
+    const size_t parent = (pos - 1) / 4;
+    if (!Later(heap_[parent], entry)) break;
+    heap_[pos] = heap_[parent];
+    slots_[heap_[pos].slot].heap_pos = static_cast<uint32_t>(pos);
+    pos = parent;
+  }
+  heap_[pos] = entry;
+  slots_[entry.slot].heap_pos = static_cast<uint32_t>(pos);
+  return pos;
+}
+
+size_t Simulator::SiftDown(size_t pos) {
+  const HeapEntry entry = heap_[pos];
+  const size_t size = heap_.size();
+  for (;;) {
+    const size_t first_child = 4 * pos + 1;
+    if (first_child >= size) break;
+    const size_t last_child = std::min(first_child + 4, size);
+    size_t best = first_child;
+    for (size_t child = first_child + 1; child < last_child; ++child) {
+      if (Later(heap_[best], heap_[child])) best = child;
+    }
+    if (!Later(entry, heap_[best])) break;
+    heap_[pos] = heap_[best];
+    slots_[heap_[pos].slot].heap_pos = static_cast<uint32_t>(pos);
+    pos = best;
+  }
+  heap_[pos] = entry;
+  slots_[entry.slot].heap_pos = static_cast<uint32_t>(pos);
+  return pos;
+}
+
+void Simulator::HeapRemoveAt(size_t pos) {
+  slots_[heap_[pos].slot].heap_pos = kNullPos;
+  const size_t last = heap_.size() - 1;
+  if (pos != last) {
+    heap_[pos] = heap_[last];
+    slots_[heap_[pos].slot].heap_pos = static_cast<uint32_t>(pos);
+    heap_.pop_back();
+    // The displaced element may need to move either way relative to its
+    // new subtree.
+    SiftDown(SiftUp(pos));
+  } else {
+    heap_.pop_back();
+  }
+}
+
+EventId Simulator::ScheduleAt(SimTime when, EventCallback callback) {
+  if (when < now_) when = now_;
+  if (callback.boxed()) ++stats_.boxed_callbacks;
+  const uint32_t slot_index = AllocSlot();
+  slots_[slot_index].callback = std::move(callback);
+  HeapPush(slot_index, when, next_sequence_++);
+  return IdOf(slot_index);
+}
+
+EventId Simulator::ScheduleAfter(SimTime delay, EventCallback callback) {
   return ScheduleAt(now_ + (delay > 0.0 ? delay : 0.0), std::move(callback));
 }
 
-void Simulator::Cancel(EventId id) {
-  if (id != kInvalidEvent) cancelled_.insert(id);
+bool Simulator::Cancel(EventId id) {
+  const uint32_t slot_index = FindSlot(id);
+  if (slot_index == kNullPos) return false;
+  HeapRemoveAt(slots_[slot_index].heap_pos);
+  FreeSlot(slot_index);
+  return true;
+}
+
+bool Simulator::Reschedule(EventId id, SimTime when) {
+  const uint32_t slot_index = FindSlot(id);
+  if (slot_index == kNullPos) return false;
+  if (when < now_) when = now_;
+  const size_t pos = slots_[slot_index].heap_pos;
+  heap_[pos].when = when;
+  heap_[pos].sequence = next_sequence_++;
+  SiftDown(SiftUp(pos));
+  return true;
+}
+
+void Simulator::MaybeSampleBacklog() {
+  if (trace_recorder_ != nullptr && events_processed_ % trace_sample_interval_ == 0) {
+    trace_recorder_->Counter(obs::EventName::kEngineBacklog, now_,
+                             static_cast<double>(pending_events()));
+  }
+}
+
+void Simulator::AdvanceInline(SimTime when) {
+  assert(when >= now_);
+  now_ = when;
+  ++events_processed_;
+  MaybeSampleBacklog();
 }
 
 bool Simulator::Step() {
-  while (!queue_.empty()) {
-    // Moving out of a priority_queue requires const_cast; the element is
-    // popped immediately afterwards, so the broken ordering is never seen.
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    auto cancelled_it = cancelled_.find(event.id);
-    if (cancelled_it != cancelled_.end()) {
-      cancelled_.erase(cancelled_it);
-      continue;
-    }
-    now_ = event.when;
-    ++events_processed_;
-    if (trace_recorder_ != nullptr && events_processed_ % trace_sample_interval_ == 0) {
-      trace_recorder_->Counter(obs::EventName::kEngineBacklog, now_,
-                               static_cast<double>(pending_events()));
-    }
-    event.callback();
-    return true;
-  }
-  return false;
+  if (heap_.empty()) return false;
+  const HeapEntry top = heap_.front();
+  HeapRemoveAt(0);
+  // Move the payload out and recycle the slot before invoking, so the
+  // callback can schedule (and typically reuse this very slot) freely.
+  EventCallback callback = std::move(slots_[top.slot].callback);
+  FreeSlot(top.slot);
+  now_ = top.when;
+  ++events_processed_;
+  MaybeSampleBacklog();
+  callback();
+  return true;
 }
 
 void Simulator::Run() {
@@ -57,14 +170,7 @@ void Simulator::Run() {
 }
 
 void Simulator::RunUntil(SimTime end_time) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (cancelled_.count(top.id) != 0) {
-      cancelled_.erase(top.id);
-      queue_.pop();
-      continue;
-    }
-    if (top.when > end_time) break;
+  while (!heap_.empty() && heap_.front().when <= end_time) {
     Step();
   }
   if (now_ < end_time) now_ = end_time;

@@ -1,10 +1,12 @@
 #ifndef LAAR_SIM_SIMULATOR_H_
 #define LAAR_SIM_SIMULATOR_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace laar::obs {
@@ -16,18 +18,117 @@ namespace laar::sim {
 /// Simulated time in seconds.
 using SimTime = double;
 
-/// Identifier of a scheduled event, usable with `Cancel`.
+/// Identifier of a scheduled event, usable with `Cancel` and `Reschedule`.
+/// Encodes (slot generation << 32 | slot index); a fired or cancelled id
+/// goes permanently stale, so acting on it is a cheap no-op.
 using EventId = uint64_t;
 
 constexpr EventId kInvalidEvent = 0;
 
+/// A move-only `void()` callback with small-buffer optimization.
+///
+/// Trivially-copyable callables up to `kInlineBytes` (every capture list in
+/// the simulation: a handful of pointers, doubles, and integers) live
+/// inline — constructing, moving, and destroying them never touches the
+/// heap. Anything larger or non-trivial is boxed on the heap transparently;
+/// `Simulator` counts those so tests can assert the hot path stays inline.
+class EventCallback {
+ public:
+  static constexpr size_t kInlineBytes = 40;
+
+  EventCallback() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cv_t<std::remove_reference_t<F>>,
+                                EventCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventCallback(F&& f) {  // NOLINT: implicit so call sites pass raw lambdas
+    using Fn = std::decay_t<F>;
+    if constexpr (std::is_trivially_copyable_v<Fn> && sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      invoke_ = [](EventCallback* self) {
+        (*std::launder(reinterpret_cast<Fn*>(self->storage_)))();
+      };
+      destroy_ = nullptr;  // trivial: dropping the bytes is enough
+    } else {
+      Fn* boxed = new Fn(std::forward<F>(f));
+      std::memcpy(storage_, &boxed, sizeof(boxed));
+      invoke_ = [](EventCallback* self) { (*self->Boxed<Fn>())(); };
+      destroy_ = [](EventCallback* self) { delete self->Boxed<Fn>(); };
+    }
+  }
+
+  EventCallback(EventCallback&& other) noexcept
+      : invoke_(other.invoke_), destroy_(other.destroy_) {
+    std::memcpy(storage_, other.storage_, sizeof(storage_));
+    other.invoke_ = nullptr;
+    other.destroy_ = nullptr;
+  }
+
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      invoke_ = other.invoke_;
+      destroy_ = other.destroy_;
+      std::memcpy(storage_, other.storage_, sizeof(storage_));
+      other.invoke_ = nullptr;
+      other.destroy_ = nullptr;
+    }
+    return *this;
+  }
+
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  ~EventCallback() { Reset(); }
+
+  void operator()() { invoke_(this); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  /// True when the payload did not fit inline and was heap-boxed.
+  bool boxed() const { return destroy_ != nullptr; }
+
+  void Reset() {
+    if (destroy_ != nullptr) destroy_(this);
+    invoke_ = nullptr;
+    destroy_ = nullptr;
+  }
+
+ private:
+  template <typename Fn>
+  Fn* Boxed() {
+    Fn* boxed;
+    std::memcpy(&boxed, storage_, sizeof(boxed));
+    return boxed;
+  }
+
+  void (*invoke_)(EventCallback*) = nullptr;
+  void (*destroy_)(EventCallback*) = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+};
+
 /// A deterministic discrete-event simulation engine.
 ///
 /// Events at equal timestamps fire in scheduling order (a monotone sequence
-/// number breaks ties), which makes entire runs reproducible. Cancellation
-/// is lazy: cancelled events stay in the heap and are skipped when popped.
+/// number breaks ties; `Reschedule` re-draws the sequence, so it ties like
+/// a fresh schedule), which makes entire runs reproducible.
+///
+/// The hot path is allocation-free in steady state: payloads live inline in
+/// pooled slots recycled through a free list, and the pending set is an
+/// indexed 4-ary min-heap whose `Cancel`/`Reschedule` work in place in
+/// O(log n) — no tombstones, so `pending_events()` is exact and cancelling
+/// an already-fired event cannot leak state.
 class Simulator {
  public:
+  struct EngineStats {
+    uint64_t slots_created = 0;    ///< pool expansions (new slots allocated)
+    uint64_t pool_reuses = 0;      ///< slots served from the free list
+    uint64_t boxed_callbacks = 0;  ///< payloads too large/non-trivial for SBO
+  };
+
   Simulator() = default;
 
   Simulator(const Simulator&) = delete;
@@ -37,13 +138,35 @@ class Simulator {
 
   /// Schedules `callback` at absolute time `when`; times before `now()` are
   /// clamped to `now()` (the event fires next).
-  EventId ScheduleAt(SimTime when, std::function<void()> callback);
+  EventId ScheduleAt(SimTime when, EventCallback callback);
 
   /// Schedules `callback` `delay` seconds from now (negative clamps to 0).
-  EventId ScheduleAfter(SimTime delay, std::function<void()> callback);
+  EventId ScheduleAfter(SimTime delay, EventCallback callback);
 
-  /// Cancels a pending event; no-op if it already fired or never existed.
-  void Cancel(EventId id);
+  /// Removes a pending event from the heap in place; returns false (and
+  /// does nothing) if it already fired, was cancelled, or never existed.
+  bool Cancel(EventId id);
+
+  /// Moves a pending event to absolute time `when` (clamped to `now()`)
+  /// without touching its payload. Ties at the new time fire after events
+  /// already scheduled there, exactly as a cancel + re-schedule would, but
+  /// with no churn. Returns false if the event is not pending.
+  bool Reschedule(EventId id, SimTime when);
+
+  /// Earliest pending timestamp, if any. Lets batching callers drain work
+  /// inline while they remain ahead of the rest of the simulation.
+  bool NextEventTime(SimTime* when) const {
+    if (heap_.empty()) return false;
+    *when = heap_.front().when;
+    return true;
+  }
+
+  /// Accounts one logical event executed inline by the current callback
+  /// (batched delivery): advances `now()` to `when` and keeps
+  /// `events_processed()` — and the backlog-trace cadence — identical to
+  /// scheduling it as a separate event. `when` must not precede `now()`
+  /// nor overtake the earliest pending event.
+  void AdvanceInline(SimTime when);
 
   /// Runs events until the queue is empty.
   void Run();
@@ -62,35 +185,69 @@ class Simulator {
   /// time). Null detaches; the default costs one pointer check per event.
   void set_trace_recorder(obs::TraceRecorder* recorder, uint64_t sample_interval = 1024);
 
-  /// Pending (not yet fired, not cancelled) events. Cancelling an event
-  /// that already fired leaves a tombstone that inflates neither count.
-  size_t pending_events() const {
-    return queue_.size() >= cancelled_.size() ? queue_.size() - cancelled_.size() : 0;
-  }
+  /// Pending (not yet fired, not cancelled) events — exact, O(1).
+  size_t pending_events() const { return heap_.size(); }
+
+  /// Allocation accounting for the zero-alloc steady-state guarantee: once
+  /// `slots_created` stops growing and `boxed_callbacks` stays 0, scheduling
+  /// recycles pooled slots without touching the heap.
+  const EngineStats& stats() const { return stats_; }
+
+  /// Current size of the slot pool (allocated once, then recycled).
+  size_t pool_slots() const { return slots_.size(); }
 
  private:
-  struct Event {
+  static constexpr uint32_t kNullPos = 0xffffffffu;
+
+  /// Heap keys are stored in the heap array itself, so sift comparisons
+  /// never chase the slot pool.
+  struct HeapEntry {
     SimTime when;
     uint64_t sequence;
-    EventId id;
-    std::function<void()> callback;
+    uint32_t slot;
   };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.sequence > b.sequence;
-    }
+
+  /// One pooled event. `when`/`sequence` live in the heap entry; the slot
+  /// holds identity (generation) and payload.
+  struct Slot {
+    uint32_t generation = 1;
+    uint32_t heap_pos = kNullPos;
+    uint32_t next_free = kNullPos;
+    EventCallback callback;
   };
+
+  static bool Later(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when != b.when) return a.when > b.when;
+    return a.sequence > b.sequence;
+  }
+
+  EventId IdOf(uint32_t slot_index) const {
+    return (static_cast<EventId>(slots_[slot_index].generation) << 32) | slot_index;
+  }
+
+  /// Resolves an id to its live slot index, or kNullPos if stale.
+  uint32_t FindSlot(EventId id) const;
+
+  uint32_t AllocSlot();
+  void FreeSlot(uint32_t slot_index);
+
+  void HeapPush(uint32_t slot_index, SimTime when, uint64_t sequence);
+  void HeapRemoveAt(size_t pos);
+  size_t SiftUp(size_t pos);
+  size_t SiftDown(size_t pos);
+  void MaybeSampleBacklog();
 
   obs::TraceRecorder* trace_recorder_ = nullptr;
   uint64_t trace_sample_interval_ = 1024;
 
   SimTime now_ = 0.0;
   uint64_t next_sequence_ = 1;
-  EventId next_id_ = 1;
   uint64_t events_processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-  std::unordered_set<EventId> cancelled_;
+  EngineStats stats_;
+
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNullPos;
 };
 
 }  // namespace laar::sim

@@ -128,5 +128,170 @@ TEST(SimulatorTest, CancelInsideEarlierEvent) {
   EXPECT_FALSE(fired);
 }
 
+// Regression: cancelling an id that already fired used to leave a permanent
+// tombstone in the old lazy-cancellation scheme, leaking memory and skewing
+// pending_events() low for the rest of the run. The indexed heap makes it
+// an exact no-op.
+TEST(SimulatorTest, CancelAfterFireIsExactNoOp) {
+  Simulator simulator;
+  const EventId fired_id = simulator.ScheduleAt(1.0, [] {});
+  simulator.ScheduleAt(2.0, [] {});
+  simulator.RunUntil(1.5);
+  EXPECT_EQ(simulator.pending_events(), 1u);
+  EXPECT_FALSE(simulator.Cancel(fired_id));
+  EXPECT_EQ(simulator.pending_events(), 1u);  // old engine reported 0 here
+  EXPECT_FALSE(simulator.Reschedule(fired_id, 3.0));
+  simulator.Run();
+  EXPECT_EQ(simulator.events_processed(), 2u);
+}
+
+TEST(SimulatorTest, CancelReportsWhetherItRemoved) {
+  Simulator simulator;
+  const EventId id = simulator.ScheduleAt(1.0, [] {});
+  EXPECT_TRUE(simulator.Cancel(id));
+  EXPECT_FALSE(simulator.Cancel(id));
+  EXPECT_FALSE(simulator.Cancel(kInvalidEvent));
+  EXPECT_EQ(simulator.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, RescheduleMovesEventBothDirections) {
+  Simulator simulator;
+  std::vector<int> order;
+  const EventId a = simulator.ScheduleAt(5.0, [&] { order.push_back(1); });
+  simulator.ScheduleAt(3.0, [&] { order.push_back(2); });
+  const EventId c = simulator.ScheduleAt(1.0, [&] { order.push_back(3); });
+  EXPECT_TRUE(simulator.Reschedule(a, 2.0));  // earlier
+  EXPECT_TRUE(simulator.Reschedule(c, 9.0));  // later
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(simulator.now(), 9.0);
+}
+
+// A reschedule ties like a fresh schedule: at the new timestamp it fires
+// after events already sitting there, however early it was scheduled
+// originally.
+TEST(SimulatorTest, RescheduleTieBreaksAsFreshSchedule) {
+  Simulator simulator;
+  std::vector<int> order;
+  const EventId first = simulator.ScheduleAt(1.0, [&] { order.push_back(1); });
+  simulator.ScheduleAt(4.0, [&] { order.push_back(2); });
+  EXPECT_TRUE(simulator.Reschedule(first, 4.0));
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(SimulatorTest, ReschedulePastTimesClampToNow) {
+  Simulator simulator;
+  double fired_at = -1.0;
+  EventId id = simulator.ScheduleAt(8.0, [&] { fired_at = simulator.now(); });
+  simulator.ScheduleAt(5.0, [&] { simulator.Reschedule(id, 1.0); });
+  simulator.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+// Exercises sift paths across the 4-ary layout boundaries: a few hundred
+// equal-timestamp events interleaved with earlier/later ones must still
+// fire in exact scheduling order.
+TEST(SimulatorTest, ManyEqualTimestampsFireInSchedulingOrderAcrossArity) {
+  Simulator simulator;
+  std::vector<int> order;
+  std::vector<EventId> cancelled;
+  for (int i = 0; i < 300; ++i) {
+    simulator.ScheduleAt(2.0, [&order, i] { order.push_back(i); });
+    if (i % 7 == 0) {
+      cancelled.push_back(simulator.ScheduleAt(1.0 + 0.001 * i, [&] {
+        ADD_FAILURE() << "cancelled event fired";
+      }));
+    }
+  }
+  for (EventId id : cancelled) EXPECT_TRUE(simulator.Cancel(id));
+  simulator.Run();
+  ASSERT_EQ(order.size(), 300u);
+  for (int i = 0; i < 300; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, NextEventTimePeeksEarliestPending) {
+  Simulator simulator;
+  SimTime when = 0.0;
+  EXPECT_FALSE(simulator.NextEventTime(&when));
+  simulator.ScheduleAt(4.0, [] {});
+  const EventId early = simulator.ScheduleAt(2.0, [] {});
+  ASSERT_TRUE(simulator.NextEventTime(&when));
+  EXPECT_DOUBLE_EQ(when, 2.0);
+  simulator.Cancel(early);
+  ASSERT_TRUE(simulator.NextEventTime(&when));
+  EXPECT_DOUBLE_EQ(when, 4.0);
+}
+
+TEST(SimulatorTest, AdvanceInlineAccountsLikeAnEvent) {
+  Simulator simulator;
+  simulator.ScheduleAt(1.0, [&] {
+    simulator.AdvanceInline(1.5);
+    simulator.AdvanceInline(2.0);
+  });
+  simulator.ScheduleAt(3.0, [] {});
+  simulator.Run();
+  // One scheduled event + two inline advances + one trailing event.
+  EXPECT_EQ(simulator.events_processed(), 4u);
+  EXPECT_DOUBLE_EQ(simulator.now(), 3.0);
+}
+
+// Steady-state churn must recycle pooled slots instead of growing the
+// slab: after warm-up, slots_created stays flat while reuses climb. Run
+// under ASan (-DLAAR_SANITIZE=address) this also proves the pool's
+// payload lifetimes are clean.
+TEST(SimulatorTest, PoolRecyclesSlotsUnderChurn) {
+  Simulator simulator;
+  int fired = 0;
+  std::vector<EventId> pending;
+  // Warm-up: build up a working set, cancel half, fire the rest.
+  for (int round = 0; round < 3; ++round) {
+    pending.clear();
+    for (int i = 0; i < 64; ++i) {
+      pending.push_back(
+          simulator.ScheduleAfter(0.001 * (i + 1), [&fired] { ++fired; }));
+    }
+    for (size_t i = 0; i < pending.size(); i += 2) simulator.Cancel(pending[i]);
+    simulator.Run();
+  }
+  const uint64_t created_after_warmup = simulator.stats().slots_created;
+  const uint64_t reuses_before = simulator.stats().pool_reuses;
+  for (int round = 0; round < 50; ++round) {
+    pending.clear();
+    for (int i = 0; i < 64; ++i) {
+      pending.push_back(
+          simulator.ScheduleAfter(0.001 * (i + 1), [&fired] { ++fired; }));
+    }
+    for (size_t i = 0; i < pending.size(); i += 2) {
+      simulator.Reschedule(pending[i], simulator.now() + 0.5);
+    }
+    for (size_t i = 1; i < pending.size(); i += 4) simulator.Cancel(pending[i]);
+    simulator.Run();
+  }
+  EXPECT_EQ(simulator.stats().slots_created, created_after_warmup);
+  EXPECT_GT(simulator.stats().pool_reuses, reuses_before);
+  EXPECT_EQ(simulator.stats().boxed_callbacks, 0u);
+  EXPECT_EQ(simulator.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, OversizeCallbacksAreBoxedAndCounted) {
+  Simulator simulator;
+  struct Big {
+    char payload[EventCallback::kInlineBytes + 8] = {};
+  };
+  Big big;
+  big.payload[0] = 42;
+  char seen = 0;
+  simulator.ScheduleAt(1.0, [big, &seen] { seen = big.payload[0]; });
+  EXPECT_EQ(simulator.stats().boxed_callbacks, 1u);
+  simulator.Run();
+  EXPECT_EQ(seen, 42);
+  // Small trivially-copyable captures stay inline.
+  simulator.ScheduleAt(2.0, [&seen] { seen = 7; });
+  simulator.Run();
+  EXPECT_EQ(seen, 7);
+  EXPECT_EQ(simulator.stats().boxed_callbacks, 1u);
+}
+
 }  // namespace
 }  // namespace laar::sim
