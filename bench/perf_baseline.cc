@@ -156,6 +156,52 @@ StageResult RunMiniCorpus(int repeat) {
   return result;
 }
 
+/// Crash-path churn: the benchmark application under repeated correlated
+/// rack outages — exercises host crash epochs, failover re-election, and
+/// resync scheduling on top of the DES hot path. Measured but absent from
+/// older baseline files (`--check` only inspects baseline-listed stages).
+StageResult RunDomainOutage(int repeat) {
+  StageResult result;
+  result.name = "domain_outage_sim";
+  appgen::GeneratorOptions options;
+  options.num_pes = 12;
+  options.num_hosts = 6;
+  options.hosts_per_rack = 2;
+  auto make_app = [&options](uint64_t seed) {
+    for (;; ++seed) {
+      auto app = appgen::GenerateApplication(options, seed);
+      if (app.ok()) return std::move(*app);
+    }
+  };
+  const auto app = make_app(1);
+  const auto strategy = strategy::MakeStaticReplication(
+      app.descriptor.graph, app.descriptor.input_space, 2);
+  const auto trace = *dsps::InputTrace::Alternating(
+      0, 20.0, app.descriptor.input_space.PeakConfig(), 10.0, 2);
+  const model::FailureTopology& topology = app.cluster.topology();
+  Stopwatch watch;
+  for (int rep = 0; rep < repeat * 8; ++rep) {
+    dsps::RuntimeOptions runtime;
+    dsps::StreamSimulation simulation(app.descriptor, app.cluster, app.placement,
+                                      strategy, trace, runtime);
+    // Two overlapping rack outages per High period, rotating racks by rep.
+    const int racks = topology.NumDomains(model::DomainLevel::kRack);
+    for (int burst = 0; burst < 2; ++burst) {
+      const auto rack = static_cast<model::DomainId>((rep + burst) % racks);
+      const double at = 20.0 + burst * 2.0 + 30.0 * burst;
+      for (model::HostId host :
+           topology.HostsInDomain(model::DomainLevel::kRack, rack)) {
+        simulation.ScheduleHostCrash(host, at, 8.0).CheckOK();
+        simulation.ScheduleHostCrash(host, at + 3.0, 8.0).CheckOK();
+      }
+    }
+    simulation.Run().CheckOK();
+    result.events += simulation.metrics().engine_events;
+  }
+  result.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
 long PeakRssKb() {
   struct rusage usage {};
   getrusage(RUSAGE_SELF, &usage);
@@ -216,6 +262,7 @@ int Main(int argc, char** argv) {
   stages.push_back(RunEndToEnd("end_to_end_sim", /*traced=*/false, repeat));
   stages.push_back(RunEndToEnd("traced_sim", /*traced=*/true, repeat));
   stages.push_back(RunMiniCorpus(repeat));
+  stages.push_back(RunDomainOutage(repeat));
 
   for (const StageResult& stage : stages) {
     std::printf("%-16s events=%-12llu wall=%7.3fs  %12.0f events/sec\n",

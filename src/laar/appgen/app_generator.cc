@@ -207,13 +207,25 @@ Result<GeneratedApplication> TryGenerate(const GeneratorOptions& options, Rng* r
 
   // --- Placement on the target cluster. ---
   out.cluster = model::Cluster::Homogeneous(options.num_hosts, options.host_capacity);
+  if (options.hosts_per_rack > 0 || options.racks_per_zone > 0) {
+    out.cluster.set_topology(model::FailureTopology::Uniform(
+        out.cluster.num_hosts(), options.hosts_per_rack, options.racks_per_zone));
+  }
   LAAR_ASSIGN_OR_RETURN(model::ExpectedRates raw_rates,
                         model::ExpectedRates::Compute(out.descriptor.graph,
                                                       out.descriptor.input_space));
-  LAAR_ASSIGN_OR_RETURN(
-      out.placement,
-      placement::PlaceBalanced(out.descriptor.graph, out.descriptor.input_space, raw_rates,
-                               out.cluster, options.replication_factor));
+  if (options.domain_aware_placement && !out.cluster.topology().IsTrivial()) {
+    LAAR_ASSIGN_OR_RETURN(
+        out.placement,
+        placement::PlaceDomainSpread(out.descriptor.graph, out.descriptor.input_space,
+                                     raw_rates, out.cluster, options.replication_factor,
+                                     model::DomainLevel::kRack));
+  } else {
+    LAAR_ASSIGN_OR_RETURN(
+        out.placement,
+        placement::PlaceBalanced(out.descriptor.graph, out.descriptor.input_space,
+                                 raw_rates, out.cluster, options.replication_factor));
+  }
 
   // --- CPU cost calibration (§5.2 conditions i and ii). ---
   // A uniform scale factor anchors the fully-active all-High peak host

@@ -28,6 +28,18 @@ struct GeneratorOptions {
   /// the default mimics one dedicated core per PE replica at 1 GHz.
   double host_capacity = 1e9;
 
+  /// Failure topology of the generated cluster: consecutive hosts are
+  /// grouped into racks and consecutive racks into zones
+  /// (`model::FailureTopology::Uniform`). Values <= 0 keep the trivial
+  /// topology (each host its own rack/zone), the pre-topology default.
+  int hosts_per_rack = 0;
+  int racks_per_zone = 0;
+
+  /// When true and the topology is non-trivial, the generated placement
+  /// spreads the replicas of each PE across distinct racks
+  /// (`placement::PlaceDomainSpread`) instead of plain load balancing.
+  bool domain_aware_placement = false;
+
   double out_degree_min = 1.5;
   double out_degree_max = 3.0;
   double selectivity_min = 0.5;

@@ -63,6 +63,14 @@ void PublishTo(obs::MetricsRegistry* registry, const SimulationMetrics& metrics,
   if (obs::Gauge* g = registry->GetGauge("sim_duration_seconds", labels)) {
     g->Set(metrics.duration);
   }
+  // Only crash runs carry crashed hosts; skipping the keys otherwise keeps
+  // failure-free registries (and their golden hashes) unchanged.
+  if (!metrics.crashed_hosts.empty()) {
+    count("sim_host_crashes", static_cast<double>(metrics.crashed_hosts.size()));
+    if (obs::Gauge* g = registry->GetGauge("sim_crashed_host", labels)) {
+      g->Set(static_cast<double>(metrics.crashed_hosts.back()));
+    }
+  }
   if (!metrics.sink_latency.empty()) {
     if (obs::HistogramMetric* h = registry->GetHistogram(
             "sim_sink_latency_seconds", labels, 0.0, kSinkLatencyHistogramMaxSeconds,

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "laar/common/stats.h"
+#include "laar/model/cluster.h"
 #include "laar/model/component.h"
 #include "laar/obs/metrics_registry.h"
 #include "laar/sim/simulator.h"
@@ -48,6 +49,12 @@ struct SimulationMetrics {
 
   /// Deepest any port queue ever got, in tuples.
   uint64_t max_queue_depth = 0;
+
+  /// Hosts that actually crashed during the run, in crash order (a host
+  /// appears once per crash window). Empty for failure-free and
+  /// permanent-failure runs, so publishing it cannot perturb those runs'
+  /// registries.
+  std::vector<model::HostId> crashed_hosts;
 
   /// Logical DES events the engine executed for this run (batched inline
   /// deliveries included) — the numerator of the events/sec perf baseline.

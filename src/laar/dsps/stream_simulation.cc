@@ -113,6 +113,9 @@ struct StreamSimulation::Replica {
   bool alive = true;
   bool active = true;
   bool resyncing = false;
+  /// Killed for good by `InjectPermanentReplicaFailure`; host recovery must
+  /// never resurrect it.
+  bool permanently_failed = false;
   uint64_t resync_epoch = 0;
 
   bool processing = false;
@@ -144,6 +147,13 @@ struct StreamSimulation::HostState {
   /// its payload (the replica whose completion the event realizes).
   sim::EventId completion_event = sim::kInvalidEvent;
   Replica* completion_target = nullptr;
+
+  /// Crash lifecycle. Overlapping crash windows on one host merge into a
+  /// single outage ending at `down_until`; `crash_epoch` identifies the
+  /// latest crash so that recovery timers armed by superseded crashes are
+  /// discarded instead of reviving the host early.
+  uint64_t crash_epoch = 0;
+  sim::SimTime down_until = 0.0;
 };
 
 struct StreamSimulation::SourceState {
@@ -359,6 +369,7 @@ Status StreamSimulation::InjectPermanentReplicaFailure(model::ComponentId pe, in
     return Status::InvalidArgument(StrFormat("PE %d has no replica %d", pe, replica));
   }
   state->replicas[static_cast<size_t>(replica)].alive = false;
+  state->replicas[static_cast<size_t>(replica)].permanently_failed = true;
   if (Tracing(obs::Category::kFailures)) {
     options_.trace_recorder->Instant(obs::EventName::kReplicaCrash, simulator_.now(), pe,
                                      replica,
@@ -950,6 +961,15 @@ void StreamSimulation::CrashHost(model::HostId host, sim::SimTime duration) {
                                      /*pe=*/-1, /*replica=*/-1, host, /*port=*/-1,
                                      duration);
   }
+  metrics_.crashed_hosts.push_back(host);
+  HostState* host_state = hosts_[static_cast<size_t>(host)].get();
+  // Overlapping windows merge: the host stays down until the farthest end
+  // seen so far, and only the recovery timer armed by the newest crash
+  // (greatest epoch) is honoured — the others fire into a superseded
+  // window and must not revive anything early.
+  const uint64_t epoch = ++host_state->crash_epoch;
+  host_state->down_until =
+      std::max(host_state->down_until, simulator_.now() + duration);
   for (auto& pe : pes_) {
     if (pe == nullptr) continue;
     for (Replica& replica : pe->replicas) {
@@ -976,22 +996,32 @@ void StreamSimulation::CrashHost(model::HostId host, sim::SimTime duration) {
       }
       if (pe->primary == replica.index) {
         // The dead primary is only replaced once heartbeat loss is
-        // detected (§5.1) — downstream output stalls in between.
+        // detected (§5.1) — downstream output stalls in between. Re-elect
+        // whenever the seated primary is not *serviceable* (alive, active,
+        // resynced): checking liveness alone let a crashed-then-recovered
+        // primary, still resyncing, block the election of a healthy
+        // secondary and silence the PE for the rest of the resync.
         PeState* pe_ptr = pe.get();
         simulator_.ScheduleAfter(options_.failover_latency_seconds, [this, pe_ptr] {
           const int current = pe_ptr->primary;
-          if (current == -1 ||
-              !pe_ptr->replicas[static_cast<size_t>(current)].alive) {
-            ElectPrimary(pe_ptr);
+          if (current != -1) {
+            const Replica& seated = pe_ptr->replicas[static_cast<size_t>(current)];
+            if (seated.alive && seated.active && !seated.resyncing) return;
           }
+          ElectPrimary(pe_ptr);
         });
       }
     }
   }
-  simulator_.ScheduleAfter(duration, [this, host] { RecoverHost(host); });
+  simulator_.ScheduleAfter(host_state->down_until - simulator_.now(),
+                           [this, host, epoch] { RecoverHost(host, epoch); });
 }
 
-void StreamSimulation::RecoverHost(model::HostId host) {
+void StreamSimulation::RecoverHost(model::HostId host, uint64_t crash_epoch) {
+  HostState* host_state = hosts_[static_cast<size_t>(host)].get();
+  // A stale timer from a crash window that a later crash superseded; the
+  // newest crash scheduled its own timer at the merged window's end.
+  if (host_state->crash_epoch != crash_epoch) return;
   if (Tracing(obs::Category::kFailures)) {
     options_.trace_recorder->Instant(obs::EventName::kHostRecover, simulator_.now(),
                                      /*pe=*/-1, /*replica=*/-1, host);
@@ -1000,7 +1030,7 @@ void StreamSimulation::RecoverHost(model::HostId host) {
     if (pe == nullptr) continue;
     PeState* pe_ptr = pe.get();
     for (Replica& replica : pe->replicas) {
-      if (replica.host != host || replica.alive) continue;
+      if (replica.host != host || replica.alive || replica.permanently_failed) continue;
       replica.alive = true;
       if (Tracing(obs::Category::kFailures)) {
         options_.trace_recorder->Instant(obs::EventName::kReplicaRecover,

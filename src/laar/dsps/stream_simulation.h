@@ -116,7 +116,7 @@ class StreamSimulation {
   // --- sources & failures ---
   void SourceEmit(SourceState* source);
   void CrashHost(model::HostId host, sim::SimTime duration);
-  void RecoverHost(model::HostId host);
+  void RecoverHost(model::HostId host, uint64_t crash_epoch);
 
   // --- bookkeeping ---
   size_t BucketOf(sim::SimTime t) const;

@@ -27,4 +27,31 @@ double IndependentFailureModel::Phi(const model::ApplicationGraph& graph,
   return 1.0 - std::pow(failure_probability_, active);
 }
 
+double CorrelatedFailureModel::Phi(const model::ApplicationGraph& graph,
+                                   const strategy::ActivationStrategy& strategy,
+                                   model::ComponentId pe, model::ConfigId config) const {
+  (void)graph;
+  // m = number of distinct failure domains holding an active replica.
+  // k is small (2-3), so a linear scan beats a set.
+  model::DomainId seen[16];
+  int distinct = 0;
+  const int k = strategy.replication_factor();
+  for (int r = 0; r < k; ++r) {
+    if (!strategy.IsActive(pe, r, config)) continue;
+    const model::HostId host = placement_.HostOf(pe, r);
+    if (host == model::kInvalidHost) continue;
+    const model::DomainId domain = topology_.DomainOf(host, level_);
+    bool fresh = true;
+    for (int i = 0; i < distinct; ++i) {
+      if (seen[i] == domain) {
+        fresh = false;
+        break;
+      }
+    }
+    if (fresh && distinct < 16) seen[distinct++] = domain;
+  }
+  if (distinct <= 0) return 0.0;
+  return 1.0 - std::pow(domain_failure_probability_, distinct);
+}
+
 }  // namespace laar::metrics

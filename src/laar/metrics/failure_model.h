@@ -3,8 +3,10 @@
 
 #include <memory>
 
+#include "laar/model/failure_topology.h"
 #include "laar/model/graph.h"
 #include "laar/model/input_space.h"
+#include "laar/model/placement.h"
 #include "laar/strategy/activation_strategy.h"
 
 namespace laar::metrics {
@@ -66,6 +68,40 @@ class IndependentFailureModel final : public FailureModel {
 
  private:
   double failure_probability_;
+};
+
+/// Correlated-failure refinement of the independent model: failures strike
+/// whole failure domains (racks or zones, arXiv 1508.04907), so active
+/// replicas co-located in one domain die together and only the number of
+/// *distinct* domains m hosting an active replica buys redundancy:
+/// φ = 1 - f^m with f = `domain_failure_probability`. When every host is
+/// its own domain (trivial topology, or level = kHost) this coincides with
+/// `IndependentFailureModel`; with replicas piled into one rack it
+/// degrades to φ = 1 - f regardless of k, which is exactly what
+/// domain-oblivious placement squanders.
+class CorrelatedFailureModel final : public FailureModel {
+ public:
+  CorrelatedFailureModel(const model::ReplicaPlacement& placement,
+                         const model::FailureTopology& topology,
+                         model::DomainLevel level, double domain_failure_probability)
+      : placement_(placement),
+        topology_(topology),
+        level_(level),
+        domain_failure_probability_(domain_failure_probability) {}
+
+  double Phi(const model::ApplicationGraph& graph,
+             const strategy::ActivationStrategy& strategy, model::ComponentId pe,
+             model::ConfigId config) const override;
+  const char* name() const override { return "correlated"; }
+
+  model::DomainLevel level() const { return level_; }
+  double domain_failure_probability() const { return domain_failure_probability_; }
+
+ private:
+  const model::ReplicaPlacement& placement_;
+  const model::FailureTopology& topology_;
+  model::DomainLevel level_;
+  double domain_failure_probability_;
 };
 
 }  // namespace laar::metrics

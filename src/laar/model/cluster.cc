@@ -14,7 +14,10 @@ Cluster Cluster::Homogeneous(int num_hosts, double capacity_cycles_per_sec) {
 
 HostId Cluster::AddHost(std::string name, double capacity_cycles_per_sec) {
   const HostId id = static_cast<HostId>(hosts_.size());
+  const bool topology_in_sync =
+      topology_.num_hosts() == hosts_.size() && topology_.IsTrivial();
   hosts_.push_back(Host{id, std::move(name), capacity_cycles_per_sec});
+  if (topology_in_sync) topology_ = FailureTopology::Trivial(hosts_.size());
   return id;
 }
 
@@ -32,6 +35,7 @@ Status Cluster::Validate() const {
           StrFormat("host %d has non-positive capacity %g", h.id, h.capacity_cycles_per_sec));
     }
   }
+  LAAR_RETURN_IF_ERROR(topology_.Validate(hosts_.size()));
   return Status::OK();
 }
 

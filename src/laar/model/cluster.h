@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "laar/common/status.h"
+#include "laar/model/failure_topology.h"
 
 namespace laar::model {
 
@@ -40,10 +41,18 @@ class Cluster {
 
   double TotalCapacity() const;
 
+  /// The host → rack → zone containment map. Defaults to the trivial
+  /// topology (each host alone in its rack and zone), which keeps every
+  /// pre-topology consumer byte-identical; `AddHost` keeps the trivial
+  /// default in lockstep, a custom map set later must match `num_hosts()`.
+  const FailureTopology& topology() const { return topology_; }
+  void set_topology(FailureTopology topology) { topology_ = std::move(topology); }
+
   Status Validate() const;
 
  private:
   std::vector<Host> hosts_;
+  FailureTopology topology_;
 };
 
 }  // namespace laar::model

@@ -1,0 +1,112 @@
+#include "laar/model/failure_topology.h"
+
+#include <algorithm>
+
+#include "laar/common/strings.h"
+
+namespace laar::model {
+
+const char* DomainLevelName(DomainLevel level) {
+  switch (level) {
+    case DomainLevel::kHost:
+      return "host";
+    case DomainLevel::kRack:
+      return "rack";
+    case DomainLevel::kZone:
+      return "zone";
+  }
+  return "unknown";
+}
+
+FailureTopology FailureTopology::Trivial(size_t num_hosts) {
+  return Uniform(num_hosts, 1, 1);
+}
+
+FailureTopology FailureTopology::Uniform(size_t num_hosts, int hosts_per_rack,
+                                         int racks_per_zone) {
+  if (hosts_per_rack <= 0) hosts_per_rack = 1;
+  if (racks_per_zone <= 0) racks_per_zone = 1;
+  FailureTopology topology;
+  topology.rack_of_.resize(num_hosts);
+  topology.zone_of_.resize(num_hosts);
+  for (size_t h = 0; h < num_hosts; ++h) {
+    const DomainId rack = static_cast<DomainId>(h / static_cast<size_t>(hosts_per_rack));
+    topology.rack_of_[h] = rack;
+    topology.zone_of_[h] = rack / racks_per_zone;
+  }
+  topology.num_racks_ = num_hosts == 0 ? 0 : topology.rack_of_.back() + 1;
+  topology.num_zones_ = num_hosts == 0 ? 0 : topology.zone_of_.back() + 1;
+  return topology;
+}
+
+DomainId FailureTopology::DomainOf(HostId host, DomainLevel level) const {
+  switch (level) {
+    case DomainLevel::kHost:
+      return static_cast<DomainId>(host);
+    case DomainLevel::kRack:
+      return RackOf(host);
+    case DomainLevel::kZone:
+      return ZoneOf(host);
+  }
+  return kInvalidDomain;
+}
+
+int FailureTopology::NumDomains(DomainLevel level) const {
+  switch (level) {
+    case DomainLevel::kHost:
+      return static_cast<int>(num_hosts());
+    case DomainLevel::kRack:
+      return num_racks_;
+    case DomainLevel::kZone:
+      return num_zones_;
+  }
+  return 0;
+}
+
+std::vector<HostId> FailureTopology::HostsInDomain(DomainLevel level,
+                                                   DomainId domain) const {
+  std::vector<HostId> hosts;
+  for (size_t h = 0; h < num_hosts(); ++h) {
+    const auto host = static_cast<HostId>(h);
+    if (DomainOf(host, level) == domain) hosts.push_back(host);
+  }
+  return hosts;
+}
+
+bool FailureTopology::IsTrivial() const {
+  return num_racks_ == static_cast<int>(num_hosts()) &&
+         num_zones_ == static_cast<int>(num_hosts());
+}
+
+Status FailureTopology::Validate(size_t num_hosts) const {
+  if (rack_of_.size() != num_hosts || zone_of_.size() != num_hosts) {
+    return Status::InvalidArgument(
+        StrFormat("topology covers %zu hosts, cluster has %zu", rack_of_.size(),
+                  num_hosts));
+  }
+  // Every rack must live entirely inside one zone, else "zone outage"
+  // would not be a superset of "rack outage".
+  std::vector<DomainId> zone_of_rack(static_cast<size_t>(num_racks_), kInvalidDomain);
+  for (size_t h = 0; h < num_hosts; ++h) {
+    const DomainId rack = rack_of_[h];
+    const DomainId zone = zone_of_[h];
+    if (rack < 0 || rack >= num_racks_) {
+      return Status::InvalidArgument(
+          StrFormat("host %zu has out-of-range rack %d", h, rack));
+    }
+    if (zone < 0 || zone >= num_zones_) {
+      return Status::InvalidArgument(
+          StrFormat("host %zu has out-of-range zone %d", h, zone));
+    }
+    DomainId& assigned = zone_of_rack[static_cast<size_t>(rack)];
+    if (assigned == kInvalidDomain) {
+      assigned = zone;
+    } else if (assigned != zone) {
+      return Status::InvalidArgument(
+          StrFormat("rack %d straddles zones %d and %d", rack, assigned, zone));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace laar::model

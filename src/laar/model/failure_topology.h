@@ -1,0 +1,82 @@
+#ifndef LAAR_MODEL_FAILURE_TOPOLOGY_H_
+#define LAAR_MODEL_FAILURE_TOPOLOGY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "laar/common/status.h"
+
+namespace laar::model {
+
+using HostId = int32_t;
+using DomainId = int32_t;
+
+constexpr DomainId kInvalidDomain = -1;
+
+/// Granularity at which hosts fail together. `kHost` degenerates to the
+/// independent-failure world (every host is its own domain); `kRack` and
+/// `kZone` model shared switches / power feeds whose loss takes down every
+/// host they serve at once — the correlated bursts of arXiv 1508.04907.
+enum class DomainLevel : int32_t {
+  kHost = 0,
+  kRack = 1,
+  kZone = 2,
+};
+
+const char* DomainLevelName(DomainLevel level);
+
+/// The host → rack → zone containment map of a cluster. Hosts are dense
+/// indices (matching `Cluster`), racks and zones are dense per-level domain
+/// ids. The default topology is *trivial*: every host is alone in its own
+/// rack and zone, so correlated and independent failures coincide.
+class FailureTopology {
+ public:
+  FailureTopology() = default;
+
+  /// Every host its own rack and zone — the pre-topology behaviour.
+  static FailureTopology Trivial(size_t num_hosts);
+
+  /// Fills racks of `hosts_per_rack` consecutive hosts and zones of
+  /// `racks_per_zone` consecutive racks (last rack/zone may be partial).
+  /// Non-positive arguments mean "one per host"/"one per rack".
+  static FailureTopology Uniform(size_t num_hosts, int hosts_per_rack,
+                                 int racks_per_zone);
+
+  size_t num_hosts() const { return rack_of_.size(); }
+  int num_racks() const { return num_racks_; }
+  int num_zones() const { return num_zones_; }
+
+  DomainId RackOf(HostId host) const { return rack_of_[static_cast<size_t>(host)]; }
+  DomainId ZoneOf(HostId host) const { return zone_of_[static_cast<size_t>(host)]; }
+
+  /// Domain id of `host` at `level`; at kHost level the host is its own
+  /// domain.
+  DomainId DomainOf(HostId host, DomainLevel level) const;
+
+  /// Number of domains at `level` (== num_hosts() at kHost level).
+  int NumDomains(DomainLevel level) const;
+
+  /// All hosts belonging to `domain` at `level`, in increasing host order.
+  std::vector<HostId> HostsInDomain(DomainLevel level, DomainId domain) const;
+
+  /// True when every host is its own rack and zone.
+  bool IsTrivial() const;
+
+  /// Checks the map covers exactly `num_hosts` hosts with dense in-range
+  /// rack/zone ids, and that a rack never straddles two zones.
+  Status Validate(size_t num_hosts) const;
+
+  friend bool operator==(const FailureTopology& a, const FailureTopology& b) {
+    return a.rack_of_ == b.rack_of_ && a.zone_of_ == b.zone_of_;
+  }
+
+ private:
+  std::vector<DomainId> rack_of_;
+  std::vector<DomainId> zone_of_;
+  int num_racks_ = 0;
+  int num_zones_ = 0;
+};
+
+}  // namespace laar::model
+
+#endif  // LAAR_MODEL_FAILURE_TOPOLOGY_H_

@@ -97,4 +97,67 @@ Result<model::ReplicaPlacement> PlaceBalanced(const model::ApplicationGraph& gra
   return placement;
 }
 
+Result<model::ReplicaPlacement> PlaceDomainSpread(const model::ApplicationGraph& graph,
+                                                  const model::InputSpace& space,
+                                                  const model::ExpectedRates& rates,
+                                                  const model::Cluster& cluster,
+                                                  int replication_factor,
+                                                  model::DomainLevel level) {
+  if (!graph.validated()) {
+    return Status::FailedPrecondition("graph must be validated before placement");
+  }
+  LAAR_RETURN_IF_ERROR(CheckFeasible(cluster, replication_factor));
+  const model::FailureTopology& topology = cluster.topology();
+  LAAR_RETURN_IF_ERROR(topology.Validate(cluster.num_hosts()));
+
+  struct PeDemand {
+    model::ComponentId pe;
+    double demand;
+  };
+  std::vector<PeDemand> demands;
+  for (model::ComponentId pe : graph.Pes()) {
+    double expected = 0.0;
+    for (model::ConfigId c = 0; c < space.num_configs(); ++c) {
+      expected += space.Probability(c) * rates.CpuDemand(graph, pe, c);
+    }
+    demands.push_back(PeDemand{pe, expected});
+  }
+  std::sort(demands.begin(), demands.end(), [](const PeDemand& a, const PeDemand& b) {
+    if (a.demand != b.demand) return a.demand > b.demand;
+    return a.pe < b.pe;
+  });
+
+  model::ReplicaPlacement placement(graph.num_components(), replication_factor);
+  std::vector<double> host_load(cluster.num_hosts(), 0.0);
+  const size_t num_domains = static_cast<size_t>(topology.NumDomains(level));
+  for (const PeDemand& pd : demands) {
+    std::vector<bool> used_host(cluster.num_hosts(), false);
+    std::vector<bool> used_domain(num_domains, false);
+    for (int r = 0; r < replication_factor; ++r) {
+      // First pass insists on a fresh failure domain; when the PE has
+      // already touched every domain (k > |domains|) the second pass
+      // relaxes to plain host anti-affinity.
+      model::HostId best = model::kInvalidHost;
+      for (int pass = 0; pass < 2 && best == model::kInvalidHost; ++pass) {
+        for (size_t h = 0; h < cluster.num_hosts(); ++h) {
+          if (used_host[h]) continue;
+          const auto domain = static_cast<size_t>(
+              topology.DomainOf(static_cast<model::HostId>(h), level));
+          if (pass == 0 && used_domain[domain]) continue;
+          if (best == model::kInvalidHost ||
+              host_load[h] < host_load[static_cast<size_t>(best)]) {
+            best = static_cast<model::HostId>(h);
+          }
+        }
+      }
+      LAAR_RETURN_IF_ERROR(placement.Assign(pd.pe, r, best));
+      used_host[static_cast<size_t>(best)] = true;
+      used_domain[static_cast<size_t>(topology.DomainOf(best, level))] = true;
+      host_load[static_cast<size_t>(best)] += pd.demand;
+    }
+  }
+  LAAR_RETURN_IF_ERROR(placement.Validate(cluster));
+  return placement;
+}
+
 }  // namespace laar::placement

@@ -33,6 +33,19 @@ Result<model::ReplicaPlacement> PlaceBalanced(const model::ApplicationGraph& gra
                                               const model::Cluster& cluster,
                                               int replication_factor);
 
+/// Domain-aware variant of `PlaceBalanced`: identical greedy order and
+/// load accounting, but each replica prefers the least-loaded host whose
+/// failure domain (at `level`, per `cluster.topology()`) holds no earlier
+/// replica of the same PE. Only when fewer than k domains exist does it
+/// fall back to reusing a domain (host anti-affinity is always kept). On a
+/// trivial topology this reduces exactly to `PlaceBalanced`.
+Result<model::ReplicaPlacement> PlaceDomainSpread(const model::ApplicationGraph& graph,
+                                                  const model::InputSpace& space,
+                                                  const model::ExpectedRates& rates,
+                                                  const model::Cluster& cluster,
+                                                  int replication_factor,
+                                                  model::DomainLevel level);
+
 }  // namespace laar::placement
 
 #endif  // LAAR_PLACEMENT_PLACEMENT_ALGORITHMS_H_

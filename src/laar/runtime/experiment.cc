@@ -23,9 +23,40 @@ const char* FailureScenarioName(FailureScenario scenario) {
       return "worst-case";
     case FailureScenario::kHostCrash:
       return "host-crash";
+    case FailureScenario::kDomainOutage:
+      return "domain-outage";
   }
   return "?";
 }
+
+namespace {
+
+/// Hosts that actually carry at least one replica, in host order. Crashing
+/// any other host is a guaranteed no-op.
+std::vector<model::HostId> ReplicaCarryingHosts(const appgen::GeneratedApplication& app) {
+  std::vector<model::HostId> hosts;
+  for (size_t h = 0; h < app.cluster.num_hosts(); ++h) {
+    const auto host = static_cast<model::HostId>(h);
+    if (!app.placement.ReplicasOn(host).empty()) hosts.push_back(host);
+  }
+  return hosts;
+}
+
+/// Start times of the High segments of the trace, in order.
+std::vector<double> HighSegmentStarts(const dsps::InputTrace& trace,
+                                      model::ConfigId high) {
+  std::vector<double> starts;
+  double elapsed = 0.0;
+  for (const dsps::TraceSegment& segment : trace.segments()) {
+    if (segment.config == high) {
+      starts.push_back(elapsed + std::min(2.0, segment.duration * 0.1));
+    }
+    elapsed += segment.duration;
+  }
+  return starts;
+}
+
+}  // namespace
 
 Result<dsps::InputTrace> MakeExperimentTrace(const model::InputSpace& space,
                                              double total_seconds, double high_fraction,
@@ -93,25 +124,61 @@ Result<dsps::SimulationMetrics> RunScenario(const appgen::GeneratedApplication& 
     }
     case FailureScenario::kHostCrash: {
       // A random host crashes shortly after a High period begins — the
-      // window where LAAR's guarantees are weakest (§5.3).
+      // window where LAAR's guarantees are weakest (§5.3). Drawn among the
+      // hosts that actually carry replicas: a uniform draw over all hosts
+      // silently degenerated to a no-op whenever the seed landed on an
+      // empty host.
       Rng rng(scenario.seed);
-      const auto host = static_cast<model::HostId>(
-          rng.UniformInt(0, static_cast<int64_t>(app.cluster.num_hosts()) - 1));
-      const model::ConfigId high = app.descriptor.input_space.PeakConfig();
-      double crash_at = -1.0;
-      double elapsed = 0.0;
-      for (const dsps::TraceSegment& segment : trace.segments()) {
-        if (segment.config == high) {
-          crash_at = elapsed + std::min(2.0, segment.duration * 0.1);
-          break;
-        }
-        elapsed += segment.duration;
+      const std::vector<model::HostId> candidates = ReplicaCarryingHosts(app);
+      if (candidates.empty()) {
+        return Status::FailedPrecondition("placement puts replicas on no host");
       }
-      if (crash_at < 0.0) {
+      const model::HostId host = candidates[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(candidates.size()) - 1))];
+      const std::vector<double> starts =
+          HighSegmentStarts(trace, app.descriptor.input_space.PeakConfig());
+      if (starts.empty()) {
         return Status::FailedPrecondition("trace has no High segment to crash during");
       }
       LAAR_RETURN_IF_ERROR(
-          simulation.ScheduleHostCrash(host, crash_at, scenario.crash_duration_seconds));
+          simulation.ScheduleHostCrash(host, starts.front(),
+                                       scenario.crash_duration_seconds));
+      break;
+    }
+    case FailureScenario::kDomainOutage: {
+      // Correlated bursts: whole failure domains (racks/zones) die at once.
+      // Each burst strikes one High period and re-draws a replica-carrying
+      // domain, so a run can lose different domains over its lifetime.
+      const model::FailureTopology& topology = app.cluster.topology();
+      LAAR_RETURN_IF_ERROR(topology.Validate(app.cluster.num_hosts()));
+      std::vector<model::DomainId> domains;
+      for (const model::HostId host : ReplicaCarryingHosts(app)) {
+        const model::DomainId domain = topology.DomainOf(host, scenario.domain_level);
+        if (std::find(domains.begin(), domains.end(), domain) == domains.end()) {
+          domains.push_back(domain);
+        }
+      }
+      if (domains.empty()) {
+        return Status::FailedPrecondition("placement puts replicas on no host");
+      }
+      const std::vector<double> starts =
+          HighSegmentStarts(trace, app.descriptor.input_space.PeakConfig());
+      if (starts.empty()) {
+        return Status::FailedPrecondition("trace has no High segment to crash during");
+      }
+      Rng rng(scenario.seed);
+      const int bursts =
+          std::min<int>(std::max(scenario.outage_bursts, 1),
+                        static_cast<int>(starts.size()));
+      for (int b = 0; b < bursts; ++b) {
+        const model::DomainId domain = domains[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(domains.size()) - 1))];
+        for (const model::HostId host :
+             topology.HostsInDomain(scenario.domain_level, domain)) {
+          LAAR_RETURN_IF_ERROR(simulation.ScheduleHostCrash(
+              host, starts[static_cast<size_t>(b)], scenario.crash_duration_seconds));
+        }
+      }
       break;
     }
   }
@@ -148,6 +215,7 @@ void StageTimes::MergeFrom(const StageTimes& other) {
   simulate_best_seconds += other.simulate_best_seconds;
   simulate_worst_seconds += other.simulate_worst_seconds;
   simulate_crash_seconds += other.simulate_crash_seconds;
+  simulate_domain_seconds += other.simulate_domain_seconds;
 }
 
 const VariantMeasurement* AppExperimentRecord::Find(const std::string& name) const {
@@ -280,6 +348,18 @@ Result<AppExperimentRecord> RunAppExperiment(const HarnessOptions& options, uint
                             run_observed(variant, crash));
       record.stages.simulate_crash_seconds += stage_watch.ElapsedSeconds();
       measurement.processed_crash = metrics.TotalProcessed();
+    }
+    if (options.run_domain_outage) {
+      ScenarioOptions outage;
+      outage.scenario = FailureScenario::kDomainOutage;
+      outage.seed = seed ^ 0xC2B2AE3D27D4EB4FULL;
+      outage.domain_level = options.domain_outage_level;
+      outage.outage_bursts = options.domain_outage_bursts;
+      stage_watch.Restart();
+      LAAR_ASSIGN_OR_RETURN(dsps::SimulationMetrics metrics,
+                            run_observed(variant, outage));
+      record.stages.simulate_domain_seconds += stage_watch.ElapsedSeconds();
+      measurement.processed_domain = metrics.TotalProcessed();
     }
     record.variants.push_back(std::move(measurement));
   }

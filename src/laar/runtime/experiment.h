@@ -21,9 +21,10 @@ namespace laar::runtime {
 
 /// The §5.3 failure modes.
 enum class FailureScenario {
-  kNone = 0,       ///< best case: no failure ever occurs
-  kWorstCase = 1,  ///< pessimistic model: one replica of each PE dead throughout
-  kHostCrash = 2,  ///< one random host crashes during a High period, then recovers
+  kNone = 0,         ///< best case: no failure ever occurs
+  kWorstCase = 1,    ///< pessimistic model: one replica of each PE dead throughout
+  kHostCrash = 2,    ///< one random host crashes during a High period, then recovers
+  kDomainOutage = 3, ///< a whole failure domain (rack/zone) crashes, possibly repeatedly
 };
 
 const char* FailureScenarioName(FailureScenario scenario);
@@ -33,8 +34,15 @@ struct ScenarioOptions {
   /// Host-crash parameters: detection + migration takes 16 s on Streams
   /// (§5.3, citing [19]).
   double crash_duration_seconds = 16.0;
-  /// Seed controlling the crashed-host choice and crash instant.
+  /// Seed controlling the crashed-host/domain choice and crash instant.
   uint64_t seed = 1;
+
+  /// kDomainOutage parameters: the domain granularity that fails together
+  /// (per `cluster.topology()`), and how many High periods are struck —
+  /// each burst re-draws a replica-carrying domain from `seed` and crashes
+  /// every host in it for `crash_duration_seconds`.
+  model::DomainLevel domain_level = model::DomainLevel::kRack;
+  int outage_bursts = 1;
 };
 
 /// Builds the §5.2 experiment trace: `cycles` repetitions of
@@ -67,6 +75,7 @@ struct VariantMeasurement {
   uint64_t processed_best = 0;    ///< Σ_pe tuples processed, best case
   uint64_t processed_worst = 0;   ///< same, pessimistic worst case
   uint64_t processed_crash = 0;   ///< same, host-crash scenario (if run)
+  uint64_t processed_domain = 0;  ///< same, domain-outage scenario (if run)
   double peak_output_rate = 0.0;  ///< mean sink rate over High periods, best case
   double promised_ic = 0.0;       ///< FT-Search IC bound (L.x variants)
 
@@ -87,9 +96,11 @@ struct StageTimes {
   double simulate_best_seconds = 0.0;  ///< best-case simulations, all variants
   double simulate_worst_seconds = 0.0; ///< pessimistic worst-case simulations
   double simulate_crash_seconds = 0.0; ///< host-crash simulations
+  double simulate_domain_seconds = 0.0; ///< domain-outage simulations
 
   double SimulateSeconds() const {
-    return simulate_best_seconds + simulate_worst_seconds + simulate_crash_seconds;
+    return simulate_best_seconds + simulate_worst_seconds + simulate_crash_seconds +
+           simulate_domain_seconds;
   }
   double TotalSeconds() const {
     return generate_seconds + solve_seconds + SimulateSeconds();
@@ -118,6 +129,12 @@ struct HarnessOptions {
   int trace_cycles = 3;
   bool run_worst_case = true;
   bool run_host_crash = false;
+  /// Runs the correlated domain-outage scenario per variant. Pointless on a
+  /// trivial topology (it degenerates to kHostCrash with extra bursts), so
+  /// pair it with non-trivial `generator.hosts_per_rack`.
+  bool run_domain_outage = false;
+  model::DomainLevel domain_outage_level = model::DomainLevel::kRack;
+  int domain_outage_bursts = 1;
 
   /// When non-empty, every (variant, scenario) simulation records a trace
   /// and writes it as Chrome trace-event JSON to

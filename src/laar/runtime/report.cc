@@ -16,6 +16,7 @@ json::Value RecordToJson(const AppExperimentRecord& record) {
     v.Set("processed_best", json::Value::Int(static_cast<int64_t>(m.processed_best)));
     v.Set("processed_worst", json::Value::Int(static_cast<int64_t>(m.processed_worst)));
     v.Set("processed_crash", json::Value::Int(static_cast<int64_t>(m.processed_crash)));
+    v.Set("processed_domain", json::Value::Int(static_cast<int64_t>(m.processed_domain)));
     v.Set("peak_output_rate", json::Value::Number(m.peak_output_rate));
     v.Set("promised_ic", json::Value::Number(m.promised_ic));
     if (m.latency_hist.has_value()) {
@@ -46,6 +47,8 @@ json::Value RecordToJson(const AppExperimentRecord& record) {
              json::Value::Number(record.stages.simulate_worst_seconds));
   stages.Set("simulate_crash_seconds",
              json::Value::Number(record.stages.simulate_crash_seconds));
+  stages.Set("simulate_domain_seconds",
+             json::Value::Number(record.stages.simulate_domain_seconds));
   doc.Set("stages", std::move(stages));
   return doc;
 }
@@ -91,6 +94,9 @@ Result<AppExperimentRecord> RecordFromJson(const json::Value& value) {
     LAAR_ASSIGN_OR_RETURN(int64_t crash,
                           v.GetOr("processed_crash", json::Value::Int(0)).AsInt());
     m.processed_crash = static_cast<uint64_t>(crash);
+    LAAR_ASSIGN_OR_RETURN(int64_t domain,
+                          v.GetOr("processed_domain", json::Value::Int(0)).AsInt());
+    m.processed_domain = static_cast<uint64_t>(domain);
     LAAR_ASSIGN_OR_RETURN(m.peak_output_rate,
                           v.GetOr("peak_output_rate", json::Value::Number(0)).AsDouble());
     LAAR_ASSIGN_OR_RETURN(m.promised_ic,
@@ -149,6 +155,9 @@ Result<AppExperimentRecord> RecordFromJson(const json::Value& value) {
     LAAR_ASSIGN_OR_RETURN(
         record.stages.simulate_crash_seconds,
         stages->GetOr("simulate_crash_seconds", json::Value::Number(0)).AsDouble());
+    LAAR_ASSIGN_OR_RETURN(
+        record.stages.simulate_domain_seconds,
+        stages->GetOr("simulate_domain_seconds", json::Value::Number(0)).AsDouble());
   }
   return record;
 }
@@ -167,16 +176,17 @@ Result<std::vector<AppExperimentRecord>> CorpusFromJson(const json::Value& value
 std::string CorpusToCsv(const std::vector<AppExperimentRecord>& records) {
   std::string out =
       "app_seed,variant,cpu_cycles,dropped,processed_best,processed_worst,"
-      "processed_crash,peak_output_rate,promised_ic\n";
+      "processed_crash,processed_domain,peak_output_rate,promised_ic\n";
   for (const AppExperimentRecord& record : records) {
     for (const VariantMeasurement& m : record.variants) {
-      out += StrFormat("%llu,%s,%.17g,%llu,%llu,%llu,%llu,%.17g,%.17g\n",
+      out += StrFormat("%llu,%s,%.17g,%llu,%llu,%llu,%llu,%llu,%.17g,%.17g\n",
                        static_cast<unsigned long long>(record.app_seed),
                        m.variant.c_str(), m.cpu_cycles,
                        static_cast<unsigned long long>(m.dropped),
                        static_cast<unsigned long long>(m.processed_best),
                        static_cast<unsigned long long>(m.processed_worst),
                        static_cast<unsigned long long>(m.processed_crash),
+                       static_cast<unsigned long long>(m.processed_domain),
                        m.peak_output_rate, m.promised_ic);
     }
   }
@@ -192,10 +202,11 @@ StageTimes CorpusStageTotals(const std::vector<AppExperimentRecord>& records) {
 std::string FormatStageTimes(const StageTimes& stages) {
   return StrFormat(
       "generate=%.2fs solve=%.2fs simulate=%.2fs (best=%.2fs worst=%.2fs "
-      "crash=%.2fs) total=%.2fs",
+      "crash=%.2fs domain=%.2fs) total=%.2fs",
       stages.generate_seconds, stages.solve_seconds, stages.SimulateSeconds(),
       stages.simulate_best_seconds, stages.simulate_worst_seconds,
-      stages.simulate_crash_seconds, stages.TotalSeconds());
+      stages.simulate_crash_seconds, stages.simulate_domain_seconds,
+      stages.TotalSeconds());
 }
 
 }  // namespace laar::runtime

@@ -72,6 +72,32 @@ TEST(CorpusTest, ParallelRunsProduceIdenticalRecords) {
   }
 }
 
+TEST(CorpusTest, DomainOutageRecordsAreJobsInvariant) {
+  // The crash scenarios draw from seeded RNGs keyed on the app seed, so a
+  // corpus running domain outages must stay --jobs-invariant like the rest.
+  HarnessOptions harness = TinyHarness();
+  harness.generator.num_hosts = 4;
+  harness.generator.hosts_per_rack = 2;
+  harness.run_host_crash = true;
+  harness.run_domain_outage = true;
+  harness.domain_outage_bursts = 2;
+  const CorpusResult serial = RunCorpus(harness, TinyCorpus(1));
+  ASSERT_EQ(serial.records.size(), 3u);
+  const std::string expected = CorpusToCsv(serial.records);
+  // The scenario actually ran: at least one variant reports domain output.
+  bool any_domain = false;
+  for (const AppExperimentRecord& record : serial.records) {
+    for (const VariantMeasurement& m : record.variants) {
+      any_domain = any_domain || m.processed_domain > 0;
+    }
+  }
+  EXPECT_TRUE(any_domain);
+  for (int jobs : {2, 4}) {
+    const CorpusResult parallel = RunCorpus(harness, TinyCorpus(jobs));
+    EXPECT_EQ(CorpusToCsv(parallel.records), expected) << "jobs=" << jobs;
+  }
+}
+
 TEST(CorpusTest, SerialCorpusMayShareFtSearchPool) {
   // jobs == 1 with ftsearch_threads > 1: the corpus budgets its threads to
   // FT-Search instead; the records still must not change.

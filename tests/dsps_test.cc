@@ -252,6 +252,206 @@ TEST(StreamSimulationTest, HostCrashDipsOutputThenRecovers) {
   EXPECT_GT(m.sink_tuples, 0u);
 }
 
+TEST(StreamSimulationTest, OverlappingCrashWindowsDoNotReviveEarly) {
+  // Regression: two crash windows on one host overlap — the first window's
+  // recovery timer must not bring the host back while the second (longer)
+  // window is still open. Before crash epochs, the t=116 recovery revived
+  // the host even though the second crash held it down until t=135.
+  Fixture f(/*low=*/2.0, /*high=*/4.0);
+  auto trace = InputTrace::Step(0, 1, 200.0, 300.0);
+  ASSERT_TRUE(trace.ok());
+  RuntimeOptions options;
+  ActivationStrategy nr = f.SingleReplica();
+  StreamSimulation simulation(f.app, f.cluster, f.placement, nr, *trace, options);
+  ASSERT_TRUE(simulation.ScheduleHostCrash(0, 100.0, 16.0).ok());  // ends 116
+  ASSERT_TRUE(simulation.ScheduleHostCrash(0, 105.0, 30.0).ok());  // ends 135
+  ASSERT_TRUE(simulation.Run().ok());
+  const SimulationMetrics& m = simulation.metrics();
+  const double between = SimulationMetrics::MeanRate(m.sink_series, m.bucket_seconds,
+                                                     118.0, 133.0);
+  const double after = SimulationMetrics::MeanRate(m.sink_series, m.bucket_seconds,
+                                                   145.0, 195.0);
+  EXPECT_LT(between, 0.5) << "host revived by the first crash's stale timer";
+  EXPECT_NEAR(after, 2.0, 0.3);
+}
+
+TEST(StreamSimulationTest, LaterShorterCrashDoesNotTruncateOutage) {
+  // The mirror case: a second, shorter window inside a longer one must not
+  // shorten it — windows merge to the furthest end (t=130), they are never
+  // replaced.
+  Fixture f(/*low=*/2.0, /*high=*/4.0);
+  auto trace = InputTrace::Step(0, 1, 200.0, 300.0);
+  ASSERT_TRUE(trace.ok());
+  RuntimeOptions options;
+  ActivationStrategy nr = f.SingleReplica();
+  StreamSimulation simulation(f.app, f.cluster, f.placement, nr, *trace, options);
+  ASSERT_TRUE(simulation.ScheduleHostCrash(0, 100.0, 30.0).ok());  // ends 130
+  ASSERT_TRUE(simulation.ScheduleHostCrash(0, 110.0, 5.0).ok());   // ends 115
+  ASSERT_TRUE(simulation.Run().ok());
+  const SimulationMetrics& m = simulation.metrics();
+  const double between = SimulationMetrics::MeanRate(m.sink_series, m.bucket_seconds,
+                                                     117.0, 128.0);
+  const double after = SimulationMetrics::MeanRate(m.sink_series, m.bucket_seconds,
+                                                   140.0, 195.0);
+  EXPECT_LT(between, 0.5) << "short inner crash truncated the outer window";
+  EXPECT_NEAR(after, 2.0, 0.3);
+}
+
+TEST(StreamSimulationTest, BackToBackCrashesEachDipAndRecover) {
+  Fixture f(/*low=*/2.0, /*high=*/4.0);
+  auto trace = InputTrace::Step(0, 1, 200.0, 300.0);
+  ASSERT_TRUE(trace.ok());
+  RuntimeOptions options;
+  ActivationStrategy nr = f.SingleReplica();
+  StreamSimulation simulation(f.app, f.cluster, f.placement, nr, *trace, options);
+  ASSERT_TRUE(simulation.ScheduleHostCrash(0, 80.0, 10.0).ok());
+  ASSERT_TRUE(simulation.ScheduleHostCrash(0, 120.0, 10.0).ok());
+  ASSERT_TRUE(simulation.Run().ok());
+  const SimulationMetrics& m = simulation.metrics();
+  const double first = SimulationMetrics::MeanRate(m.sink_series, m.bucket_seconds,
+                                                   81.0, 89.0);
+  const double middle = SimulationMetrics::MeanRate(m.sink_series, m.bucket_seconds,
+                                                    100.0, 118.0);
+  const double second = SimulationMetrics::MeanRate(m.sink_series, m.bucket_seconds,
+                                                    121.0, 129.0);
+  const double last = SimulationMetrics::MeanRate(m.sink_series, m.bucket_seconds,
+                                                  140.0, 195.0);
+  EXPECT_LT(first, 0.5);
+  EXPECT_NEAR(middle, 2.0, 0.4);  // recovered between the two outages
+  EXPECT_LT(second, 0.5);
+  EXPECT_NEAR(last, 2.0, 0.3);
+}
+
+TEST(StreamSimulationTest, CrashDuringResyncRestartsTheOutage) {
+  // The second crash lands while the host's replicas are still resyncing
+  // from the first recovery: the pending resync must be invalidated and the
+  // full outage + resync served again.
+  Fixture f(/*low=*/2.0, /*high=*/4.0);
+  auto trace = InputTrace::Step(0, 1, 200.0, 300.0);
+  ASSERT_TRUE(trace.ok());
+  RuntimeOptions options;
+  ActivationStrategy nr = f.SingleReplica();
+  StreamSimulation simulation(f.app, f.cluster, f.placement, nr, *trace, options);
+  ASSERT_TRUE(simulation.ScheduleHostCrash(0, 100.0, 10.0).ok());  // resync 110-110.5
+  ASSERT_TRUE(simulation.ScheduleHostCrash(0, 110.2, 10.0).ok());  // mid-resync
+  ASSERT_TRUE(simulation.Run().ok());
+  const SimulationMetrics& m = simulation.metrics();
+  const double during = SimulationMetrics::MeanRate(m.sink_series, m.bucket_seconds,
+                                                    112.0, 119.0);
+  const double after = SimulationMetrics::MeanRate(m.sink_series, m.bucket_seconds,
+                                                   130.0, 195.0);
+  EXPECT_LT(during, 0.5);
+  EXPECT_NEAR(after, 2.0, 0.3);
+}
+
+TEST(StreamSimulationTest, CrashOfLastAliveReplicaSilencesUntilRecovery) {
+  // Overlapping outages of both hosts kill every replica of every PE; the
+  // pipeline must go silent (primary = none) and come back once hosts
+  // return.
+  Fixture f(/*low=*/2.0, /*high=*/4.0);
+  auto trace = InputTrace::Step(0, 1, 200.0, 300.0);
+  ASSERT_TRUE(trace.ok());
+  RuntimeOptions options;
+  ActivationStrategy sr =
+      strategy::MakeStaticReplication(f.app.graph, f.app.input_space, 2);
+  StreamSimulation simulation(f.app, f.cluster, f.placement, sr, *trace, options);
+  ASSERT_TRUE(simulation.ScheduleHostCrash(0, 100.0, 16.0).ok());
+  ASSERT_TRUE(simulation.ScheduleHostCrash(1, 105.0, 16.0).ok());
+  ASSERT_TRUE(simulation.Run().ok());
+  const SimulationMetrics& m = simulation.metrics();
+  const double blackout = SimulationMetrics::MeanRate(m.sink_series, m.bucket_seconds,
+                                                      107.0, 115.0);
+  const double after = SimulationMetrics::MeanRate(m.sink_series, m.bucket_seconds,
+                                                   130.0, 195.0);
+  EXPECT_LT(blackout, 0.5);
+  EXPECT_NEAR(after, 2.0, 0.3);
+}
+
+TEST(StreamSimulationTest, RecoveryAfterTraceEndIsClean) {
+  // The crash window extends past the trace horizon; the run must still
+  // terminate and account the pre-crash output.
+  Fixture f(/*low=*/2.0, /*high=*/4.0);
+  auto trace = InputTrace::Step(0, 1, 50.0, 100.0);
+  ASSERT_TRUE(trace.ok());
+  RuntimeOptions options;
+  ActivationStrategy nr = f.SingleReplica();
+  StreamSimulation simulation(f.app, f.cluster, f.placement, nr, *trace, options);
+  ASSERT_TRUE(simulation.ScheduleHostCrash(0, 90.0, 60.0).ok());
+  ASSERT_TRUE(simulation.Run().ok());
+  const SimulationMetrics& m = simulation.metrics();
+  const double before = SimulationMetrics::MeanRate(m.sink_series, m.bucket_seconds,
+                                                    10.0, 49.0);
+  EXPECT_NEAR(before, 2.0, 0.3);
+  EXPECT_GT(m.sink_tuples, 0u);
+  ASSERT_FALSE(m.crashed_hosts.empty());
+  EXPECT_EQ(m.crashed_hosts.back(), 0);
+}
+
+TEST(StreamSimulationTest, HostRecoveryDoesNotResurrectPermanentFailures) {
+  // A worst-case-injected replica lives on a host that crashes and
+  // recovers; recovery must not bring the permanently failed replica back.
+  Fixture f(/*low=*/2.0, /*high=*/4.0);
+  auto trace = InputTrace::Step(0, 1, 50.0, 100.0);
+  ASSERT_TRUE(trace.ok());
+  RuntimeOptions options;
+  ActivationStrategy nr = f.SingleReplica();  // pe0 replica 0 is the only path
+  StreamSimulation simulation(f.app, f.cluster, f.placement, nr, *trace, options);
+  ASSERT_TRUE(simulation.InjectPermanentReplicaFailure(f.pe0, 0).ok());
+  ASSERT_TRUE(simulation.ScheduleHostCrash(0, 10.0, 5.0).ok());
+  ASSERT_TRUE(simulation.Run().ok());
+  const SimulationMetrics& m = simulation.metrics();
+  EXPECT_EQ(m.pe_processed[f.pe0], 0u);
+  EXPECT_EQ(m.sink_tuples, 0u);
+}
+
+TEST(StreamSimulationTest, FailoverReelectsAwayFromResyncingPrimary) {
+  // The primary's host blips (crash shorter than the failover window) and
+  // the replica comes back resyncing. Heartbeat-loss failover fires while
+  // it is alive-but-resyncing: the healthy active secondary must be elected
+  // instead of the seated replica blocking the PE for its whole resync.
+  Fixture f(/*low=*/2.0, /*high=*/4.0);
+  auto trace = InputTrace::Step(0, 1, 200.0, 300.0);
+  ASSERT_TRUE(trace.ok());
+  RuntimeOptions options;
+  options.resync_latency_seconds = 20.0;
+  ActivationStrategy sr =
+      strategy::MakeStaticReplication(f.app.graph, f.app.input_space, 2);
+  StreamSimulation simulation(f.app, f.cluster, f.placement, sr, *trace, options);
+  ASSERT_TRUE(simulation.ScheduleHostCrash(0, 100.0, 0.5).ok());
+  ASSERT_TRUE(simulation.Run().ok());
+  const SimulationMetrics& m = simulation.metrics();
+  // Failover at t=101 elects the host-1 secondaries; output resumes far
+  // before the t=120.5 resync completion.
+  const double resumed = SimulationMetrics::MeanRate(m.sink_series, m.bucket_seconds,
+                                                     103.0, 118.0);
+  EXPECT_NEAR(resumed, 2.0, 0.4)
+      << "resyncing primary blocked re-election of the healthy secondary";
+}
+
+TEST(StreamSimulationTest, ResyncingReplicaIsNotElectedPrimary) {
+  // Both replicas die; one recovers first but must only take the primary
+  // seat after its resync completes, never during it.
+  Fixture f(/*low=*/2.0, /*high=*/4.0);
+  auto trace = InputTrace::Step(0, 1, 200.0, 300.0);
+  ASSERT_TRUE(trace.ok());
+  RuntimeOptions options;
+  options.resync_latency_seconds = 10.0;
+  ActivationStrategy sr =
+      strategy::MakeStaticReplication(f.app.graph, f.app.input_space, 2);
+  StreamSimulation simulation(f.app, f.cluster, f.placement, sr, *trace, options);
+  ASSERT_TRUE(simulation.ScheduleHostCrash(0, 100.0, 16.0).ok());  // back 116
+  ASSERT_TRUE(simulation.ScheduleHostCrash(1, 100.0, 2.0).ok());   // back 102
+  ASSERT_TRUE(simulation.Run().ok());
+  const SimulationMetrics& m = simulation.metrics();
+  // Host 1 is up at t=102 but resyncs until t=112: the PE stays silent.
+  const double resync_window = SimulationMetrics::MeanRate(
+      m.sink_series, m.bucket_seconds, 104.0, 111.0);
+  const double after = SimulationMetrics::MeanRate(m.sink_series, m.bucket_seconds,
+                                                   114.0, 195.0);
+  EXPECT_LT(resync_window, 0.5) << "a resyncing replica processed as primary";
+  EXPECT_NEAR(after, 2.0, 0.3);
+}
+
 TEST(StreamSimulationTest, ReplicaSeriesRecordsWhenEnabled) {
   Fixture f;
   auto trace = InputTrace::Step(0, 1, 20.0, 40.0);

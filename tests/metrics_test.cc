@@ -83,6 +83,45 @@ TEST(FailureModelTest, IndependentModelInterpolates) {
   EXPECT_DOUBLE_EQ(model.Phi(f.graph, s, f.pe0, 0), 0.0);
 }
 
+TEST(FailureModelTest, CorrelatedCountsDistinctDomains) {
+  Fixture f;
+  const ReplicaPlacement placement = f.PairedPlacement();
+  ActivationStrategy s(f.graph.num_components(), 2, 2);
+
+  // Hosts 0 and 1 in one rack: both active replicas share the failure
+  // domain, so redundancy buys nothing (φ = 1 - f, not 1 - f²).
+  const model::FailureTopology one_rack = model::FailureTopology::Uniform(2, 2, 1);
+  CorrelatedFailureModel co_racked(placement, one_rack, model::DomainLevel::kRack, 0.1);
+  EXPECT_NEAR(co_racked.Phi(f.graph, s, f.pe0, 0), 0.9, 1e-12);
+
+  // One host per rack: the domains are distinct and φ = 1 - f².
+  const model::FailureTopology split = model::FailureTopology::Uniform(2, 1, 1);
+  CorrelatedFailureModel spread(placement, split, model::DomainLevel::kRack, 0.1);
+  EXPECT_NEAR(spread.Phi(f.graph, s, f.pe0, 0), 1.0 - 0.01, 1e-12);
+
+  // Deactivating one replica collapses both models to a single domain.
+  s.SetActive(f.pe0, 1, 0, false);
+  EXPECT_NEAR(spread.Phi(f.graph, s, f.pe0, 0), 0.9, 1e-12);
+  s.SetActive(f.pe0, 0, 0, false);
+  EXPECT_DOUBLE_EQ(spread.Phi(f.graph, s, f.pe0, 0), 0.0);
+}
+
+TEST(FailureModelTest, CorrelatedAtHostLevelMatchesIndependent) {
+  Fixture f;
+  const ReplicaPlacement placement = f.PairedPlacement();
+  ActivationStrategy s(f.graph.num_components(), 2, 2);
+  IndependentFailureModel independent(0.2);
+  // Even with both hosts racked together, the host level sees each host as
+  // its own domain — the correlated model degenerates to the independent
+  // one.
+  const model::FailureTopology one_rack = model::FailureTopology::Uniform(2, 2, 1);
+  CorrelatedFailureModel host_level(placement, one_rack, model::DomainLevel::kHost, 0.2);
+  for (ConfigId c = 0; c < 2; ++c) {
+    EXPECT_NEAR(host_level.Phi(f.graph, s, f.pe0, c),
+                independent.Phi(f.graph, s, f.pe0, c), 1e-12);
+  }
+}
+
 TEST(IcCalculatorTest, BestCaseMatchesHandComputation) {
   Fixture f;
   IcCalculator calc(f.graph, f.space, f.rates);

@@ -23,6 +23,7 @@ AppExperimentRecord MakeRecord(uint64_t seed) {
   l6.processed_best = 123450;
   l6.processed_worst = 76543;
   l6.processed_crash = 120000;
+  l6.processed_domain = 98000;
   l6.peak_output_rate = 42.1;
   l6.promised_ic = 0.6123;
   l6.latency_mean = 0.125;
@@ -39,6 +40,7 @@ AppExperimentRecord MakeRecord(uint64_t seed) {
   record.stages.simulate_best_seconds = 1.5;
   record.stages.simulate_worst_seconds = 1.25;
   record.stages.simulate_crash_seconds = 0.75;
+  record.stages.simulate_domain_seconds = 0.5;
   return record;
 }
 
@@ -54,6 +56,7 @@ TEST(ReportTest, RecordJsonRoundTrip) {
   EXPECT_EQ(l6->dropped, 7u);
   EXPECT_EQ(l6->processed_worst, 76543u);
   EXPECT_EQ(l6->processed_crash, 120000u);
+  EXPECT_EQ(l6->processed_domain, 98000u);
   EXPECT_DOUBLE_EQ(l6->promised_ic, 0.6123);
   // The sink-latency histogram round-trips as real bucket state, not a
   // summary: bounds, per-bin counts, and out-of-range tallies all survive.
@@ -106,8 +109,9 @@ TEST(ReportTest, StageTimesRoundTripThroughJson) {
   EXPECT_DOUBLE_EQ(loaded->stages.simulate_best_seconds, 1.5);
   EXPECT_DOUBLE_EQ(loaded->stages.simulate_worst_seconds, 1.25);
   EXPECT_DOUBLE_EQ(loaded->stages.simulate_crash_seconds, 0.75);
-  EXPECT_DOUBLE_EQ(loaded->stages.SimulateSeconds(), 3.5);
-  EXPECT_DOUBLE_EQ(loaded->stages.TotalSeconds(), 8.25);
+  EXPECT_DOUBLE_EQ(loaded->stages.simulate_domain_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(loaded->stages.SimulateSeconds(), 4.0);
+  EXPECT_DOUBLE_EQ(loaded->stages.TotalSeconds(), 8.75);
 }
 
 TEST(ReportTest, StagesAreOptionalInJson) {
@@ -135,12 +139,13 @@ TEST(ReportTest, StageTotalsAndFormatting) {
   const StageTimes totals = CorpusStageTotals(corpus);
   EXPECT_DOUBLE_EQ(totals.generate_seconds, 0.5);
   EXPECT_DOUBLE_EQ(totals.solve_seconds, 9.0);
-  EXPECT_DOUBLE_EQ(totals.SimulateSeconds(), 7.0);
-  EXPECT_DOUBLE_EQ(totals.TotalSeconds(), 16.5);
+  EXPECT_DOUBLE_EQ(totals.SimulateSeconds(), 8.0);
+  EXPECT_DOUBLE_EQ(totals.TotalSeconds(), 17.5);
   const std::string line = FormatStageTimes(totals);
   EXPECT_NE(line.find("generate=0.50s"), std::string::npos);
   EXPECT_NE(line.find("solve=9.00s"), std::string::npos);
-  EXPECT_NE(line.find("total=16.50s"), std::string::npos);
+  EXPECT_NE(line.find("domain=1.00s"), std::string::npos);
+  EXPECT_NE(line.find("total=17.50s"), std::string::npos);
 }
 
 TEST(ReportTest, FromJsonRejectsGarbage) {

@@ -137,6 +137,134 @@ TEST(ExperimentTest, HarnessRunsAllScenarios) {
   EXPECT_GT(sr->processed_crash, 0u);
 }
 
+TEST(ExperimentTest, HarnessRunsDomainOutage) {
+  HarnessOptions options = SmallHarness();
+  options.generator.hosts_per_rack = 2;  // 4 hosts -> 2 racks
+  options.run_domain_outage = true;
+  options.domain_outage_bursts = 2;
+  const uint64_t seed = FindUsableSeed(options, 200);
+  ASSERT_NE(seed, 0u);
+  Result<AppExperimentRecord> record = RunAppExperiment(options, seed);
+  ASSERT_TRUE(record.ok()) << record.status().ToString();
+
+  const VariantMeasurement* sr = record->Find("SR");
+  ASSERT_NE(sr, nullptr);
+  // SR keeps every replica active, so even a whole-rack outage leaves the
+  // other rack's replicas processing.
+  EXPECT_GT(sr->processed_domain, 0u);
+  EXPECT_LE(sr->processed_domain, sr->processed_best);
+  EXPECT_GT(record->stages.simulate_domain_seconds, 0.0);
+
+  // Without the scenario the field stays zero (and the stage unused).
+  options.run_domain_outage = false;
+  Result<AppExperimentRecord> plain = RunAppExperiment(options, seed);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->Find("SR")->processed_domain, 0u);
+  EXPECT_EQ(plain->stages.simulate_domain_seconds, 0.0);
+}
+
+/// A hand-built two-PE application on 4 hosts where only hosts 0 and 1
+/// carry replicas — hosts 2 and 3 are decoys a naive uniform host draw
+/// would waste crashes on.
+appgen::GeneratedApplication TwoPeAppWithIdleHosts() {
+  appgen::GeneratedApplication app;
+  const auto source = app.descriptor.graph.AddSource("s");
+  const auto pe0 = app.descriptor.graph.AddPe("p0");
+  const auto pe1 = app.descriptor.graph.AddPe("p1");
+  const auto sink = app.descriptor.graph.AddSink("k");
+  EXPECT_TRUE(app.descriptor.graph.AddEdge(source, pe0, 1.0, 1e8).ok());
+  EXPECT_TRUE(app.descriptor.graph.AddEdge(pe0, pe1, 1.0, 1e8).ok());
+  EXPECT_TRUE(app.descriptor.graph.AddEdge(pe1, sink, 1.0, 0.0).ok());
+  EXPECT_TRUE(app.descriptor.graph.Validate().ok());
+  model::SourceRateSet r;
+  r.source = source;
+  r.rates = {2.0, 4.0};
+  r.probabilities = {0.8, 0.2};
+  EXPECT_TRUE(app.descriptor.input_space.AddSource(r).ok());
+  app.cluster = model::Cluster::Homogeneous(4, 1e9);
+  app.placement = model::ReplicaPlacement(app.descriptor.graph.num_components(), 2);
+  EXPECT_TRUE(app.placement.Assign(pe0, 0, 0).ok());
+  EXPECT_TRUE(app.placement.Assign(pe0, 1, 1).ok());
+  EXPECT_TRUE(app.placement.Assign(pe1, 0, 0).ok());
+  EXPECT_TRUE(app.placement.Assign(pe1, 1, 1).ok());
+  return app;
+}
+
+TEST(ExperimentTest, HostCrashDrawsOnlyReplicaCarryingHosts) {
+  const appgen::GeneratedApplication app = TwoPeAppWithIdleHosts();
+  const strategy::ActivationStrategy sr(app.descriptor.graph.num_components(), 2,
+                                        app.descriptor.input_space.num_configs());
+  auto trace = MakeExperimentTrace(app.descriptor.input_space, 120.0, 1.0 / 3.0, 2);
+  ASSERT_TRUE(trace.ok());
+  const dsps::RuntimeOptions runtime;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    ScenarioOptions scenario;
+    scenario.scenario = FailureScenario::kHostCrash;
+    scenario.seed = seed;
+    auto metrics = RunScenario(app, sr, *trace, runtime, scenario);
+    ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+    ASSERT_FALSE(metrics->crashed_hosts.empty());
+    for (const model::HostId host : metrics->crashed_hosts) {
+      EXPECT_TRUE(host == 0 || host == 1)
+          << "seed " << seed << " crashed idle host " << host;
+    }
+  }
+}
+
+TEST(ExperimentTest, DomainOutageStrikesWholeReplicaCarryingRacks) {
+  appgen::GeneratedApplication app = TwoPeAppWithIdleHosts();
+  // Racks {0,1} and {2,3}: only rack 0 carries replicas.
+  app.cluster.set_topology(model::FailureTopology::Uniform(4, 2, 1));
+  const strategy::ActivationStrategy sr(app.descriptor.graph.num_components(), 2,
+                                        app.descriptor.input_space.num_configs());
+  auto trace = MakeExperimentTrace(app.descriptor.input_space, 120.0, 1.0 / 3.0, 2);
+  ASSERT_TRUE(trace.ok());
+  const dsps::RuntimeOptions runtime;
+  ScenarioOptions scenario;
+  scenario.scenario = FailureScenario::kDomainOutage;
+  scenario.seed = 5;
+  scenario.outage_bursts = 2;
+  auto metrics = RunScenario(app, sr, *trace, runtime, scenario);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  // Both bursts must have hit rack 0 — the only replica-carrying domain —
+  // and each burst crashes both of its hosts.
+  ASSERT_EQ(metrics->crashed_hosts.size(), 4u);
+  for (const model::HostId host : metrics->crashed_hosts) {
+    EXPECT_TRUE(host == 0 || host == 1) << "outage struck idle host " << host;
+  }
+}
+
+TEST(ExperimentTest, CrashedHostGaugePublishedOnlyForCrashRuns) {
+  const appgen::GeneratedApplication app = TwoPeAppWithIdleHosts();
+  const strategy::ActivationStrategy sr(app.descriptor.graph.num_components(), 2,
+                                        app.descriptor.input_space.num_configs());
+  auto trace = MakeExperimentTrace(app.descriptor.input_space, 120.0, 1.0 / 3.0, 2);
+  ASSERT_TRUE(trace.ok());
+  const dsps::RuntimeOptions runtime;
+
+  ScenarioOptions crash;
+  crash.scenario = FailureScenario::kHostCrash;
+  crash.seed = 3;
+  auto crashed = RunScenario(app, sr, *trace, runtime, crash);
+  ASSERT_TRUE(crashed.ok());
+  obs::MetricsRegistry with_crash;
+  dsps::PublishTo(&with_crash, *crashed);
+  const std::string crash_dump = with_crash.ToJson().Dump();
+  EXPECT_NE(crash_dump.find("sim_crashed_host"), std::string::npos);
+  EXPECT_NE(crash_dump.find("sim_host_crashes"), std::string::npos);
+
+  ScenarioOptions best;
+  auto clean = RunScenario(app, sr, *trace, runtime, best);
+  ASSERT_TRUE(clean.ok());
+  obs::MetricsRegistry without_crash;
+  dsps::PublishTo(&without_crash, *clean);
+  // Failure-free runs must not grow new series (determinism goldens hash
+  // the registry contents).
+  const std::string clean_dump = without_crash.ToJson().Dump();
+  EXPECT_EQ(clean_dump.find("sim_crashed_host"), std::string::npos);
+  EXPECT_EQ(clean_dump.find("sim_host_crashes"), std::string::npos);
+}
+
 // --------------------------------------------------------------------------
 // The paper's central property (§5.3, Fig. 11 top): for every LAAR variant
 // the measured worst-case IC is at least the promised (pessimistic-model)

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "laar/appgen/app_generator.h"
+#include "laar/model/cluster.h"
+#include "laar/model/failure_topology.h"
+#include "laar/model/rates.h"
+#include "laar/placement/placement_algorithms.h"
+
+namespace laar::model {
+namespace {
+
+TEST(FailureTopologyTest, UniformFillsConsecutiveRacksAndZones) {
+  // 12 hosts, 3 per rack, 2 racks per zone: 4 racks, 2 zones.
+  const FailureTopology t = FailureTopology::Uniform(12, 3, 2);
+  EXPECT_EQ(t.num_hosts(), 12u);
+  EXPECT_EQ(t.num_racks(), 4);
+  EXPECT_EQ(t.num_zones(), 2);
+  EXPECT_FALSE(t.IsTrivial());
+  EXPECT_EQ(t.RackOf(0), 0);
+  EXPECT_EQ(t.RackOf(2), 0);
+  EXPECT_EQ(t.RackOf(3), 1);
+  EXPECT_EQ(t.RackOf(11), 3);
+  EXPECT_EQ(t.ZoneOf(5), 0);
+  EXPECT_EQ(t.ZoneOf(6), 1);
+  EXPECT_EQ(t.DomainOf(7, DomainLevel::kHost), 7);
+  EXPECT_EQ(t.DomainOf(7, DomainLevel::kRack), 2);
+  EXPECT_EQ(t.DomainOf(7, DomainLevel::kZone), 1);
+  EXPECT_EQ(t.NumDomains(DomainLevel::kHost), 12);
+  EXPECT_EQ(t.NumDomains(DomainLevel::kRack), 4);
+  EXPECT_EQ(t.NumDomains(DomainLevel::kZone), 2);
+  EXPECT_EQ(t.HostsInDomain(DomainLevel::kRack, 1), (std::vector<HostId>{3, 4, 5}));
+  EXPECT_EQ(t.HostsInDomain(DomainLevel::kZone, 1),
+            (std::vector<HostId>{6, 7, 8, 9, 10, 11}));
+  EXPECT_EQ(t.HostsInDomain(DomainLevel::kHost, 4), (std::vector<HostId>{4}));
+  EXPECT_TRUE(t.Validate(12).ok());
+}
+
+TEST(FailureTopologyTest, TrivialPutsEveryHostInItsOwnDomain) {
+  const FailureTopology t = FailureTopology::Trivial(4);
+  EXPECT_TRUE(t.IsTrivial());
+  EXPECT_EQ(t.num_racks(), 4);
+  EXPECT_EQ(t.num_zones(), 4);
+  for (HostId h = 0; h < 4; ++h) {
+    EXPECT_EQ(t.RackOf(h), h);
+    EXPECT_EQ(t.ZoneOf(h), h);
+  }
+  EXPECT_TRUE(t.Validate(4).ok());
+  EXPECT_EQ(t, FailureTopology::Uniform(4, 1, 1));
+}
+
+TEST(FailureTopologyTest, UnevenDivisionLeavesPartialLastDomain) {
+  // 5 hosts in racks of 2: racks {0,1} {2,3} {4}; zones of 2 racks:
+  // {rack0, rack1} {rack2}.
+  const FailureTopology t = FailureTopology::Uniform(5, 2, 2);
+  EXPECT_EQ(t.num_racks(), 3);
+  EXPECT_EQ(t.num_zones(), 2);
+  EXPECT_EQ(t.HostsInDomain(DomainLevel::kRack, 2), (std::vector<HostId>{4}));
+  EXPECT_EQ(t.HostsInDomain(DomainLevel::kZone, 0), (std::vector<HostId>{0, 1, 2, 3}));
+  EXPECT_TRUE(t.Validate(5).ok());
+}
+
+TEST(FailureTopologyTest, NonPositiveArgumentsDegradeToTrivial) {
+  EXPECT_TRUE(FailureTopology::Uniform(3, 0, 0).IsTrivial());
+  EXPECT_TRUE(FailureTopology::Uniform(3, -2, 1).IsTrivial());
+}
+
+TEST(FailureTopologyTest, ValidateRejectsHostCountMismatch) {
+  const FailureTopology t = FailureTopology::Uniform(4, 2, 1);
+  EXPECT_TRUE(t.Validate(4).ok());
+  EXPECT_FALSE(t.Validate(6).ok());
+  EXPECT_FALSE(t.Validate(0).ok());
+}
+
+TEST(ClusterTopologyTest, AddHostKeepsTrivialTopologyInLockstep) {
+  Cluster cluster;
+  cluster.AddHost("a", 1e9);
+  cluster.AddHost("b", 1e9);
+  cluster.AddHost("c", 1e9);
+  EXPECT_EQ(cluster.topology().num_hosts(), 3u);
+  EXPECT_TRUE(cluster.topology().IsTrivial());
+  EXPECT_TRUE(cluster.Validate().ok());
+}
+
+TEST(ClusterTopologyTest, ValidateRejectsTopologyHostMismatch) {
+  Cluster cluster = Cluster::Homogeneous(4, 1e9);
+  cluster.set_topology(FailureTopology::Uniform(4, 2, 1));
+  EXPECT_TRUE(cluster.Validate().ok());
+  cluster.set_topology(FailureTopology::Uniform(6, 2, 1));
+  EXPECT_FALSE(cluster.Validate().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Domain-spread placement.
+// ---------------------------------------------------------------------------
+
+struct PlacementFixture {
+  appgen::GeneratedApplication app;
+
+  explicit PlacementFixture(int hosts_per_rack) {
+    appgen::GeneratorOptions options;
+    options.num_pes = 8;
+    options.num_hosts = 8;
+    options.hosts_per_rack = hosts_per_rack;
+    auto generated = appgen::GenerateApplication(options, 42);
+    EXPECT_TRUE(generated.ok());
+    app = std::move(*generated);
+  }
+};
+
+TEST(PlaceDomainSpreadTest, SpreadsEveryReplicaPairAcrossRacks) {
+  PlacementFixture f(/*hosts_per_rack=*/2);  // 4 racks, k = 2 fits easily
+  auto rates = ExpectedRates::Compute(f.app.descriptor.graph,
+                                      f.app.descriptor.input_space);
+  ASSERT_TRUE(rates.ok());
+  auto placement = placement::PlaceDomainSpread(
+      f.app.descriptor.graph, f.app.descriptor.input_space, *rates, f.app.cluster, 2,
+      DomainLevel::kRack);
+  ASSERT_TRUE(placement.ok());
+  const FailureTopology& topology = f.app.cluster.topology();
+  for (const ComponentId pe : f.app.descriptor.graph.Pes()) {
+    const HostId h0 = placement->HostOf(pe, 0);
+    const HostId h1 = placement->HostOf(pe, 1);
+    ASSERT_NE(h0, kInvalidHost);
+    ASSERT_NE(h1, kInvalidHost);
+    EXPECT_NE(topology.RackOf(h0), topology.RackOf(h1))
+        << "pe " << pe << " has both replicas in rack " << topology.RackOf(h0);
+  }
+}
+
+TEST(PlaceDomainSpreadTest, RelaxesWhenReplicasExceedDomains) {
+  // One single rack: spreading is impossible, the pass must fall back to
+  // distinct hosts instead of failing.
+  PlacementFixture f(/*hosts_per_rack=*/8);
+  auto rates = ExpectedRates::Compute(f.app.descriptor.graph,
+                                      f.app.descriptor.input_space);
+  ASSERT_TRUE(rates.ok());
+  auto placement = placement::PlaceDomainSpread(
+      f.app.descriptor.graph, f.app.descriptor.input_space, *rates, f.app.cluster, 2,
+      DomainLevel::kRack);
+  ASSERT_TRUE(placement.ok());
+  for (const ComponentId pe : f.app.descriptor.graph.Pes()) {
+    EXPECT_NE(placement->HostOf(pe, 0), placement->HostOf(pe, 1));
+  }
+}
+
+TEST(PlaceDomainSpreadTest, TrivialTopologyReducesToBalanced) {
+  PlacementFixture f(/*hosts_per_rack=*/0);  // trivial topology
+  auto rates = ExpectedRates::Compute(f.app.descriptor.graph,
+                                      f.app.descriptor.input_space);
+  ASSERT_TRUE(rates.ok());
+  auto spread = placement::PlaceDomainSpread(
+      f.app.descriptor.graph, f.app.descriptor.input_space, *rates, f.app.cluster, 2,
+      DomainLevel::kRack);
+  auto balanced = placement::PlaceBalanced(f.app.descriptor.graph,
+                                           f.app.descriptor.input_space, *rates,
+                                           f.app.cluster, 2);
+  ASSERT_TRUE(spread.ok());
+  ASSERT_TRUE(balanced.ok());
+  // Every host is its own rack, so "distinct racks" == "distinct hosts"
+  // and the greedy pick order coincides with the balanced one.
+  for (const ComponentId pe : f.app.descriptor.graph.Pes()) {
+    for (int r = 0; r < 2; ++r) {
+      EXPECT_EQ(spread->HostOf(pe, r), balanced->HostOf(pe, r));
+    }
+  }
+}
+
+TEST(GeneratorTopologyTest, TopologyOptionsReachTheCluster) {
+  appgen::GeneratorOptions options;
+  options.num_pes = 6;
+  options.num_hosts = 6;
+  options.hosts_per_rack = 3;
+  options.racks_per_zone = 2;
+  options.domain_aware_placement = true;
+  auto app = appgen::GenerateApplication(options, 7);
+  ASSERT_TRUE(app.ok());
+  EXPECT_EQ(app->cluster.topology().num_racks(), 2);
+  EXPECT_EQ(app->cluster.topology().num_zones(), 1);
+  const FailureTopology& topology = app->cluster.topology();
+  for (const ComponentId pe : app->descriptor.graph.Pes()) {
+    const HostId h0 = app->placement.HostOf(pe, 0);
+    const HostId h1 = app->placement.HostOf(pe, 1);
+    EXPECT_NE(topology.RackOf(h0), topology.RackOf(h1));
+  }
+}
+
+TEST(GeneratorTopologyTest, DefaultOptionsKeepTrivialTopologyAndBalancedPlacement) {
+  appgen::GeneratorOptions options;
+  options.num_pes = 6;
+  options.num_hosts = 6;
+  auto plain = appgen::GenerateApplication(options, 7);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain->cluster.topology().IsTrivial());
+}
+
+}  // namespace
+}  // namespace laar::model

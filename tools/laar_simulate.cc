@@ -7,7 +7,9 @@
 //                 [--hosts=12] [--capacity=1e9]
 //                 [--trace-seconds=300] [--high-fraction=0.333] [--cycles=3]
 //                 [--crash-host=H --crash-at=T --crash-duration=16]
-//                 [--worst-case] [--placement=balanced|roundrobin]
+//                 [--hosts-per-rack=N] [--racks-per-zone=N]
+//                 [--fail-domain=rack:R|zone:Z] [--crash-schedule=H@T+D,...]
+//                 [--worst-case] [--placement=balanced|roundrobin|domain]
 //                 [--jobs=N]
 //                 [--trace-out=run.json] [--trace-categories=drops,failures]
 //                 [--trace-capacity=N]
@@ -17,9 +19,17 @@
 //                 [--health-out=health.json] [--alerts="RULE;RULE;..."]
 //                 [--slo-latency-p99=S] [--slo-drop-rate=R]
 //
-// Under --worst-case or --crash-host a failure-free reference simulation
-// also runs (in parallel with the failure scenario when --jobs > 1) and the
-// report gains the measured completeness ratio against it.
+// Under --worst-case, --crash-host, --fail-domain, or --crash-schedule a
+// failure-free reference simulation also runs (in parallel with the failure
+// scenario when --jobs > 1) and the report gains the measured completeness
+// ratio against it.
+//
+// --hosts-per-rack / --racks-per-zone give the cluster a uniform failure
+// topology; --fail-domain=rack:R (or zone:Z) then crashes every host of
+// that domain at --crash-at for --crash-duration, and --placement=domain
+// spreads each PE's replicas across distinct racks. --crash-schedule
+// injects an explicit list of host crashes `H@T+D` (host H down from T for
+// D seconds); overlapping windows on one host merge into a single outage.
 //
 // --trace-out records the run's structured events (drops, queue watermarks,
 // activation switches, failures, config changes, processing spans) and
@@ -75,6 +85,9 @@ int main(int argc, char** argv) {
                  "       [--hosts=N] [--capacity=C] [--trace-seconds=S]\n"
                  "       [--high-fraction=F] [--cycles=N] [--worst-case]\n"
                  "       [--crash-host=H --crash-at=T --crash-duration=16]\n"
+                 "       [--hosts-per-rack=N] [--racks-per-zone=N]\n"
+                 "       [--fail-domain=rack:R|zone:Z] [--crash-schedule=H@T+D,...]\n"
+                 "       [--placement=balanced|roundrobin|domain]\n"
                  "       [--trace-out=run.json] [--trace-categories=a,b,...]\n"
                  "       [--trace-capacity=N]\n"
                  "       [--latency-sample-rate=R] [--latency-seed=S]\n"
@@ -98,8 +111,14 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const laar::model::Cluster cluster = laar::model::Cluster::Homogeneous(
+  laar::model::Cluster cluster = laar::model::Cluster::Homogeneous(
       flags.GetInt("hosts", 12), flags.GetDouble("capacity", 1e9));
+  const int hosts_per_rack = flags.GetInt("hosts-per-rack", 0);
+  const int racks_per_zone = flags.GetInt("racks-per-zone", 0);
+  if (hosts_per_rack > 0 || racks_per_zone > 0) {
+    cluster.set_topology(laar::model::FailureTopology::Uniform(
+        cluster.num_hosts(), hosts_per_rack, racks_per_zone));
+  }
   auto rates = laar::model::ExpectedRates::Compute(app->graph, app->input_space);
   if (!rates.ok()) {
     std::fprintf(stderr, "rate analysis failed: %s\n", rates.status().ToString().c_str());
@@ -109,6 +128,10 @@ int main(int argc, char** argv) {
   auto placement =
       placement_kind == "roundrobin"
           ? laar::placement::PlaceRoundRobin(app->graph, cluster, 2)
+      : placement_kind == "domain"
+          ? laar::placement::PlaceDomainSpread(app->graph, app->input_space, *rates,
+                                               cluster, 2,
+                                               laar::model::DomainLevel::kRack)
           : laar::placement::PlaceBalanced(app->graph, app->input_space, *rates, cluster,
                                            2);
   if (!placement.ok()) {
@@ -168,7 +191,8 @@ int main(int argc, char** argv) {
   }
   laar::dsps::StreamSimulation simulation(*app, cluster, *placement, *strategy, *trace,
                                           runtime);
-  const bool has_failures = flags.Has("worst-case") || flags.Has("crash-host");
+  const bool has_failures = flags.Has("worst-case") || flags.Has("crash-host") ||
+                            flags.Has("fail-domain") || flags.Has("crash-schedule");
   if (flags.Has("worst-case")) {
     const auto survivors = laar::runtime::ChooseWorstCaseSurvivors(
         app->graph, app->input_space, *strategy);
@@ -187,6 +211,69 @@ int main(int argc, char** argv) {
     if (!status.ok()) {
       std::fprintf(stderr, "crash injection failed: %s\n", status.ToString().c_str());
       return 1;
+    }
+  }
+  if (flags.Has("fail-domain")) {
+    // "rack:R", "zone:Z", or a bare rack id.
+    const std::string spec = flags.GetString("fail-domain", "0");
+    laar::model::DomainLevel level = laar::model::DomainLevel::kRack;
+    std::string id_part = spec;
+    if (spec.rfind("rack:", 0) == 0) {
+      id_part = spec.substr(5);
+    } else if (spec.rfind("zone:", 0) == 0) {
+      level = laar::model::DomainLevel::kZone;
+      id_part = spec.substr(5);
+    }
+    int domain = -1;
+    if (std::sscanf(id_part.c_str(), "%d", &domain) != 1) {
+      std::fprintf(stderr, "cannot parse --fail-domain=%s\n", spec.c_str());
+      return 2;
+    }
+    const std::vector<laar::model::HostId> hosts =
+        cluster.topology().HostsInDomain(level, domain);
+    if (hosts.empty()) {
+      std::fprintf(stderr, "--fail-domain: %s %d has no hosts (topology has %d)\n",
+                   laar::model::DomainLevelName(level), domain,
+                   cluster.topology().NumDomains(level));
+      return 2;
+    }
+    for (const laar::model::HostId host : hosts) {
+      const laar::Status status = simulation.ScheduleHostCrash(
+          host, flags.GetDouble("crash-at", 10.0),
+          flags.GetDouble("crash-duration", 16.0));
+      if (!status.ok()) {
+        std::fprintf(stderr, "crash injection failed: %s\n", status.ToString().c_str());
+        return 1;
+      }
+    }
+    std::printf("fail-domain: %s %d -> hosts", laar::model::DomainLevelName(level),
+                domain);
+    for (const laar::model::HostId host : hosts) std::printf(" %d", host);
+    std::printf("\n");
+  }
+  if (flags.Has("crash-schedule")) {
+    // Comma-separated `H@T+D` entries; overlapping windows are legal and
+    // merge inside the simulation.
+    const std::string schedule = flags.GetString("crash-schedule", "");
+    size_t begin = 0;
+    while (begin < schedule.size()) {
+      size_t end = schedule.find(',', begin);
+      if (end == std::string::npos) end = schedule.size();
+      const std::string entry = schedule.substr(begin, end - begin);
+      int host = -1;
+      double at = 0.0, duration = 0.0;
+      if (std::sscanf(entry.c_str(), "%d@%lf+%lf", &host, &at, &duration) != 3) {
+        std::fprintf(stderr, "cannot parse --crash-schedule entry '%s' (want H@T+D)\n",
+                     entry.c_str());
+        return 2;
+      }
+      const laar::Status status = simulation.ScheduleHostCrash(
+          static_cast<laar::model::HostId>(host), at, duration);
+      if (!status.ok()) {
+        std::fprintf(stderr, "crash injection failed: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      begin = end + 1;
     }
   }
 

@@ -6,7 +6,10 @@
 # 1. configures + builds the default tree (-Wall -Wextra -Werror),
 # 2. runs the full ctest suite,
 # 3. verifies no generated artifacts are tracked by git,
-# 4. rebuilds the concurrency-sensitive tests (thread pool, parallel
+# 4. smoke-tests the CLI pipeline end to end (generate -> solve ->
+#    simulate with a correlated rack outage and an explicit overlapping
+#    crash schedule),
+# 5. rebuilds the concurrency-sensitive tests (thread pool, parallel
 #    corpus + observability publishing) under ThreadSanitizer and runs
 #    them.
 #
@@ -19,17 +22,30 @@ BUILD_DIR="${1:-build}"
 TSAN_DIR="${BUILD_DIR}-tsan"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "== [1/4] build (${BUILD_DIR}) =="
+echo "== [1/5] build (${BUILD_DIR}) =="
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
-echo "== [2/4] ctest =="
+echo "== [2/5] ctest =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
-echo "== [3/4] tracked-artifact check =="
+echo "== [3/5] tracked-artifact check =="
 sh tools/check_no_tracked_artifacts.sh
 
-echo "== [4/4] TSan: exec_test + obs_test (${TSAN_DIR}) =="
+echo "== [4/5] CLI smoke: generate -> solve -> simulate (domain outage + crash schedule) =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+"./$BUILD_DIR/tools/laar_generate" --seed=7 --out="$SMOKE_DIR/app.json" >/dev/null
+"./$BUILD_DIR/tools/laar_solve" --app="$SMOKE_DIR/app.json" --ic=0.6 \
+    --out="$SMOKE_DIR/strategy.json" >/dev/null
+"./$BUILD_DIR/tools/laar_simulate" --app="$SMOKE_DIR/app.json" \
+    --strategy="$SMOKE_DIR/strategy.json" --hosts-per-rack=3 \
+    --placement=domain --fail-domain=rack:1 >/dev/null
+"./$BUILD_DIR/tools/laar_simulate" --app="$SMOKE_DIR/app.json" \
+    --strategy="$SMOKE_DIR/strategy.json" \
+    --crash-schedule=2@10+8,2@13+8,5@30+5 >/dev/null
+
+echo "== [5/5] TSan: exec_test + obs_test (${TSAN_DIR}) =="
 cmake -B "$TSAN_DIR" -S . -DLAAR_SANITIZE=thread >/dev/null
 cmake --build "$TSAN_DIR" -j "$JOBS" --target exec_test obs_test
 ctest --test-dir "$TSAN_DIR" -R 'exec_test|obs_test' --output-on-failure
