@@ -21,6 +21,38 @@ uint64_t SimulationMetrics::TotalProcessed() const {
   return total;
 }
 
+uint64_t SimulationMetrics::LostTuples() const {
+  return dropped_tuples + crash_lost_tuples + resync_lost_tuples +
+         orphaned_tuples;
+}
+
+Status SimulationMetrics::ReconcileLosses() const {
+  auto check = [](const char* what, uint64_t ledger, uint64_t scalar) -> Status {
+    if (ledger == scalar) return Status::OK();
+    return Status::Internal(StrFormat(
+        "loss ledger does not reconcile: %s ledger=%llu scalar=%llu", what,
+        static_cast<unsigned long long>(ledger),
+        static_cast<unsigned long long>(scalar)));
+  };
+  using obs::LossCause;
+  if (shed_tuples > dropped_tuples) {
+    return Status::Internal("shed_tuples exceeds dropped_tuples");
+  }
+  LAAR_RETURN_IF_ERROR(check("queue_overflow",
+                             losses.TotalOf(LossCause::kQueueOverflow),
+                             dropped_tuples - shed_tuples));
+  LAAR_RETURN_IF_ERROR(
+      check("load_shed", losses.TotalOf(LossCause::kLoadShed), shed_tuples));
+  LAAR_RETURN_IF_ERROR(check("crash_loss", losses.TotalOf(LossCause::kCrashLoss),
+                             crash_lost_tuples));
+  LAAR_RETURN_IF_ERROR(check("resync_gap", losses.TotalOf(LossCause::kResyncGap),
+                             resync_lost_tuples));
+  LAAR_RETURN_IF_ERROR(check("orphaned_output",
+                             losses.TotalOf(LossCause::kOrphanedOutput),
+                             orphaned_tuples));
+  return check("total", losses.Total(), LostTuples());
+}
+
 double SimulationMetrics::MeanRate(const std::vector<double>& series, double bucket_seconds,
                                    sim::SimTime from, sim::SimTime to) {
   if (series.empty() || bucket_seconds <= 0.0 || to <= from) return 0.0;

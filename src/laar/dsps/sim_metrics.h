@@ -6,8 +6,10 @@
 #include <vector>
 
 #include "laar/common/stats.h"
+#include "laar/common/status.h"
 #include "laar/model/cluster.h"
 #include "laar/model/component.h"
+#include "laar/obs/loss_ledger.h"
 #include "laar/obs/metrics_registry.h"
 #include "laar/sim/simulator.h"
 
@@ -41,7 +43,20 @@ struct SimulationMetrics {
 
   uint64_t source_tuples = 0;  ///< tuples produced by all sources
   uint64_t sink_tuples = 0;    ///< tuples delivered to all sinks
-  uint64_t dropped_tuples = 0; ///< total queue-overflow drops
+  uint64_t dropped_tuples = 0; ///< queue-overflow + load-shedding drops
+
+  /// Loss provenance (§9 of DESIGN.md). Every lost tuple copy is counted
+  /// once in exactly one of the scalar tallies below, and once in the
+  /// per-PE × per-cause `losses` ledger; `ReconcileLosses` cross-checks the
+  /// two bookkeeping paths at the end of every run.
+  uint64_t shed_tuples = 0;        ///< load-shedding subset of dropped_tuples
+  uint64_t crash_lost_tuples = 0;  ///< offered to a dead replica
+  uint64_t resync_lost_tuples = 0; ///< offered to a replica mid state-resync
+  uint64_t orphaned_tuples = 0;    ///< non-primary outputs suppressed while
+                                   ///< the seated primary was unserviceable
+
+  /// Per-PE × per-cause drop provenance, attributed at the point of loss.
+  obs::LossLedger losses;
 
   /// Replica activation-state changes that took effect (both directions;
   /// each reconfiguration contributes one per flipped replica).
@@ -78,6 +93,19 @@ struct SimulationMetrics {
   /// Totals.
   double TotalCpuCycles() const;
   uint64_t TotalProcessed() const;  ///< Σ pe_processed — the IC numerator
+
+  /// Every lost tuple copy, across all causes: queue overflow + shedding
+  /// (together `dropped_tuples`) + crash-window, resync-gap, and
+  /// orphaned-output losses. Intentional discards by deactivated replicas
+  /// are not losses (the strategy planned them) and are excluded.
+  uint64_t LostTuples() const;
+
+  /// Verifies that the `losses` ledger reconciles exactly with the scalar
+  /// loss counters (per-cause and grand total). `StreamSimulation::Run`
+  /// calls this before returning, so every simulation run — and therefore
+  /// every simulation test — asserts the accounting; an error here is a
+  /// bookkeeping bug in the engine, never a property of the workload.
+  Status ReconcileLosses() const;
 
   /// Mean rate over a window, from a bucketed series.
   static double MeanRate(const std::vector<double>& series, double bucket_seconds,

@@ -440,7 +440,10 @@ Status StreamSimulation::Run() {
   // Flush processor-sharing accounting up to the horizon.
   for (auto& host : hosts_) AdvanceHost(host.get());
   metrics_.engine_events = simulator_.events_processed();
-  return Status::OK();
+  // Loss provenance must reconcile on every run: the ledger and the scalar
+  // counters are maintained independently at each loss site, so agreement
+  // is a real invariant, not a tautology.
+  return metrics_.ReconcileLosses();
 }
 
 // ---------------------------------------------------------------------------
@@ -540,6 +543,24 @@ void StreamSimulation::DeliverToReplica(Replica* replica, int port_index,
       metrics_.replicas[static_cast<size_t>(replica->pe_id)][static_cast<size_t>(replica->index)];
   if (!replica->alive || !replica->active || replica->resyncing) {
     ++rm.tuples_ignored;
+    if (!replica->alive) {
+      // A crashed replica cannot buffer its input: the copy is gone.
+      ++metrics_.crash_lost_tuples;
+      metrics_.losses.Record(replica->pe_id, obs::LossCause::kCrashLoss);
+      if (Tracing(obs::Category::kDrops)) {
+        options_.trace_recorder->Instant(obs::EventName::kTupleCrashLoss,
+                                         simulator_.now(), replica->pe_id,
+                                         replica->index, replica->host, port_index);
+      }
+    } else if (replica->resyncing) {
+      // Alive and activated but still restoring state (§5.3 resync
+      // latency): input during the gap is lost by this copy. Ledger-only —
+      // resync gaps also occur in failure-free reconfiguration runs, so a
+      // trace event here would perturb failure-free traces.
+      ++metrics_.resync_lost_tuples;
+      metrics_.losses.Record(replica->pe_id, obs::LossCause::kResyncGap);
+    }
+    // else: deactivated by the strategy — an intended discard, not a loss.
     return;
   }
   ++rm.tuples_arrived;
@@ -560,6 +581,8 @@ void StreamSimulation::DeliverToReplica(Replica* replica, int port_index,
         port.shed_credit -= 1.0;
         ++rm.tuples_dropped;
         ++metrics_.dropped_tuples;
+        ++metrics_.shed_tuples;
+        metrics_.losses.Record(replica->pe_id, obs::LossCause::kLoadShed);
         if (Tracing(obs::Category::kDrops)) {
           options_.trace_recorder->Instant(obs::EventName::kTupleShed, simulator_.now(),
                                            replica->pe_id, replica->index, replica->host,
@@ -579,6 +602,7 @@ void StreamSimulation::DeliverToReplica(Replica* replica, int port_index,
   if (port.queued >= port.capacity) {
     ++rm.tuples_dropped;
     ++metrics_.dropped_tuples;
+    metrics_.losses.Record(replica->pe_id, obs::LossCause::kQueueOverflow);
     if (Tracing(obs::Category::kDrops)) {
       options_.trace_recorder->Instant(obs::EventName::kTupleDrop, simulator_.now(),
                                        replica->pe_id, replica->index, replica->host,
@@ -679,12 +703,36 @@ void StreamSimulation::FinishTuple(Replica* replica) {
     if (is_primary) {
       rm.tuples_emitted += static_cast<uint64_t>(emit);
       EmitFrom(replica, emit, replica->processing_birth, span);
-    } else if (span != 0) {
+    } else {
       // The replica produced output, but the proxy deduplicated it: only
-      // the primary's copy went downstream (§5.1).
-      options_.latency_tracer->RecordHop(span, obs::HopKind::kSuppress, simulator_.now(),
-                                         0.0, replica->pe_id, replica->index,
-                                         replica->host, /*port=*/-1);
+      // the primary's copy went downstream (§5.1). If the seated primary is
+      // unserviceable (dead, deactivated, or resyncing — the failover
+      // window before re-election) there IS no primary copy: this output is
+      // orphaned, and its downstream effect is lost. In failure-free runs
+      // the seated primary is serviceable whenever a secondary finishes a
+      // tuple, so this path cannot fire there.
+      const bool primary_serviceable = [&] {
+        if (pe->primary < 0) return false;
+        const Replica& seated = pe->replicas[static_cast<size_t>(pe->primary)];
+        return seated.alive && seated.active && !seated.resyncing;
+      }();
+      if (!primary_serviceable) {
+        metrics_.orphaned_tuples += static_cast<uint64_t>(emit);
+        metrics_.losses.Record(replica->pe_id, obs::LossCause::kOrphanedOutput,
+                               static_cast<uint64_t>(emit));
+        if (Tracing(obs::Category::kDrops)) {
+          options_.trace_recorder->Instant(obs::EventName::kTupleOrphan,
+                                           simulator_.now(), replica->pe_id,
+                                           replica->index, replica->host,
+                                           /*port=*/-1, static_cast<double>(emit));
+        }
+      }
+      if (span != 0) {
+        options_.latency_tracer->RecordHop(span, obs::HopKind::kSuppress,
+                                           simulator_.now(), 0.0, replica->pe_id,
+                                           replica->index, replica->host,
+                                           /*port=*/-1);
+      }
     }
   }
 }

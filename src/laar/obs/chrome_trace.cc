@@ -103,6 +103,69 @@ json::Value ToChromeTraceJson(const TraceRecorder& recorder, const LatencyTracer
       events.push_back(HopToEvent(hop, span != nullptr ? span->trace_id : 0));
     }
   }
+  // Synthesize outage spans from crash/recover instant pairs so failure
+  // windows render as "X" bars in Perfetto instead of paired blips. Only
+  // failure runs carry crash events, so failure-free exports are
+  // byte-identical with or without this pass. Events arrive in recording
+  // (simulation) order here, so the first crash of a merged window opens
+  // the span and the epoch-guarded single recover closes it; an
+  // unrecovered window extends to the trace horizon.
+  {
+    double horizon = 0.0;
+    for (const TraceEvent& event : events) {
+      horizon = std::max(horizon, event.time + event.duration);
+    }
+    std::map<int32_t, double> open_hosts;                          // host -> begin
+    std::map<std::pair<int32_t, int32_t>, TraceEvent> open_replicas;  // (pe, r)
+    std::vector<TraceEvent> spans;
+    auto close_host = [&](int32_t host, double begin, double end) {
+      TraceEvent span;
+      span.name = EventName::kHostOutageSpan;
+      span.time = begin;
+      span.duration = end - begin;
+      span.host = host;
+      spans.push_back(span);
+    };
+    auto close_replica = [&](const TraceEvent& crash, double end) {
+      TraceEvent span;
+      span.name = EventName::kReplicaOutageSpan;
+      span.time = crash.time;
+      span.duration = end - crash.time;
+      span.pe = crash.pe;
+      span.replica = crash.replica;
+      span.host = crash.host;
+      spans.push_back(span);
+    };
+    for (const TraceEvent& event : events) {
+      switch (event.name) {
+        case EventName::kHostCrash:
+          open_hosts.emplace(event.host, event.time);  // first crash wins
+          break;
+        case EventName::kHostRecover:
+          if (const auto it = open_hosts.find(event.host); it != open_hosts.end()) {
+            close_host(event.host, it->second, event.time);
+            open_hosts.erase(it);
+          }
+          break;
+        case EventName::kReplicaCrash:
+          open_replicas.emplace(std::make_pair(event.pe, event.replica), event);
+          break;
+        case EventName::kReplicaRecover:
+          if (const auto it = open_replicas.find(std::make_pair(event.pe, event.replica));
+              it != open_replicas.end()) {
+            close_replica(it->second, event.time);
+            open_replicas.erase(it);
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    for (const auto& [host, begin] : open_hosts) close_host(host, begin, horizon);
+    for (const auto& [key, crash] : open_replicas) close_replica(crash, horizon);
+    events.insert(events.end(), spans.begin(), spans.end());
+  }
+
   // Events are recorded in simulation order except pre-announced ones (the
   // input-trace schedule is emitted up front); a stable sort by timestamp
   // restores chronology while keeping same-time events in recording order.
@@ -192,6 +255,13 @@ Status ValidateChromeTrace(const json::Value& trace) {
   if (!events->is_array()) {
     return Status::InvalidArgument("'traceEvents' must be an array");
   }
+  // Orphan-span accounting only holds on complete traces: once the ring
+  // overwrote events, a recover may legitimately arrive without its crash.
+  const auto dropped = trace.GetOr("laarDroppedEvents", json::Value::Int(0)).AsInt();
+  const bool complete = !dropped.ok() || *dropped == 0;
+  std::map<std::pair<int64_t, int64_t>, double> last_ts;  // (pid, tid) -> ts
+  std::map<int64_t, bool> host_down;                      // pid -> crashed
+  std::map<std::tuple<int64_t, int64_t, int64_t>, bool> replica_down;
   size_t index = 0;
   for (const json::Value& event : events->array()) {
     const std::string where = StrFormat("traceEvents[%zu]", index++);
@@ -213,8 +283,54 @@ Status ValidateChromeTrace(const json::Value& trace) {
         ts->number_value() < 0.0) {
       return Status::InvalidArgument(where + " has invalid 'ts'");
     }
-    LAAR_RETURN_IF_ERROR(event.GetOr("pid", json::Value::Null()).AsInt().status());
-    LAAR_RETURN_IF_ERROR(event.GetOr("tid", json::Value::Null()).AsInt().status());
+    LAAR_ASSIGN_OR_RETURN(const int64_t pid,
+                          event.GetOr("pid", json::Value::Null()).AsInt());
+    LAAR_ASSIGN_OR_RETURN(const int64_t tid,
+                          event.GetOr("tid", json::Value::Null()).AsInt());
+    // Per-thread timestamps must be monotone: the exporter time-sorts, so a
+    // regression here means a corrupted or hand-spliced trace.
+    if (phase != "M") {
+      auto [it, inserted] = last_ts.emplace(std::make_pair(pid, tid), 0.0);
+      if (!inserted && ts->number_value() < it->second) {
+        return Status::InvalidArgument(StrFormat(
+            "%s: 'ts' %.9g goes back in time on pid %lld tid %lld (last %.9g)",
+            where.c_str(), ts->number_value(), static_cast<long long>(pid),
+            static_cast<long long>(tid), it->second));
+      }
+      it->second = ts->number_value();
+    }
+    // Crash/recover pairing: a recover with no preceding crash is an
+    // orphan span — the failure timeline cannot be reconstructed from it.
+    if (complete && phase == "i") {
+      const std::string& event_name = name->string_value();
+      if (event_name == "host_crash") {
+        host_down[pid] = true;
+      } else if (event_name == "host_recover") {
+        auto it = host_down.find(pid);
+        if (it == host_down.end() || !it->second) {
+          return Status::InvalidArgument(
+              where + " host_recover without a preceding host_crash");
+        }
+        it->second = false;
+      } else if (event_name == "replica_crash" || event_name == "replica_recover") {
+        const json::Value args = event.GetOr("args", json::Value::MakeObject());
+        LAAR_ASSIGN_OR_RETURN(const int64_t pe,
+                              args.GetOr("pe", json::Value::Int(-1)).AsInt());
+        LAAR_ASSIGN_OR_RETURN(const int64_t replica,
+                              args.GetOr("replica", json::Value::Int(-1)).AsInt());
+        const auto key = std::make_tuple(pid, pe, replica);
+        if (event_name == "replica_crash") {
+          replica_down[key] = true;
+        } else {
+          auto it = replica_down.find(key);
+          if (it == replica_down.end() || !it->second) {
+            return Status::InvalidArgument(
+                where + " replica_recover without a preceding replica_crash");
+          }
+          it->second = false;
+        }
+      }
+    }
     if (phase == "X") {
       LAAR_ASSIGN_OR_RETURN(const json::Value* dur, event.Get("dur"));
       if (!dur->is_number() || !(dur->number_value() >= 0.0)) {

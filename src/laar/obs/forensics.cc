@@ -1,0 +1,267 @@
+#include "laar/obs/forensics.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "laar/common/strings.h"
+#include "laar/obs/loss_ledger.h"
+
+namespace laar::obs {
+
+namespace {
+
+/// The subset of a trace event the forensic pass needs.
+struct FlatEvent {
+  double time = 0.0;  // seconds
+  std::string name;
+  std::string category;
+  int32_t host = -1;  // pid - 1; -1 for the control process
+  int32_t pe = -1;
+  uint64_t count = 1;  // loss events: tuple copies (args.value when > 0)
+};
+
+/// One host's crash→recovery window on the trace. Overlapping crash
+/// injections merge inside the simulation, so at most one window per host
+/// is open at a time; a crash while down extends the same window.
+struct HostWindow {
+  int32_t host = -1;
+  double begin = 0.0;
+  double end = 0.0;
+  bool recovered = false;
+};
+
+}  // namespace
+
+json::Value Incident::ToJson() const {
+  json::Value doc = json::Value::MakeObject();
+  doc.Set("cause", json::Value::String(cause));
+  doc.Set("begin_seconds", json::Value::Number(begin));
+  doc.Set("end_seconds", json::Value::Number(end));
+  doc.Set("recovery_seconds", json::Value::Number(RecoverySeconds()));
+  doc.Set("recovered", json::Value::Bool(recovered));
+  json::Value host_list = json::Value::MakeArray();
+  for (int32_t host : hosts) host_list.Append(json::Value::Int(host));
+  doc.Set("hosts", std::move(host_list));
+  json::Value pe_list = json::Value::MakeArray();
+  for (int32_t pe : pes) pe_list.Append(json::Value::Int(pe));
+  doc.Set("pes", std::move(pe_list));
+  doc.Set("tuples_lost", json::Value::Int(static_cast<int64_t>(tuples_lost)));
+  doc.Set("collateral_lost",
+          json::Value::Int(static_cast<int64_t>(collateral_lost)));
+  doc.Set("alerts", json::Value::Int(static_cast<int64_t>(alerts)));
+  doc.Set("config_changes", json::Value::Int(static_cast<int64_t>(config_changes)));
+  return doc;
+}
+
+json::Value ForensicsReport::ToJson() const {
+  json::Value doc = json::Value::MakeObject();
+  json::Value list = json::Value::MakeArray();
+  for (const Incident& incident : incidents) list.Append(incident.ToJson());
+  doc.Set("incidents", std::move(list));
+  doc.Set("attributed_lost", json::Value::Int(static_cast<int64_t>(attributed_lost)));
+  doc.Set("unattributed_lost",
+          json::Value::Int(static_cast<int64_t>(unattributed_lost)));
+  if (has_ledger) {
+    doc.Set("ledger_total", json::Value::Int(static_cast<int64_t>(ledger_total)));
+    doc.Set("ledger_crash_attributed",
+            json::Value::Int(static_cast<int64_t>(ledger_crash_attributed)));
+  }
+  if (trace_dropped_events > 0) {
+    doc.Set("trace_dropped_events",
+            json::Value::Int(static_cast<int64_t>(trace_dropped_events)));
+  }
+  doc.Set("reconciled", json::Value::Bool(reconciled));
+  return doc;
+}
+
+std::string ForensicsReport::ToString() const {
+  std::string out = StrFormat(
+      "forensics: %zu incident%s, %llu tuple cop%s lost to failures",
+      incidents.size(), incidents.size() == 1 ? "" : "s",
+      static_cast<unsigned long long>(attributed_lost),
+      attributed_lost == 1 ? "y" : "ies");
+  if (unattributed_lost > 0) {
+    out += StrFormat(" (+%llu unattributed)",
+                     static_cast<unsigned long long>(unattributed_lost));
+  }
+  out += "\n";
+  if (has_ledger) {
+    out += StrFormat("ledger: %llu lost total, %llu crash-attributed — %s\n",
+                     static_cast<unsigned long long>(ledger_total),
+                     static_cast<unsigned long long>(ledger_crash_attributed),
+                     reconciled ? "reconciles with trace"
+                                : "DOES NOT reconcile with trace");
+  }
+  if (trace_dropped_events > 0) {
+    out += StrFormat("warning: trace ring dropped %llu events; counts are partial\n",
+                     static_cast<unsigned long long>(trace_dropped_events));
+  }
+  size_t index = 0;
+  for (const Incident& incident : incidents) {
+    std::string hosts;
+    for (int32_t host : incident.hosts) {
+      if (!hosts.empty()) hosts += ',';
+      hosts += std::to_string(host);
+    }
+    std::string pes;
+    for (int32_t pe : incident.pes) {
+      if (!pes.empty()) pes += ',';
+      pes += std::to_string(pe);
+    }
+    out += StrFormat("#%zu %-13s hosts=[%s] t=[%.3f, %.3f]s recovery=%.3fs%s\n",
+                     ++index, incident.cause.c_str(), hosts.c_str(),
+                     incident.begin, incident.end, incident.RecoverySeconds(),
+                     incident.recovered ? "" : " (never recovered)");
+    out += StrFormat("    lost=%llu collateral=%llu pes=[%s] alerts=%zu "
+                     "config_changes=%zu\n",
+                     static_cast<unsigned long long>(incident.tuples_lost),
+                     static_cast<unsigned long long>(incident.collateral_lost),
+                     pes.c_str(), incident.alerts, incident.config_changes);
+  }
+  return out;
+}
+
+Result<ForensicsReport> AnalyzeChromeTrace(const json::Value& trace) {
+  if (!trace.is_object()) {
+    return Status::InvalidArgument("trace must be a JSON object");
+  }
+  LAAR_ASSIGN_OR_RETURN(const json::Value* raw_events, trace.Get("traceEvents"));
+  if (!raw_events->is_array()) {
+    return Status::InvalidArgument("'traceEvents' must be an array");
+  }
+
+  std::vector<FlatEvent> events;
+  events.reserve(raw_events->array().size());
+  for (const json::Value& event : raw_events->array()) {
+    if (!event.is_object()) continue;
+    const std::string phase =
+        event.GetOr("ph", json::Value::String("")).string_value();
+    if (phase == "M") continue;
+    FlatEvent flat;
+    flat.name = event.GetOr("name", json::Value::String("")).string_value();
+    flat.category = event.GetOr("cat", json::Value::String("")).string_value();
+    const json::Value ts = event.GetOr("ts", json::Value::Number(0.0));
+    if (!ts.is_number()) continue;
+    flat.time = ts.number_value() / 1e6;
+    const auto pid = event.GetOr("pid", json::Value::Int(0)).AsInt();
+    flat.host = pid.ok() ? static_cast<int32_t>(*pid) - 1 : -1;
+    const json::Value args = event.GetOr("args", json::Value::MakeObject());
+    const auto pe = args.GetOr("pe", json::Value::Int(-1)).AsInt();
+    if (pe.ok()) flat.pe = static_cast<int32_t>(*pe);
+    const json::Value value = args.GetOr("value", json::Value::Number(0.0));
+    if (value.is_number() && value.number_value() >= 1.0) {
+      flat.count = static_cast<uint64_t>(value.number_value());
+    }
+    events.push_back(std::move(flat));
+  }
+  // The exporter writes events time-sorted; re-sorting makes the pass
+  // robust to filtered or hand-assembled traces. Stable: same-time events
+  // keep file order (crash before its same-instant losses).
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FlatEvent& a, const FlatEvent& b) { return a.time < b.time; });
+  double horizon = 0.0;
+  for (const FlatEvent& event : events) horizon = std::max(horizon, event.time);
+
+  // Pass 1: per-host crash→recovery windows.
+  std::vector<HostWindow> windows;
+  std::map<int32_t, size_t> open;  // host -> index into windows
+  for (const FlatEvent& event : events) {
+    if (event.name == "host_crash" && event.host >= 0) {
+      if (open.count(event.host) != 0) continue;  // merged overlapping window
+      HostWindow window;
+      window.host = event.host;
+      window.begin = event.time;
+      window.end = horizon;
+      open[event.host] = windows.size();
+      windows.push_back(window);
+    } else if (event.name == "host_recover" && event.host >= 0) {
+      const auto it = open.find(event.host);
+      if (it == open.end()) continue;  // orphan recover; the validator flags it
+      windows[it->second].end = event.time;
+      windows[it->second].recovered = true;
+      open.erase(it);
+    }
+  }
+
+  // Pass 2: windows opening at the same instant are one incident —
+  // that simultaneity is the trace signature of a correlated (domain)
+  // outage, injected or drawn.
+  std::map<double, std::vector<size_t>> by_begin;
+  for (size_t i = 0; i < windows.size(); ++i) by_begin[windows[i].begin].push_back(i);
+  ForensicsReport report;
+  for (const auto& [begin, group] : by_begin) {
+    Incident incident;
+    incident.begin = begin;
+    incident.end = begin;
+    for (size_t index : group) {
+      incident.hosts.push_back(windows[index].host);
+      incident.end = std::max(incident.end, windows[index].end);
+      if (!windows[index].recovered) incident.recovered = false;
+    }
+    std::sort(incident.hosts.begin(), incident.hosts.end());
+    incident.cause = incident.hosts.size() >= 2 ? "domain_outage" : "host_crash";
+    report.incidents.push_back(std::move(incident));
+  }
+
+  // Pass 3: attribute losses and evidence. Crash-attributed losses
+  // (dead-replica input, orphaned outputs) belong to the most recent
+  // incident that began at or before them — they trail past the recovery
+  // instant (failover and resync windows outlive the outage). Collateral
+  // and evidence are confined to the incident's own [begin, end].
+  std::vector<std::set<int32_t>> incident_pes(report.incidents.size());
+  for (const FlatEvent& event : events) {
+    const bool crash_attributed =
+        event.name == "tuple_crash_loss" || event.name == "tuple_orphan";
+    const bool collateral = event.name == "tuple_drop" || event.name == "tuple_shed";
+    const bool alert = event.name == "alert";
+    const bool config = event.category == "config";
+    if (!crash_attributed && !collateral && !alert && !config) continue;
+    // Most recent incident with begin <= event time.
+    size_t owner = report.incidents.size();
+    for (size_t i = 0; i < report.incidents.size(); ++i) {
+      if (report.incidents[i].begin <= event.time) owner = i;
+    }
+    if (crash_attributed) {
+      if (owner == report.incidents.size()) {
+        report.unattributed_lost += event.count;
+      } else {
+        report.incidents[owner].tuples_lost += event.count;
+        report.attributed_lost += event.count;
+        if (event.pe >= 0) incident_pes[owner].insert(event.pe);
+      }
+      continue;
+    }
+    if (owner == report.incidents.size() ||
+        event.time > report.incidents[owner].end) {
+      continue;  // outside any incident window
+    }
+    if (collateral) report.incidents[owner].collateral_lost += event.count;
+    if (alert) ++report.incidents[owner].alerts;
+    if (config) ++report.incidents[owner].config_changes;
+  }
+  for (size_t i = 0; i < report.incidents.size(); ++i) {
+    report.incidents[i].pes.assign(incident_pes[i].begin(), incident_pes[i].end());
+  }
+
+  // Reconcile against the embedded ledger, if the producer stamped one.
+  if (const auto ledger_json = trace.Get("laarLossLedger"); ledger_json.ok()) {
+    LAAR_ASSIGN_OR_RETURN(const LossLedger ledger,
+                          LossLedger::FromJson(**ledger_json));
+    report.has_ledger = true;
+    report.ledger_total = ledger.Total();
+    report.ledger_crash_attributed = ledger.TotalOf(LossCause::kCrashLoss) +
+                                     ledger.TotalOf(LossCause::kOrphanedOutput);
+  }
+  const auto dropped = trace.GetOr("laarDroppedEvents", json::Value::Int(0)).AsInt();
+  if (dropped.ok() && *dropped > 0) {
+    report.trace_dropped_events = static_cast<uint64_t>(*dropped);
+  }
+  if (report.has_ledger) {
+    report.reconciled = report.attributed_lost + report.unattributed_lost ==
+                        report.ledger_crash_attributed;
+  }
+  return report;
+}
+
+}  // namespace laar::obs

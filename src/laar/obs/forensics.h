@@ -1,0 +1,74 @@
+#ifndef LAAR_OBS_FORENSICS_H_
+#define LAAR_OBS_FORENSICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "laar/common/result.h"
+#include "laar/json/json.h"
+
+namespace laar::obs {
+
+/// One correlated failure episode reconstructed from a recorded trace:
+/// the crash→recovery window of one or more hosts, the losses the timeline
+/// attributes to it, and the surrounding evidence (alerts, control-plane
+/// activity). Hosts whose outages begin at the same instant are one
+/// incident — simultaneous multi-host crashes are how domain outages
+/// manifest on the trace.
+struct Incident {
+  std::string cause;    ///< "domain_outage" (>= 2 hosts) or "host_crash"
+  double begin = 0.0;   ///< first crash, simulation seconds
+  double end = 0.0;     ///< last recovery (trace end when unrecovered)
+  bool recovered = true;
+  std::vector<int32_t> hosts;  ///< crashed hosts, ascending
+  std::vector<int32_t> pes;    ///< PEs that lost tuples to this incident
+
+  /// Crash-attributed losses (dead-replica input + orphaned outputs) the
+  /// timeline assigns to this incident: every such loss after this
+  /// incident's begin and before the next incident's.
+  uint64_t tuples_lost = 0;
+
+  /// Queue-overflow and shedding drops inside [begin, end] — backpressure
+  /// collateral of the outage, not directly crash-caused.
+  uint64_t collateral_lost = 0;
+
+  size_t alerts = 0;          ///< health alerts firing inside [begin, end]
+  size_t config_changes = 0;  ///< control-plane events inside [begin, end]
+
+  double RecoverySeconds() const { return end - begin; }
+  json::Value ToJson() const;
+};
+
+/// The post-run forensic pass over one Chrome trace: incidents plus the
+/// reconciliation of trace-visible losses against the embedded loss ledger
+/// (when `laar_simulate` stamped one into the trace).
+struct ForensicsReport {
+  std::vector<Incident> incidents;
+
+  uint64_t attributed_lost = 0;    ///< Σ incidents[i].tuples_lost
+  uint64_t unattributed_lost = 0;  ///< crash-attributed losses before any incident
+
+  bool has_ledger = false;           ///< trace carried "laarLossLedger"
+  uint64_t ledger_total = 0;         ///< ledger grand total (all causes)
+  uint64_t ledger_crash_attributed = 0;  ///< ledger crash_loss + orphaned_output
+
+  uint64_t trace_dropped_events = 0;  ///< ring overwrites ("laarDroppedEvents")
+
+  /// True when the per-event losses on the trace account exactly for the
+  /// ledger's crash-attributed total. Always true without a ledger; a
+  /// wrapped ring (trace_dropped_events > 0) explains a false.
+  bool reconciled = true;
+
+  json::Value ToJson() const;
+  std::string ToString() const;  ///< one-screen human rendering
+};
+
+/// Correlates failure events, loss events, alerts, and control-plane
+/// activity on a Chrome trace (as written by `laar_simulate --trace-out`)
+/// into incident records. Deterministic for a given trace.
+Result<ForensicsReport> AnalyzeChromeTrace(const json::Value& trace);
+
+}  // namespace laar::obs
+
+#endif  // LAAR_OBS_FORENSICS_H_

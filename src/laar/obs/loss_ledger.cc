@@ -1,0 +1,171 @@
+#include "laar/obs/loss_ledger.h"
+
+#include <algorithm>
+
+#include "laar/common/strings.h"
+
+namespace laar::obs {
+
+const char* LossCauseName(LossCause cause) {
+  switch (cause) {
+    case LossCause::kQueueOverflow:
+      return "queue_overflow";
+    case LossCause::kLoadShed:
+      return "load_shed";
+    case LossCause::kCrashLoss:
+      return "crash_loss";
+    case LossCause::kResyncGap:
+      return "resync_gap";
+    case LossCause::kOrphanedOutput:
+      return "orphaned_output";
+  }
+  return "?";
+}
+
+bool LossCauseFromName(std::string_view name, LossCause* out) {
+  for (size_t i = 0; i < kLossCauseCount; ++i) {
+    const LossCause cause = static_cast<LossCause>(i);
+    if (name == LossCauseName(cause)) {
+      *out = cause;
+      return true;
+    }
+  }
+  return false;
+}
+
+void LossLedger::Record(int32_t pe, LossCause cause, uint64_t count) {
+  if (pe < 0 || count == 0) return;
+  if (static_cast<size_t>(pe) >= per_pe_.size()) {
+    per_pe_.resize(static_cast<size_t>(pe) + 1);
+  }
+  per_pe_[static_cast<size_t>(pe)][static_cast<size_t>(cause)] += count;
+  by_cause_[static_cast<size_t>(cause)] += count;
+  total_ += count;
+}
+
+uint64_t LossLedger::Count(int32_t pe, LossCause cause) const {
+  if (pe < 0 || static_cast<size_t>(pe) >= per_pe_.size()) return 0;
+  return per_pe_[static_cast<size_t>(pe)][static_cast<size_t>(cause)];
+}
+
+std::vector<LossLedger::Row> LossLedger::Rows() const {
+  std::vector<Row> rows;
+  for (size_t pe = 0; pe < per_pe_.size(); ++pe) {
+    for (size_t c = 0; c < kLossCauseCount; ++c) {
+      if (per_pe_[pe][c] == 0) continue;
+      rows.push_back(Row{static_cast<int32_t>(pe), static_cast<LossCause>(c),
+                         per_pe_[pe][c]});
+    }
+  }
+  return rows;  // construction order is already (pe, cause)-sorted
+}
+
+json::Value LossLedger::ToJson() const {
+  json::Value doc = json::Value::MakeObject();
+  doc.Set("total", json::Value::Int(static_cast<int64_t>(total_)));
+  json::Value by_cause = json::Value::MakeObject();
+  for (size_t c = 0; c < kLossCauseCount; ++c) {
+    if (by_cause_[c] == 0) continue;
+    by_cause.Set(LossCauseName(static_cast<LossCause>(c)),
+                 json::Value::Int(static_cast<int64_t>(by_cause_[c])));
+  }
+  doc.Set("by_cause", std::move(by_cause));
+  json::Value rows = json::Value::MakeArray();
+  for (const Row& row : Rows()) {
+    json::Value entry = json::Value::MakeObject();
+    entry.Set("pe", json::Value::Int(row.pe));
+    entry.Set("cause", json::Value::String(LossCauseName(row.cause)));
+    entry.Set("count", json::Value::Int(static_cast<int64_t>(row.count)));
+    rows.Append(std::move(entry));
+  }
+  doc.Set("rows", std::move(rows));
+  return doc;
+}
+
+Result<LossLedger> LossLedger::FromJson(const json::Value& value) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("loss ledger must be a JSON object");
+  }
+  LossLedger ledger;
+  LAAR_ASSIGN_OR_RETURN(const json::Value* rows, value.Get("rows"));
+  if (!rows->is_array()) return Status::InvalidArgument("ledger 'rows' must be an array");
+  for (const json::Value& row : rows->array()) {
+    LAAR_ASSIGN_OR_RETURN(const json::Value* pe, row.Get("pe"));
+    LAAR_ASSIGN_OR_RETURN(const int64_t pe_id, pe->AsInt());
+    LAAR_ASSIGN_OR_RETURN(const json::Value* cause, row.Get("cause"));
+    LAAR_ASSIGN_OR_RETURN(const std::string cause_name, cause->AsString());
+    LossCause parsed;
+    if (!LossCauseFromName(cause_name, &parsed)) {
+      return Status::InvalidArgument("unknown loss cause '" + cause_name + "'");
+    }
+    LAAR_ASSIGN_OR_RETURN(const json::Value* count, row.Get("count"));
+    LAAR_ASSIGN_OR_RETURN(const int64_t n, count->AsInt());
+    if (pe_id < 0 || n < 0) {
+      return Status::InvalidArgument("ledger row with negative pe or count");
+    }
+    ledger.Record(static_cast<int32_t>(pe_id), parsed, static_cast<uint64_t>(n));
+  }
+  LAAR_ASSIGN_OR_RETURN(const json::Value* total, value.Get("total"));
+  LAAR_ASSIGN_OR_RETURN(const int64_t stamped_total, total->AsInt());
+  if (stamped_total < 0 || static_cast<uint64_t>(stamped_total) != ledger.Total()) {
+    return Status::InvalidArgument(
+        StrFormat("ledger rows sum to %llu but 'total' claims %lld",
+                  static_cast<unsigned long long>(ledger.Total()),
+                  static_cast<long long>(stamped_total)));
+  }
+  const json::Value by_cause = value.GetOr("by_cause", json::Value::MakeObject());
+  for (const auto& [name, count] : by_cause.object()) {
+    LossCause parsed;
+    if (!LossCauseFromName(name, &parsed)) {
+      return Status::InvalidArgument("unknown loss cause '" + name + "'");
+    }
+    LAAR_ASSIGN_OR_RETURN(const int64_t n, count.AsInt());
+    if (n < 0 || static_cast<uint64_t>(n) != ledger.TotalOf(parsed)) {
+      return Status::InvalidArgument("ledger 'by_cause' disagrees with its rows");
+    }
+  }
+  return ledger;
+}
+
+std::string LossLedger::ToString() const {
+  std::string out = StrFormat("lost tuple copies: %llu\n",
+                              static_cast<unsigned long long>(total_));
+  if (total_ == 0) return out;
+  out += "  cause            tuples      share\n";
+  for (size_t c = 0; c < kLossCauseCount; ++c) {
+    if (by_cause_[c] == 0) continue;
+    out += StrFormat("  %-15s %8llu   %6.2f%%\n",
+                     LossCauseName(static_cast<LossCause>(c)),
+                     static_cast<unsigned long long>(by_cause_[c]),
+                     100.0 * static_cast<double>(by_cause_[c]) /
+                         static_cast<double>(total_));
+  }
+  return out;
+}
+
+void PublishLossLedger(MetricsRegistry* registry, const LossLedger& ledger,
+                       const MetricsRegistry::Labels& labels) {
+  if (registry == nullptr || ledger.empty()) return;
+  if (Counter* c = registry->GetCounter("sim_lost_tuples", labels)) {
+    c->Increment(static_cast<double>(ledger.Total()));
+  }
+  for (size_t i = 0; i < kLossCauseCount; ++i) {
+    const LossCause cause = static_cast<LossCause>(i);
+    if (ledger.TotalOf(cause) == 0) continue;
+    MetricsRegistry::Labels cause_labels = labels;
+    cause_labels.emplace_back("cause", LossCauseName(cause));
+    if (Counter* c = registry->GetCounter("sim_loss_tuples", cause_labels)) {
+      c->Increment(static_cast<double>(ledger.TotalOf(cause)));
+    }
+  }
+  for (const LossLedger::Row& row : ledger.Rows()) {
+    MetricsRegistry::Labels row_labels = labels;
+    row_labels.emplace_back("cause", LossCauseName(row.cause));
+    row_labels.emplace_back("pe", std::to_string(row.pe));
+    if (Counter* c = registry->GetCounter("sim_loss_tuples", row_labels)) {
+      c->Increment(static_cast<double>(row.count));
+    }
+  }
+}
+
+}  // namespace laar::obs

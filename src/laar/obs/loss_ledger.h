@@ -1,0 +1,90 @@
+#ifndef LAAR_OBS_LOSS_LEDGER_H_
+#define LAAR_OBS_LOSS_LEDGER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "laar/common/result.h"
+#include "laar/json/json.h"
+#include "laar/obs/metrics_registry.h"
+
+namespace laar::obs {
+
+/// Why a tuple copy was lost. Every loss site in the stream simulation
+/// attributes exactly one cause at the point of loss, so the causes are
+/// mutually exclusive by construction and their sum is the run's total loss.
+///
+/// The unit is a *replica-level tuple copy* — the same unit
+/// `SimulationMetrics::dropped_tuples` has always counted (a tuple offered
+/// to two replicas and rejected by both counts twice). See DESIGN.md §9.
+enum class LossCause : uint8_t {
+  kQueueOverflow = 0,  ///< bounded input queue was full (tail drop)
+  kLoadShed,           ///< RED-style shedder discarded the tuple
+  kCrashLoss,          ///< offered to a dead replica (host crash or injected)
+  kResyncGap,          ///< offered to a replica mid state-resync
+  kOrphanedOutput,     ///< non-primary output suppressed while the seated
+                       ///< primary was unserviceable (failover window)
+};
+
+inline constexpr size_t kLossCauseCount = 5;
+
+const char* LossCauseName(LossCause cause);
+
+/// Parses a cause name back into its enum; false for unknown names.
+bool LossCauseFromName(std::string_view name, LossCause* out);
+
+/// Per-PE × per-cause tally of lost tuple copies — the drop-provenance
+/// aggregate the forensics layer reconciles against `SimulationMetrics`
+/// totals. Recording is O(1) (vector indexed by PE id), so it is cheap
+/// enough to stay always-on inside the simulation.
+class LossLedger {
+ public:
+  void Record(int32_t pe, LossCause cause, uint64_t count = 1);
+
+  uint64_t Total() const { return total_; }
+  uint64_t TotalOf(LossCause cause) const {
+    return by_cause_[static_cast<size_t>(cause)];
+  }
+  uint64_t Count(int32_t pe, LossCause cause) const;
+  bool empty() const { return total_ == 0; }
+
+  struct Row {
+    int32_t pe = -1;
+    LossCause cause = LossCause::kQueueOverflow;
+    uint64_t count = 0;
+  };
+
+  /// Non-zero entries sorted by (pe, cause) — deterministic for a given
+  /// ledger content.
+  std::vector<Row> Rows() const;
+
+  /// {"total": N, "by_cause": {name: count, ...}, "rows": [{"pe", "cause",
+  /// "count"}, ...]} — non-zero entries only, keys sorted by the JSON layer.
+  json::Value ToJson() const;
+
+  /// Inverse of `ToJson`; validates that rows sum to the stamped totals
+  /// (a corrupt or hand-edited ledger is rejected, not silently trusted).
+  static Result<LossLedger> FromJson(const json::Value& value);
+
+  /// Fixed-width human-readable table (cause, tuples, share of total).
+  std::string ToString() const;
+
+ private:
+  std::vector<std::array<uint64_t, kLossCauseCount>> per_pe_;
+  std::array<uint64_t, kLossCauseCount> by_cause_{};
+  uint64_t total_ = 0;
+};
+
+/// Publishes the ledger under the canonical loss keys, tagged with `labels`:
+/// counter `sim_lost_tuples` (grand total), `sim_loss_tuples{cause=...}`
+/// per-cause totals, and `sim_loss_tuples{cause=...,pe=...}` rows — non-zero
+/// entries only, so loss-free runs leave the registry untouched.
+void PublishLossLedger(MetricsRegistry* registry, const LossLedger& ledger,
+                       const MetricsRegistry::Labels& labels = {});
+
+}  // namespace laar::obs
+
+#endif  // LAAR_OBS_LOSS_LEDGER_H_

@@ -1,0 +1,68 @@
+#ifndef LAAR_OBS_RUN_DIFF_H_
+#define LAAR_OBS_RUN_DIFF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "laar/common/result.h"
+#include "laar/json/json.h"
+
+namespace laar::obs {
+
+/// The comparison of two run artifacts (the `--metrics-out` JSON written by
+/// `laar_simulate`: a metrics registry plus optional "loss_ledger" and
+/// "run_info" stamps). Scalars (counters, gauges, histogram count/sum) are
+/// matched by name + labels; timeseries compare point count, sum, and peak.
+struct DiffReport {
+  /// Workload keys on which the stamped RunInfos differ. Flag-only
+  /// differences are treated as the A/B intervention (comparing placements
+  /// or strategies on the same seed) and noted in the verdict; a differing
+  /// tool, seed, or build makes the verdict "incomparable".
+  std::vector<std::string> workload_mismatches;
+  bool has_run_info = false;  ///< both inputs carried "run_info"
+
+  struct Delta {
+    std::string key;  ///< "name{label=value,...}" (+ ".count"/".sum" for histograms)
+    double a = 0.0;
+    double b = 0.0;
+    bool in_a = true;
+    bool in_b = true;
+  };
+  std::vector<Delta> scalars;  ///< differing or one-sided scalar entries
+  size_t scalars_compared = 0;
+
+  struct SeriesDelta {
+    std::string key;
+    size_t points_a = 0, points_b = 0;
+    double sum_a = 0.0, sum_b = 0.0;
+    double peak_a = 0.0, peak_b = 0.0;
+    bool in_a = true, in_b = true;
+  };
+  std::vector<SeriesDelta> series;  ///< differing timeseries
+  size_t series_compared = 0;
+
+  struct LossDelta {
+    std::string key;  ///< cause name, or "cause/pe<P>" for per-PE rows
+    uint64_t a = 0;
+    uint64_t b = 0;
+  };
+  std::vector<LossDelta> losses;  ///< differing ledger entries
+  bool has_ledger = false;        ///< both inputs carried "loss_ledger"
+  uint64_t lost_a = 0, lost_b = 0;  ///< ledger grand totals
+
+  /// One-line outcome, e.g. "B loses 1040 fewer tuple copies than A
+  /// (1219 -> 179, -85.3%); 14/96 metrics differ".
+  std::string verdict;
+
+  json::Value ToJson() const;
+  std::string ToString() const;  ///< one-screen human rendering
+};
+
+/// Diffs two run artifacts. Deterministic: entries sort by key. Fails only
+/// on malformed input, never on disagreement — disagreements are the output.
+Result<DiffReport> DiffRuns(const json::Value& run_a, const json::Value& run_b);
+
+}  // namespace laar::obs
+
+#endif  // LAAR_OBS_RUN_DIFF_H_

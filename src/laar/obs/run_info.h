@@ -1,0 +1,44 @@
+#ifndef LAAR_OBS_RUN_INFO_H_
+#define LAAR_OBS_RUN_INFO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "laar/common/result.h"
+#include "laar/json/json.h"
+
+namespace laar::obs {
+
+/// Build and invocation metadata stamped into every JSON artifact a tool
+/// writes (--metrics-out, --health-out, --trace-out), so a later
+/// `laar_trace diff` can detect when two runs are not comparable.
+///
+/// The captured args deliberately exclude flags that do not alter the
+/// simulated workload — `--jobs` (parallelism) and every `--*-out` path —
+/// so artifacts stay byte-identical across `--jobs` and across output
+/// locations.
+struct RunInfo {
+  std::string tool;      ///< producing binary, e.g. "laar_simulate"
+  std::string version;   ///< `git describe` at build time ("unknown" outside git)
+  std::string compiler;  ///< compiler identification (__VERSION__)
+  uint64_t seed = 0;     ///< the run's primary RNG seed (0 when seedless)
+  std::vector<std::string> args;  ///< workload-relevant CLI args, argv order
+
+  /// {"tool", "version", "compiler", "seed", "args": [...]}.
+  json::Value ToJson() const;
+  static Result<RunInfo> FromJson(const json::Value& value);
+
+  /// Captures argv[1..] minus `--jobs=` and `--*-out=` flags.
+  static RunInfo Capture(const char* tool, uint64_t seed, int argc,
+                         const char* const* argv);
+};
+
+/// The workload keys on which two runs differ (tool, version, seed, args
+/// present in exactly one run). Empty means the runs are comparable;
+/// a version-only difference is reported but is usually benign.
+std::vector<std::string> WorkloadMismatches(const RunInfo& a, const RunInfo& b);
+
+}  // namespace laar::obs
+
+#endif  // LAAR_OBS_RUN_INFO_H_

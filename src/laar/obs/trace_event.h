@@ -68,6 +68,11 @@ enum class EventName : uint8_t {
   kTupleTracedShed,     ///< sampled tuple lost to load shedding
   kTupleSink,           ///< sampled tuple reached a sink; value = e2e latency
   kAlert,               ///< a health rule fired; value = peak series value
+  kTupleCrashLoss,      ///< tuple offered to a dead replica; value = count
+  kTupleOrphan,         ///< non-primary output suppressed while the seated
+                        ///< primary was unserviceable; value = count
+  kHostOutageSpan,      ///< synthesized crash→recover window of one host
+  kReplicaOutageSpan,   ///< synthesized crash→recover window of one replica
   kCount,               ///< sentinel — number of event kinds
 };
 

@@ -33,6 +33,10 @@ constexpr EventInfo kEventTable[static_cast<size_t>(EventName::kCount)] = {
     {"tuple_traced_shed", Category::kTuples, EventPhase::kInstant},
     {"tuple_sink", Category::kTuples, EventPhase::kInstant},
     {"alert", Category::kHealth, EventPhase::kInstant},
+    {"tuple_crash_loss", Category::kDrops, EventPhase::kInstant},
+    {"tuple_orphan", Category::kDrops, EventPhase::kInstant},
+    {"host_outage", Category::kFailures, EventPhase::kSpan},
+    {"replica_outage", Category::kFailures, EventPhase::kSpan},
 };
 
 }  // namespace

@@ -1,7 +1,12 @@
 #include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
 
 #include <gtest/gtest.h>
 
+#include "laar/json/json.h"
+#include "laar/obs/chrome_trace.h"
 #include "laar/runtime/corpus.h"
 #include "laar/runtime/report.h"
 
@@ -72,15 +77,33 @@ TEST(CorpusTest, ParallelRunsProduceIdenticalRecords) {
   }
 }
 
-TEST(CorpusTest, DomainOutageRecordsAreJobsInvariant) {
+/// Reads every .json in `dir` into a filename -> contents map.
+std::map<std::string, std::string> SlurpTraceDir(const std::filesystem::path& dir) {
+  std::map<std::string, std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    auto parsed = json::ParseFile(entry.path().string());
+    EXPECT_TRUE(parsed.ok()) << entry.path();
+    if (parsed.ok()) files[entry.path().filename().string()] = parsed->Dump();
+  }
+  return files;
+}
+
+TEST(CorpusTest, DomainOutageRecordsAndTracesAreJobsInvariant) {
   // The crash scenarios draw from seeded RNGs keyed on the app seed, so a
-  // corpus running domain outages must stay --jobs-invariant like the rest.
+  // corpus running domain outages must stay --jobs-invariant like the rest
+  // — including the Chrome trace files it writes per (seed, variant,
+  // scenario).
   HarnessOptions harness = TinyHarness();
   harness.generator.num_hosts = 4;
   harness.generator.hosts_per_rack = 2;
   harness.run_host_crash = true;
   harness.run_domain_outage = true;
   harness.domain_outage_bursts = 2;
+  const std::filesystem::path serial_dir =
+      std::filesystem::temp_directory_path() / "laar_corpus_trace_serial";
+  std::filesystem::remove_all(serial_dir);
+  std::filesystem::create_directories(serial_dir);
+  harness.trace_dir = serial_dir.string();
   const CorpusResult serial = RunCorpus(harness, TinyCorpus(1));
   ASSERT_EQ(serial.records.size(), 3u);
   const std::string expected = CorpusToCsv(serial.records);
@@ -92,10 +115,40 @@ TEST(CorpusTest, DomainOutageRecordsAreJobsInvariant) {
     }
   }
   EXPECT_TRUE(any_domain);
+
+  // Every written trace passes schema validation (which includes the
+  // per-thread timestamp-monotonicity and crash/recover pairing checks),
+  // and the outage scenarios render synthesized outage span bars.
+  const std::map<std::string, std::string> serial_traces = SlurpTraceDir(serial_dir);
+  ASSERT_FALSE(serial_traces.empty());
+  bool saw_outage_spans = false;
+  for (const auto& [name, contents] : serial_traces) {
+    auto parsed = json::Parse(contents);
+    ASSERT_TRUE(parsed.ok()) << name;
+    const Status valid = obs::ValidateChromeTrace(*parsed);
+    EXPECT_TRUE(valid.ok()) << name << ": " << valid.ToString();
+    if (name.find("domain-outage") != std::string::npos) {
+      EXPECT_NE(contents.find("host_crash"), std::string::npos) << name;
+      saw_outage_spans = saw_outage_spans ||
+                         (contents.find("host_outage") != std::string::npos &&
+                          contents.find("replica_outage") != std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_outage_spans);
+
   for (int jobs : {2, 4}) {
+    const std::filesystem::path parallel_dir =
+        std::filesystem::temp_directory_path() /
+        ("laar_corpus_trace_jobs" + std::to_string(jobs));
+    std::filesystem::remove_all(parallel_dir);
+    std::filesystem::create_directories(parallel_dir);
+    harness.trace_dir = parallel_dir.string();
     const CorpusResult parallel = RunCorpus(harness, TinyCorpus(jobs));
     EXPECT_EQ(CorpusToCsv(parallel.records), expected) << "jobs=" << jobs;
+    EXPECT_EQ(SlurpTraceDir(parallel_dir), serial_traces) << "jobs=" << jobs;
+    std::filesystem::remove_all(parallel_dir);
   }
+  std::filesystem::remove_all(serial_dir);
 }
 
 TEST(CorpusTest, SerialCorpusMayShareFtSearchPool) {

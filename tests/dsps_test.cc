@@ -606,6 +606,122 @@ TEST(InputTraceTest, RejectsBadSegments) {
   EXPECT_FALSE(InputTrace::Alternating(0, 1.0, 1, 1.0, 0).ok());
 }
 
+// ------------------------------------------------------- loss provenance
+//
+// Every loss site attributes exactly one LossCause; `Run` already asserts
+// ledger/scalar reconciliation on every simulation above, so these tests
+// pin down *which* cause each scenario produces and that the causes stay
+// mutually exclusive.
+
+TEST(LossProvenanceTest, FailureFreeRunHasEmptyLedgerDespiteIgnoredTuples) {
+  Fixture f;
+  auto trace = InputTrace::Step(0, 1, 50.0, 100.0);
+  ASSERT_TRUE(trace.ok());
+  RuntimeOptions options;
+  ActivationStrategy nr = f.SingleReplica();
+  StreamSimulation simulation(f.app, f.cluster, f.placement, nr, *trace, options);
+  ASSERT_TRUE(simulation.Run().ok());
+  const SimulationMetrics& m = simulation.metrics();
+  // The deactivated replicas discard every offered tuple, but a discard the
+  // strategy planned is not a loss: the ledger stays empty.
+  uint64_t ignored = 0;
+  for (const auto& per_pe : m.replicas) {
+    for (const ReplicaMetrics& r : per_pe) ignored += r.tuples_ignored;
+  }
+  EXPECT_GT(ignored, 0u);
+  EXPECT_TRUE(m.losses.empty());
+  EXPECT_EQ(m.LostTuples(), 0u);
+}
+
+TEST(LossProvenanceTest, HostCrashAttributesCrashLossAndResyncGap) {
+  Fixture f(/*low=*/2.0, /*high=*/4.0);
+  auto trace = InputTrace::Step(0, 1, 200.0, 300.0);
+  ASSERT_TRUE(trace.ok());
+  RuntimeOptions options;
+  ActivationStrategy nr = f.SingleReplica();
+  StreamSimulation simulation(f.app, f.cluster, f.placement, nr, *trace, options);
+  ASSERT_TRUE(simulation.ScheduleHostCrash(0, 100.0, 16.0).ok());
+  ASSERT_TRUE(simulation.Run().ok());
+  const SimulationMetrics& m = simulation.metrics();
+  // 16 s outage at ~2 t/s feeds the dead replica of pe0 directly; after
+  // recovery the replica resyncs for 0.5 s and loses that input too.
+  EXPECT_GT(m.crash_lost_tuples, 0u);
+  EXPECT_GT(m.resync_lost_tuples, 0u);
+  EXPECT_EQ(m.losses.TotalOf(obs::LossCause::kCrashLoss), m.crash_lost_tuples);
+  EXPECT_EQ(m.losses.TotalOf(obs::LossCause::kResyncGap), m.resync_lost_tuples);
+  EXPECT_EQ(m.losses.Total(), m.LostTuples());
+  // The crash loss lands on the PEs, attributed to each one's dead copy.
+  EXPECT_GT(m.losses.Count(f.pe0, obs::LossCause::kCrashLoss), 0u);
+}
+
+TEST(LossProvenanceTest, OrphanedOutputsDuringFailoverWindow) {
+  Fixture f(/*low=*/2.0, /*high=*/4.0);
+  auto trace = InputTrace::Step(0, 1, 200.0, 300.0);
+  ASSERT_TRUE(trace.ok());
+  RuntimeOptions options;
+  // Both replicas of both PEs active: when host 0 (holding the seated
+  // primaries) crashes, the host-1 secondaries keep finishing tuples whose
+  // outputs are suppressed with no primary copy to forward — orphans —
+  // until the 1 s failover window elects them.
+  ActivationStrategy all_active(f.app.graph.num_components(), 2,
+                                f.app.input_space.num_configs());
+  StreamSimulation simulation(f.app, f.cluster, f.placement, all_active, *trace,
+                              options);
+  ASSERT_TRUE(simulation.ScheduleHostCrash(0, 100.0, 16.0).ok());
+  ASSERT_TRUE(simulation.Run().ok());
+  const SimulationMetrics& m = simulation.metrics();
+  EXPECT_GT(m.orphaned_tuples, 0u);
+  EXPECT_EQ(m.losses.TotalOf(obs::LossCause::kOrphanedOutput), m.orphaned_tuples);
+  // Orphans are bounded by the failover window: roughly rate × latency per
+  // affected PE, nowhere near the full outage's losses.
+  EXPECT_LT(m.orphaned_tuples, 20u);
+  EXPECT_EQ(m.losses.Total(), m.LostTuples());
+}
+
+TEST(LossProvenanceTest, FailureFreeAllActiveRunStaysOrphanFree) {
+  // In failure-free runs the seated primary is serviceable whenever any
+  // secondary finishes a tuple, so the orphan path must never fire — this
+  // is what keeps failure-free traces byte-identical to the pre-forensics
+  // goldens.
+  Fixture f;
+  auto trace = InputTrace::Step(0, 1, 50.0, 100.0);
+  ASSERT_TRUE(trace.ok());
+  RuntimeOptions options;
+  ActivationStrategy all_active(f.app.graph.num_components(), 2,
+                                f.app.input_space.num_configs());
+  StreamSimulation simulation(f.app, f.cluster, f.placement, all_active, *trace,
+                              options);
+  ASSERT_TRUE(simulation.Run().ok());
+  EXPECT_EQ(simulation.metrics().orphaned_tuples, 0u);
+  EXPECT_EQ(simulation.metrics().crash_lost_tuples, 0u);
+}
+
+TEST(LossProvenanceTest, OverflowAndShedAreMutuallyExclusive) {
+  // Overload pe0 (10 t/s against a 0.1 s/tuple budget) with shedding on:
+  // the shedder discards a deterministic fraction above the threshold and
+  // the tail drop catches the rest. The two tallies must partition
+  // `dropped_tuples` exactly.
+  Fixture f(/*low=*/10.0, /*high=*/12.0);
+  auto trace = InputTrace::Step(0, 1, 50.0, 100.0);
+  ASSERT_TRUE(trace.ok());
+  RuntimeOptions options;
+  options.enable_load_shedding = true;
+  options.shed_threshold = 0.5;
+  ActivationStrategy nr = f.SingleReplica();
+  StreamSimulation simulation(f.app, f.cluster, f.placement, nr, *trace, options);
+  ASSERT_TRUE(simulation.Run().ok());
+  const SimulationMetrics& m = simulation.metrics();
+  EXPECT_GT(m.dropped_tuples, 0u);
+  EXPECT_GT(m.shed_tuples, 0u);
+  EXPECT_LE(m.shed_tuples, m.dropped_tuples);
+  EXPECT_EQ(m.losses.TotalOf(obs::LossCause::kLoadShed), m.shed_tuples);
+  EXPECT_EQ(m.losses.TotalOf(obs::LossCause::kQueueOverflow),
+            m.dropped_tuples - m.shed_tuples);
+  EXPECT_EQ(m.crash_lost_tuples, 0u);
+  EXPECT_EQ(m.orphaned_tuples, 0u);
+  EXPECT_EQ(m.losses.Total(), m.LostTuples());
+}
+
 TEST(InputTraceTest, ImprintProbabilitiesMatchesOccupancy) {
   model::InputSpace space;
   SourceRateSet r;

@@ -1,0 +1,451 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "laar/dsps/stream_simulation.h"
+#include "laar/dsps/trace.h"
+#include "laar/json/json.h"
+#include "laar/model/descriptor.h"
+#include "laar/model/placement.h"
+#include "laar/obs/chrome_trace.h"
+#include "laar/obs/forensics.h"
+#include "laar/obs/loss_ledger.h"
+#include "laar/obs/metrics_registry.h"
+#include "laar/obs/run_diff.h"
+#include "laar/obs/run_info.h"
+#include "laar/obs/trace_recorder.h"
+
+namespace laar {
+namespace {
+
+using dsps::InputTrace;
+using dsps::RuntimeOptions;
+using dsps::StreamSimulation;
+using model::ApplicationDescriptor;
+using model::Cluster;
+using model::ComponentId;
+using model::ReplicaPlacement;
+using model::SourceRateSet;
+using strategy::ActivationStrategy;
+
+constexpr double kHz = 1e9;
+
+// ------------------------------------------------------------- loss ledger
+
+TEST(LossLedgerTest, RecordAggregatesByPeAndCause) {
+  obs::LossLedger ledger;
+  EXPECT_TRUE(ledger.empty());
+  ledger.Record(2, obs::LossCause::kCrashLoss, 5);
+  ledger.Record(1, obs::LossCause::kQueueOverflow);
+  ledger.Record(2, obs::LossCause::kCrashLoss, 3);
+  ledger.Record(2, obs::LossCause::kOrphanedOutput, 2);
+  EXPECT_EQ(ledger.Total(), 11u);
+  EXPECT_EQ(ledger.TotalOf(obs::LossCause::kCrashLoss), 8u);
+  EXPECT_EQ(ledger.TotalOf(obs::LossCause::kLoadShed), 0u);
+  EXPECT_EQ(ledger.Count(2, obs::LossCause::kCrashLoss), 8u);
+  EXPECT_EQ(ledger.Count(7, obs::LossCause::kCrashLoss), 0u);
+  // Rows are sorted by (pe, cause) and contain only non-zero entries.
+  const auto rows = ledger.Rows();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].pe, 1);
+  EXPECT_EQ(rows[0].cause, obs::LossCause::kQueueOverflow);
+  EXPECT_EQ(rows[1].pe, 2);
+  EXPECT_EQ(rows[1].cause, obs::LossCause::kCrashLoss);
+  EXPECT_EQ(rows[2].cause, obs::LossCause::kOrphanedOutput);
+  EXPECT_FALSE(ledger.ToString().empty());
+}
+
+TEST(LossLedgerTest, JsonRoundTripPreservesEveryRow) {
+  obs::LossLedger ledger;
+  ledger.Record(0, obs::LossCause::kLoadShed, 10);
+  ledger.Record(3, obs::LossCause::kResyncGap, 4);
+  const json::Value doc = ledger.ToJson();
+  auto restored = obs::LossLedger::FromJson(doc);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->Total(), ledger.Total());
+  EXPECT_EQ(restored->ToJson().Dump(), doc.Dump());
+}
+
+TEST(LossLedgerTest, CorruptLedgerIsRejectedNotTrusted) {
+  obs::LossLedger ledger;
+  ledger.Record(1, obs::LossCause::kCrashLoss, 6);
+  json::Value doc = ledger.ToJson();
+  // A hand-edited total that disagrees with the rows must not parse.
+  doc.Set("total", json::Value::Int(5));
+  EXPECT_FALSE(obs::LossLedger::FromJson(doc).ok());
+  EXPECT_FALSE(obs::LossLedger::FromJson(json::Value::Int(3)).ok());
+}
+
+TEST(LossLedgerTest, PublishEmitsCanonicalCountersAndSkipsEmpty) {
+  obs::MetricsRegistry empty_registry;
+  obs::PublishLossLedger(&empty_registry, obs::LossLedger());
+  EXPECT_EQ(empty_registry.FindCounter("sim_lost_tuples"), nullptr);
+
+  obs::LossLedger ledger;
+  ledger.Record(1, obs::LossCause::kCrashLoss, 6);
+  ledger.Record(1, obs::LossCause::kLoadShed, 2);
+  obs::MetricsRegistry registry;
+  obs::PublishLossLedger(&registry, ledger);
+  const obs::Counter* total = registry.FindCounter("sim_lost_tuples");
+  ASSERT_NE(total, nullptr);
+  EXPECT_DOUBLE_EQ(total->value(), 8.0);
+  const obs::Counter* crash =
+      registry.FindCounter("sim_loss_tuples", {{"cause", "crash_loss"}});
+  ASSERT_NE(crash, nullptr);
+  EXPECT_DOUBLE_EQ(crash->value(), 6.0);
+  const obs::Counter* row = registry.FindCounter(
+      "sim_loss_tuples", {{"cause", "load_shed"}, {"pe", "1"}});
+  ASSERT_NE(row, nullptr);
+  EXPECT_DOUBLE_EQ(row->value(), 2.0);
+  // Zero causes never materialize.
+  EXPECT_EQ(registry.FindCounter("sim_loss_tuples", {{"cause", "resync_gap"}}),
+            nullptr);
+}
+
+// ---------------------------------------------------------------- run info
+
+TEST(RunInfoTest, CaptureStripsFlagsThatDoNotChangeTheWorkload) {
+  const char* argv[] = {"laar_simulate",       "--app=app.json",
+                        "--jobs=8",            "--metrics-out=m.json",
+                        "--trace-out=t.json",  "--trace-categories=drops",
+                        "--trace-capacity=99", "--fail-domain=rack:1"};
+  const obs::RunInfo info =
+      obs::RunInfo::Capture("laar_simulate", 7, 8, argv);
+  EXPECT_EQ(info.tool, "laar_simulate");
+  EXPECT_EQ(info.seed, 7u);
+  EXPECT_FALSE(info.version.empty());
+  EXPECT_FALSE(info.compiler.empty());
+  const std::vector<std::string> expected = {"--app=app.json",
+                                             "--fail-domain=rack:1"};
+  EXPECT_EQ(info.args, expected);
+}
+
+TEST(RunInfoTest, JsonRoundTripAndMismatchDetection) {
+  const char* argv_a[] = {"tool", "--app=a.json", "--jobs=2"};
+  const char* argv_b[] = {"tool", "--app=a.json", "--shed"};
+  const obs::RunInfo a = obs::RunInfo::Capture("laar_simulate", 1, 3, argv_a);
+  const obs::RunInfo b = obs::RunInfo::Capture("laar_simulate", 2, 3, argv_b);
+
+  auto restored = obs::RunInfo::FromJson(a.ToJson());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->ToJson().Dump(), a.ToJson().Dump());
+  EXPECT_TRUE(obs::WorkloadMismatches(a, *restored).empty());
+
+  const std::vector<std::string> mismatches = obs::WorkloadMismatches(a, b);
+  // Differing seed plus the one-sided "--shed" flag; "--jobs" was stripped
+  // at capture so it never shows up as a difference.
+  ASSERT_EQ(mismatches.size(), 2u);
+  EXPECT_NE(mismatches[0].find("seed"), std::string::npos);
+  EXPECT_NE(mismatches[1].find("--shed"), std::string::npos);
+}
+
+// --------------------------------------------------------------- forensics
+
+/// source -> pe0 -> pe1 -> sink on two hosts, one replica of each PE per
+/// host — the same shape the simulation tests use.
+struct ForensicsFixture {
+  ApplicationDescriptor app;
+  Cluster cluster = Cluster::Homogeneous(2, kHz);
+  ReplicaPlacement placement{0, 2};
+  ComponentId source, pe0, pe1, sink;
+
+  ForensicsFixture() {
+    source = app.graph.AddSource("s");
+    pe0 = app.graph.AddPe("p0");
+    pe1 = app.graph.AddPe("p1");
+    sink = app.graph.AddSink("k");
+    EXPECT_TRUE(app.graph.AddEdge(source, pe0, 1.0, 0.1 * kHz).ok());
+    EXPECT_TRUE(app.graph.AddEdge(pe0, pe1, 1.0, 0.1 * kHz).ok());
+    EXPECT_TRUE(app.graph.AddEdge(pe1, sink, 1.0, 0.0).ok());
+    EXPECT_TRUE(app.graph.Validate().ok());
+    SourceRateSet r;
+    r.source = source;
+    r.rates = {2.0, 4.0};
+    r.labels = {"Low", "High"};
+    r.probabilities = {0.8, 0.2};
+    EXPECT_TRUE(app.input_space.AddSource(r).ok());
+    EXPECT_TRUE(app.Validate().ok());
+    placement = ReplicaPlacement(app.graph.num_components(), 2);
+    EXPECT_TRUE(placement.Assign(pe0, 0, 0).ok());
+    EXPECT_TRUE(placement.Assign(pe0, 1, 1).ok());
+    EXPECT_TRUE(placement.Assign(pe1, 0, 0).ok());
+    EXPECT_TRUE(placement.Assign(pe1, 1, 1).ok());
+  }
+
+  ActivationStrategy AllActive() const {
+    return ActivationStrategy(app.graph.num_components(), 2,
+                              app.input_space.num_configs());
+  }
+
+  /// Runs a traced simulation with the given host crashes and returns the
+  /// Chrome trace with the run's loss ledger stamped in (what
+  /// `laar_simulate --trace-out` writes), plus the metrics.
+  json::Value TracedCrashRun(const std::vector<std::pair<int32_t, double>>& crashes,
+                             dsps::SimulationMetrics* metrics,
+                             size_t capacity = 1u << 18) const {
+    auto trace = InputTrace::Step(0, 1, 200.0, 300.0);
+    EXPECT_TRUE(trace.ok());
+    RuntimeOptions options;
+    obs::TraceRecorder::Options ring;
+    ring.capacity = capacity;
+    obs::TraceRecorder recorder(ring);
+    options.trace_recorder = &recorder;
+    ActivationStrategy all = AllActive();
+    StreamSimulation simulation(app, cluster, placement, all, *trace, options);
+    for (const auto& [host, begin] : crashes) {
+      EXPECT_TRUE(simulation.ScheduleHostCrash(host, begin, 16.0).ok());
+    }
+    EXPECT_TRUE(simulation.Run().ok());
+    *metrics = simulation.metrics();
+    json::Value chrome = obs::ToChromeTraceJson(recorder);
+    chrome.Set("laarLossLedger", metrics->losses.ToJson());
+    return chrome;
+  }
+};
+
+TEST(ForensicsTest, SingleHostCrashBecomesOneReconciledIncident) {
+  ForensicsFixture f;
+  dsps::SimulationMetrics m;
+  const json::Value chrome = f.TracedCrashRun({{0, 100.0}}, &m);
+  ASSERT_TRUE(obs::ValidateChromeTrace(chrome).ok());
+
+  auto report = obs::AnalyzeChromeTrace(chrome);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->incidents.size(), 1u);
+  const obs::Incident& incident = report->incidents[0];
+  EXPECT_EQ(incident.cause, "host_crash");
+  EXPECT_EQ(incident.hosts, std::vector<int32_t>({0}));
+  EXPECT_TRUE(incident.recovered);
+  EXPECT_DOUBLE_EQ(incident.begin, 100.0);
+  EXPECT_NEAR(incident.RecoverySeconds(), 16.0, 1e-9);
+  EXPECT_FALSE(incident.pes.empty());
+
+  // Every crash-attributed loss on the trace lands on this incident, and
+  // the total agrees with the embedded ledger exactly.
+  EXPECT_GT(incident.tuples_lost, 0u);
+  EXPECT_EQ(report->attributed_lost, incident.tuples_lost);
+  EXPECT_EQ(report->unattributed_lost, 0u);
+  EXPECT_TRUE(report->has_ledger);
+  EXPECT_EQ(report->ledger_total, m.losses.Total());
+  EXPECT_EQ(report->ledger_crash_attributed,
+            m.crash_lost_tuples + m.orphaned_tuples);
+  EXPECT_EQ(report->trace_dropped_events, 0u);
+  EXPECT_TRUE(report->reconciled);
+  EXPECT_FALSE(report->ToString().empty());
+  EXPECT_TRUE(report->ToJson().is_object());
+}
+
+TEST(ForensicsTest, SimultaneousHostCrashesMergeIntoDomainOutage) {
+  ForensicsFixture f;
+  dsps::SimulationMetrics m;
+  const json::Value chrome = f.TracedCrashRun({{0, 100.0}, {1, 100.0}}, &m);
+
+  auto report = obs::AnalyzeChromeTrace(chrome);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->incidents.size(), 1u);
+  EXPECT_EQ(report->incidents[0].cause, "domain_outage");
+  EXPECT_EQ(report->incidents[0].hosts, std::vector<int32_t>({0, 1}));
+  EXPECT_TRUE(report->reconciled);
+}
+
+TEST(ForensicsTest, StaggeredCrashesStaySeparateIncidents) {
+  ForensicsFixture f;
+  dsps::SimulationMetrics m;
+  const json::Value chrome = f.TracedCrashRun({{0, 100.0}, {1, 150.0}}, &m);
+
+  auto report = obs::AnalyzeChromeTrace(chrome);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->incidents.size(), 2u);
+  EXPECT_EQ(report->incidents[0].cause, "host_crash");
+  EXPECT_EQ(report->incidents[1].cause, "host_crash");
+  EXPECT_DOUBLE_EQ(report->incidents[0].begin, 100.0);
+  EXPECT_DOUBLE_EQ(report->incidents[1].begin, 150.0);
+  EXPECT_TRUE(report->reconciled);
+}
+
+TEST(ForensicsTest, WrappedRingIsReportedNotMistakenForReconciliation) {
+  ForensicsFixture f;
+  dsps::SimulationMetrics m;
+  // 64 events cannot hold a 300 s run: the ring wraps and the report must
+  // say so instead of claiming (or failing) an exact reconciliation.
+  const json::Value chrome = f.TracedCrashRun({{0, 100.0}}, &m, /*capacity=*/64);
+  auto report = obs::AnalyzeChromeTrace(chrome);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->trace_dropped_events, 0u);
+  EXPECT_TRUE(obs::ValidateChromeTrace(chrome).ok());
+}
+
+// --------------------------------------------------------------- run diffs
+
+namespace {
+
+json::Value MetricsDoc(double drops, uint64_t crash_lost, uint64_t seed,
+                       bool with_extra = false,
+                       const char* placement = "--placement=balanced") {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("sim_dropped_tuples")->Increment(drops);
+  registry.GetCounter("sim_sink_tuples")->Increment(1000.0);
+  if (with_extra) registry.GetCounter("sim_shed_tuples")->Increment(3.0);
+  obs::TimeSeries* depth = registry.GetTimeSeries("queue_depth", {}, 16);
+  depth->Append(1.0, drops);
+  depth->Append(2.0, drops * 2);
+
+  obs::LossLedger ledger;
+  if (crash_lost > 0) ledger.Record(1, obs::LossCause::kCrashLoss, crash_lost);
+  obs::PublishLossLedger(&registry, ledger);
+
+  json::Value doc = registry.ToJson();
+  doc.Set("loss_ledger", ledger.ToJson());
+  const char* argv[] = {"tool", "--app=a.json", placement};
+  doc.Set("run_info", obs::RunInfo::Capture("laar_simulate", seed, 3, argv).ToJson());
+  return doc;
+}
+
+}  // namespace
+
+TEST(RunDiffTest, ReportsScalarSeriesAndLedgerDeltas) {
+  const json::Value a = MetricsDoc(40.0, 100, 7, /*with_extra=*/true);
+  const json::Value b = MetricsDoc(10.0, 25, 7);
+  auto diff = obs::DiffRuns(a, b);
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+
+  EXPECT_TRUE(diff->has_run_info);
+  EXPECT_TRUE(diff->workload_mismatches.empty());
+  EXPECT_TRUE(diff->has_ledger);
+  EXPECT_EQ(diff->lost_a, 100u);
+  EXPECT_EQ(diff->lost_b, 25u);
+  ASSERT_FALSE(diff->losses.empty());
+  EXPECT_EQ(diff->losses[0].key, "crash_loss");
+  EXPECT_EQ(diff->losses[0].a, 100u);
+  EXPECT_EQ(diff->losses[0].b, 25u);
+
+  // sim_dropped_tuples differs; sim_shed_tuples exists only in A;
+  // sim_sink_tuples matches and therefore does not appear.
+  bool saw_drop = false, saw_only_a = false, saw_sink = false;
+  for (const auto& delta : diff->scalars) {
+    if (delta.key == "sim_dropped_tuples") {
+      saw_drop = true;
+      EXPECT_DOUBLE_EQ(delta.a, 40.0);
+      EXPECT_DOUBLE_EQ(delta.b, 10.0);
+    }
+    if (delta.key == "sim_shed_tuples") {
+      saw_only_a = true;
+      EXPECT_TRUE(delta.in_a);
+      EXPECT_FALSE(delta.in_b);
+    }
+    if (delta.key == "sim_sink_tuples") saw_sink = true;
+  }
+  EXPECT_TRUE(saw_drop);
+  EXPECT_TRUE(saw_only_a);
+  EXPECT_FALSE(saw_sink);
+
+  ASSERT_EQ(diff->series.size(), 1u);
+  EXPECT_EQ(diff->series[0].key, "queue_depth");
+  EXPECT_DOUBLE_EQ(diff->series[0].sum_a, 120.0);
+  EXPECT_DOUBLE_EQ(diff->series[0].sum_b, 30.0);
+  EXPECT_DOUBLE_EQ(diff->series[0].peak_a, 80.0);
+
+  // B loses fewer tuple copies; the verdict leads with that.
+  EXPECT_NE(diff->verdict.find("fewer"), std::string::npos);
+  EXPECT_FALSE(diff->ToString().empty());
+  EXPECT_TRUE(diff->ToJson().is_object());
+}
+
+TEST(RunDiffTest, DifferentSeedsAreCalledIncomparable) {
+  const json::Value a = MetricsDoc(40.0, 100, 7);
+  const json::Value b = MetricsDoc(40.0, 100, 8);  // different seed
+  auto diff = obs::DiffRuns(a, b);
+  ASSERT_TRUE(diff.ok());
+  ASSERT_FALSE(diff->workload_mismatches.empty());
+  EXPECT_NE(diff->verdict.find("incomparable"), std::string::npos);
+}
+
+TEST(RunDiffTest, FlagOnlyDifferencesAreTheIntervention) {
+  // Same seed, different --placement: the canonical A/B. The differing
+  // flags are listed, but the verdict still compares the losses.
+  const json::Value a = MetricsDoc(40.0, 100, 7, false, "--placement=balanced");
+  const json::Value b = MetricsDoc(10.0, 25, 7, false, "--placement=domain");
+  auto diff = obs::DiffRuns(a, b);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff->workload_mismatches.size(), 2u);  // only-in-A + only-in-B
+  EXPECT_EQ(diff->verdict.find("incomparable"), std::string::npos);
+  EXPECT_NE(diff->verdict.find("fewer"), std::string::npos);
+  EXPECT_NE(diff->verdict.find("A/B differs"), std::string::npos);
+}
+
+TEST(RunDiffTest, IdenticalRunsDiffClean) {
+  const json::Value a = MetricsDoc(5.0, 10, 3);
+  const json::Value b = MetricsDoc(5.0, 10, 3);
+  auto diff = obs::DiffRuns(a, b);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_TRUE(diff->scalars.empty());
+  EXPECT_TRUE(diff->series.empty());
+  EXPECT_TRUE(diff->losses.empty());
+  EXPECT_GT(diff->scalars_compared, 0u);
+}
+
+// ----------------------------------------------------- validator hardening
+
+namespace {
+
+json::Value Instant(const char* name, double ts, int64_t pid, int64_t tid) {
+  json::Value event = json::Value::MakeObject();
+  event.Set("name", json::Value::String(name));
+  event.Set("ph", json::Value::String("i"));
+  event.Set("ts", json::Value::Number(ts));
+  event.Set("pid", json::Value::Int(pid));
+  event.Set("tid", json::Value::Int(tid));
+  return event;
+}
+
+json::Value TraceOf(std::vector<json::Value> events) {
+  json::Value doc = json::Value::MakeObject();
+  json::Value array = json::Value::MakeArray();
+  for (json::Value& event : events) array.Append(std::move(event));
+  doc.Set("traceEvents", std::move(array));
+  return doc;
+}
+
+}  // namespace
+
+TEST(ValidateChromeTraceTest, RejectsTimestampsGoingBackwardsOnAThread) {
+  json::Value ok_trace =
+      TraceOf({Instant("a", 10.0, 1, 0), Instant("b", 10.0, 1, 0),
+               Instant("c", 5.0, 2, 0)});  // other thread: fine
+  EXPECT_TRUE(obs::ValidateChromeTrace(ok_trace).ok());
+
+  json::Value bad_trace =
+      TraceOf({Instant("a", 10.0, 1, 0), Instant("b", 5.0, 1, 0)});
+  const Status status = obs::ValidateChromeTrace(bad_trace);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("back in time"), std::string::npos);
+}
+
+TEST(ValidateChromeTraceTest, RejectsOrphanRecoversOnCompleteTraces) {
+  json::Value orphan_host = TraceOf({Instant("host_recover", 10.0, 1, 0)});
+  EXPECT_FALSE(obs::ValidateChromeTrace(orphan_host).ok());
+
+  json::Value paired = TraceOf(
+      {Instant("host_crash", 5.0, 1, 0), Instant("host_recover", 10.0, 1, 0)});
+  EXPECT_TRUE(obs::ValidateChromeTrace(paired).ok());
+
+  json::Value recover = Instant("replica_recover", 10.0, 1, 3);
+  json::Value args = json::Value::MakeObject();
+  args.Set("pe", json::Value::Int(2));
+  args.Set("replica", json::Value::Int(0));
+  recover.Set("args", std::move(args));
+  json::Value orphan_replica = TraceOf({std::move(recover)});
+  EXPECT_FALSE(obs::ValidateChromeTrace(orphan_replica).ok());
+}
+
+TEST(ValidateChromeTraceTest, WrappedRingExcusesOrphanRecovers) {
+  // Once the ring overwrote events a recover may have lost its crash; the
+  // validator must not reject a legitimately truncated trace.
+  json::Value truncated = TraceOf({Instant("host_recover", 10.0, 1, 0)});
+  truncated.Set("laarDroppedEvents", json::Value::Int(17));
+  EXPECT_TRUE(obs::ValidateChromeTrace(truncated).ok());
+}
+
+}  // namespace
+}  // namespace laar

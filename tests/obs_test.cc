@@ -310,6 +310,56 @@ TEST(SimulationTracingTest, ChromeTraceIsValidAndCarriesTheKeyEvents) {
   EXPECT_FALSE(obs::SummarizeChromeTrace(chrome).empty());
 }
 
+TEST(SimulationTracingTest, CrashRunsRenderOutageSpansAndLossEvents) {
+  SimFixture f;
+  auto trace = InputTrace::Step(0, 1, 60.0, 120.0);
+  ASSERT_TRUE(trace.ok());
+  ActivationStrategy laar = f.LaarStrategy();
+
+  auto run_traced = [&](std::string* dump) {
+    RuntimeOptions options;
+    obs::TraceRecorder recorder;
+    options.trace_recorder = &recorder;
+    StreamSimulation simulation(f.app, f.cluster, f.placement, laar, *trace, options);
+    // Overlapping two-host outage: both hosts dark 42-45 s.
+    ASSERT_TRUE(simulation.ScheduleHostCrash(0, 40.0, 5.0).ok());
+    ASSERT_TRUE(simulation.ScheduleHostCrash(1, 42.0, 6.0).ok());
+    ASSERT_TRUE(simulation.Run().ok());
+    EXPECT_GT(simulation.metrics().crash_lost_tuples, 0u);
+    const json::Value chrome = obs::ToChromeTraceJson(recorder);
+    const Status valid = obs::ValidateChromeTrace(chrome);
+    EXPECT_TRUE(valid.ok()) << valid.ToString();
+    *dump = chrome.Dump();
+
+    // The exporter synthesizes span records from the crash/recover pairs so
+    // outages render as bars (not just paired ticks) in Perfetto, and the
+    // per-loss instants carry their provenance.
+    EXPECT_NE(dump->find("host_outage"), std::string::npos);
+    EXPECT_NE(dump->find("replica_outage"), std::string::npos);
+    EXPECT_NE(dump->find("tuple_crash_loss"), std::string::npos);
+
+    // Category filtering keeps the synthesized spans with the rest of the
+    // failure events, and the drops view keeps the loss provenance.
+    auto failures = obs::FilterChromeTrace(
+        chrome, static_cast<uint32_t>(obs::Category::kFailures));
+    ASSERT_TRUE(failures.ok());
+    EXPECT_TRUE(obs::ValidateChromeTrace(*failures).ok());
+    EXPECT_NE(failures->Dump().find("host_outage"), std::string::npos);
+    EXPECT_EQ(failures->Dump().find("tuple_crash_loss"), std::string::npos);
+    auto drops = obs::FilterChromeTrace(
+        chrome, static_cast<uint32_t>(obs::Category::kDrops));
+    ASSERT_TRUE(drops.ok());
+    EXPECT_NE(drops->Dump().find("tuple_crash_loss"), std::string::npos);
+  };
+
+  // Identical runs export byte-identical traces — the forensics layer can
+  // trust crash traces to be deterministic artifacts.
+  std::string dump1, dump2;
+  run_traced(&dump1);
+  run_traced(&dump2);
+  EXPECT_EQ(dump1, dump2);
+}
+
 TEST(SimulationTracingTest, RegistrySummaryReflectsTheRun) {
   SimFixture f;
   auto trace = InputTrace::Step(0, 1, 30.0, 60.0);

@@ -69,7 +69,9 @@
 #include "laar/obs/chrome_trace.h"
 #include "laar/obs/health.h"
 #include "laar/obs/latency_tracer.h"
+#include "laar/obs/loss_ledger.h"
 #include "laar/obs/metrics_registry.h"
+#include "laar/obs/run_info.h"
 #include "laar/obs/trace_recorder.h"
 #include "laar/placement/placement_algorithms.h"
 #include "laar/runtime/experiment.h"
@@ -325,6 +327,13 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(m.sink_tuples));
   std::printf("dropped (overflow)  %10llu\n",
               static_cast<unsigned long long>(m.dropped_tuples));
+  // Failure-caused losses get a provenance breakdown; failure-free runs
+  // keep the historical report shape.
+  if (m.crash_lost_tuples + m.resync_lost_tuples + m.orphaned_tuples > 0) {
+    std::printf("lost (all causes)   %10llu\n",
+                static_cast<unsigned long long>(m.LostTuples()));
+    std::printf("%s", m.losses.ToString().c_str());
+  }
   std::printf("tuples processed    %10llu\n",
               static_cast<unsigned long long>(m.TotalProcessed()));
   std::printf("CPU consumed        %10.2f core-s (at %.3g cycles/s)\n",
@@ -356,8 +365,19 @@ int main(int argc, char** argv) {
   }
   std::printf("summary: %s\n", laar::dsps::RunSummaryFromRegistry(registry).c_str());
 
+  // Every JSON artifact below carries the same build/run stamp so that
+  // `laar_trace diff` can tell comparable runs from incomparable ones.
+  // The capture strips `--jobs` and output paths, keeping artifacts
+  // byte-identical across parallelism and output locations.
+  const laar::obs::RunInfo run_info = laar::obs::RunInfo::Capture(
+      "laar_simulate", flags.GetUint64("latency-seed", 1), argc, argv);
+
   if (!metrics_out.empty()) {
-    const laar::Status write_status = laar::json::WriteFile(registry.ToJson(), metrics_out);
+    laar::obs::PublishLossLedger(&registry, m.losses);
+    laar::json::Value metrics_doc = registry.ToJson();
+    metrics_doc.Set("loss_ledger", m.losses.ToJson());
+    metrics_doc.Set("run_info", run_info.ToJson());
+    const laar::Status write_status = laar::json::WriteFile(metrics_doc, metrics_out);
     if (!write_status.ok()) {
       std::fprintf(stderr, "metrics write failed: %s\n", write_status.ToString().c_str());
       return 1;
@@ -422,7 +442,9 @@ int main(int argc, char** argv) {
     std::printf("%s", report.ToString().c_str());
     if (recorder.has_value()) laar::obs::EmitAlertEvents(&*recorder, report);
     if (!health_out.empty()) {
-      const laar::Status write_status = laar::json::WriteFile(report.ToJson(), health_out);
+      laar::json::Value health_doc = report.ToJson();
+      health_doc.Set("run_info", run_info.ToJson());
+      const laar::Status write_status = laar::json::WriteFile(health_doc, health_out);
       if (!write_status.ok()) {
         std::fprintf(stderr, "health write failed: %s\n",
                      write_status.ToString().c_str());
@@ -433,8 +455,13 @@ int main(int argc, char** argv) {
   }
 
   if (recorder.has_value()) {
-    const laar::json::Value chrome = laar::obs::ToChromeTraceJson(
+    laar::json::Value chrome = laar::obs::ToChromeTraceJson(
         *recorder, tracer.has_value() ? &*tracer : nullptr);
+    // The trace carries the ledger and the run stamp as extra top-level
+    // keys (the Chrome format tolerates unknown keys), so `laar_trace
+    // explain` can reconcile its incident losses against the ledger.
+    chrome.Set("laarLossLedger", m.losses.ToJson());
+    chrome.Set("laarRunInfo", run_info.ToJson());
     const laar::Status write_status = laar::json::WriteFile(chrome, trace_out);
     if (!write_status.ok()) {
       std::fprintf(stderr, "trace write failed: %s\n",

@@ -7,6 +7,8 @@
 //   laar_trace validate --in=run.json             # schema check, exit 0/1
 //   laar_trace filter --in=run.json --filter=drops,failures --out=small.json
 //   laar_trace timeseries --in=run.json [--bucket=S] [--out=series.csv]
+//   laar_trace explain --in=run.json [--out=forensics.json]
+//   laar_trace diff runA.json runB.json [--out=diff.json]
 //
 // The subcommand word is optional for the first three (legacy flag-driven
 // invocations keep working: --validate, --filter imply their subcommands).
@@ -20,15 +22,30 @@
 // counter ("C") event becomes one CSV row, and with --bucket=S each event
 // category additionally gets a bucketed event-count series — CSV with the
 // fixed header `time_seconds,series,value`, to --out or stdout.
+//
+// `explain` runs the post-run forensic pass: host crash/recover events are
+// correlated into incidents (simultaneous multi-host outages are domain
+// outages), crash-attributed losses and collateral drops are assigned to
+// them, and the result — reconciled against the loss ledger the producer
+// stamped into the trace — prints as a one-screen incident report (JSON to
+// --out). Exits 1 when a complete trace fails to reconcile with its ledger.
+//
+// `diff` compares two `--metrics-out` artifacts (counters, gauges,
+// histograms, timeseries, loss ledgers) and prints per-entry deltas plus a
+// one-line verdict; the stamped run metadata flags incomparable workloads.
 
 #include <cstdio>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "laar/common/flags.h"
 #include "laar/common/strings.h"
 #include "laar/json/json.h"
 #include "laar/obs/chrome_trace.h"
+#include "laar/obs/forensics.h"
+#include "laar/obs/run_diff.h"
 #include "laar/obs/trace_event.h"
 
 namespace {
@@ -89,16 +106,61 @@ int main(int argc, char** argv) {
   if (flags.Has("validate")) command = "validate";
   if (flags.Has("filter")) command = "filter";
 
-  const std::string in_path = flags.GetString("in", "");
-  if (in_path.empty() || (command != "summarize" && command != "validate" &&
-                          command != "filter" && command != "timeseries")) {
+  const auto usage = [] {
     std::fprintf(stderr,
-                 "usage: laar_trace [summarize|validate|timeseries] --in=run.json\n"
+                 "usage: laar_trace [summarize|validate|timeseries|explain] --in=run.json\n"
                  "       laar_trace filter --in=run.json --filter=cat1,cat2,...\n"
                  "                  --out=filtered.json\n"
                  "       laar_trace timeseries --in=run.json [--bucket=S]\n"
-                 "                  [--out=series.csv]\n");
+                 "                  [--out=series.csv]\n"
+                 "       laar_trace explain --in=run.json [--out=forensics.json]\n"
+                 "       laar_trace diff runA.json runB.json [--out=diff.json]\n");
     return 2;
+  };
+
+  if (command == "diff") {
+    // The two run artifacts are positional (the flags parser ignores them).
+    std::vector<std::string> inputs;
+    for (int i = 2; i < argc; ++i) {
+      if (argv[i][0] != '-') inputs.emplace_back(argv[i]);
+    }
+    if (flags.Has("a")) inputs.insert(inputs.begin(), flags.GetString("a", ""));
+    if (flags.Has("b")) inputs.push_back(flags.GetString("b", ""));
+    if (inputs.size() != 2) return usage();
+    laar::json::Value runs[2];
+    for (size_t i = 0; i < 2; ++i) {
+      auto parsed = laar::json::ParseFile(inputs[i]);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "cannot load %s: %s\n", inputs[i].c_str(),
+                     parsed.status().ToString().c_str());
+        return 1;
+      }
+      runs[i] = *std::move(parsed);
+    }
+    auto report = laar::obs::DiffRuns(runs[0], runs[1]);
+    if (!report.ok()) {
+      std::fprintf(stderr, "diff failed: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("A: %s\nB: %s\n%s", inputs[0].c_str(), inputs[1].c_str(),
+                report->ToString().c_str());
+    const std::string out_path = flags.GetString("out", "");
+    if (!out_path.empty()) {
+      const laar::Status status = laar::json::WriteFile(report->ToJson(), out_path);
+      if (!status.ok()) {
+        std::fprintf(stderr, "write failed: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", out_path.c_str());
+    }
+    return 0;
+  }
+
+  const std::string in_path = flags.GetString("in", "");
+  if (in_path.empty() || (command != "summarize" && command != "validate" &&
+                          command != "filter" && command != "timeseries" &&
+                          command != "explain")) {
+    return usage();
   }
 
   auto trace = laar::json::ParseFile(in_path);
@@ -144,6 +206,36 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+  }
+
+  if (command == "explain") {
+    auto report = laar::obs::AnalyzeChromeTrace(*trace);
+    if (!report.ok()) {
+      std::fprintf(stderr, "explain failed: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", report->ToString().c_str());
+    const std::string out_path = flags.GetString("out", "");
+    if (!out_path.empty()) {
+      const laar::Status status = laar::json::WriteFile(report->ToJson(), out_path);
+      if (!status.ok()) {
+        std::fprintf(stderr, "write failed: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", out_path.c_str());
+    }
+    // A complete trace whose per-event losses disagree with its stamped
+    // ledger is a bookkeeping bug somewhere — make it scriptable.
+    if (!report->reconciled && report->trace_dropped_events == 0) {
+      std::fprintf(stderr,
+                   "RECONCILE FAILED: trace accounts for %llu crash-attributed "
+                   "losses, ledger says %llu\n",
+                   static_cast<unsigned long long>(report->attributed_lost +
+                                                   report->unattributed_lost),
+                   static_cast<unsigned long long>(report->ledger_crash_attributed));
+      return 1;
+    }
     return 0;
   }
 

@@ -8,7 +8,9 @@
 # 3. verifies no generated artifacts are tracked by git,
 # 4. smoke-tests the CLI pipeline end to end (generate -> solve ->
 #    simulate with a correlated rack outage and an explicit overlapping
-#    crash schedule),
+#    crash schedule), then the forensics loop on the outage run:
+#    validate + explain the trace, diff the two placements, and require
+#    the artifacts to be byte-identical across --jobs,
 # 5. rebuilds the concurrency-sensitive tests (thread pool, parallel
 #    corpus + observability publishing) under ThreadSanitizer and runs
 #    them.
@@ -44,6 +46,31 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
 "./$BUILD_DIR/tools/laar_simulate" --app="$SMOKE_DIR/app.json" \
     --strategy="$SMOKE_DIR/strategy.json" \
     --crash-schedule=2@10+8,2@13+8,5@30+5 >/dev/null
+
+# Forensics loop on the rack outage. The restricted category list keeps the
+# trace ring from wrapping, so `explain` can (and must) reconcile every
+# crash-attributed loss against the embedded ledger.
+forensics_sim() {
+    "./$BUILD_DIR/tools/laar_simulate" --app="$SMOKE_DIR/app.json" \
+        --strategy="$SMOKE_DIR/strategy.json" --hosts-per-rack=3 \
+        --fail-domain=rack:1 \
+        --trace-categories=drops,failures,config,health "$@" >/dev/null
+}
+forensics_sim --placement=domain \
+    --trace-out="$SMOKE_DIR/domain.trace.json" \
+    --metrics-out="$SMOKE_DIR/domain.metrics.json"
+forensics_sim --placement=balanced \
+    --metrics-out="$SMOKE_DIR/balanced.metrics.json"
+"./$BUILD_DIR/tools/laar_trace" --in="$SMOKE_DIR/domain.trace.json" validate >/dev/null
+"./$BUILD_DIR/tools/laar_trace" --in="$SMOKE_DIR/domain.trace.json" explain >/dev/null
+"./$BUILD_DIR/tools/laar_trace" diff "$SMOKE_DIR/balanced.metrics.json" \
+    "$SMOKE_DIR/domain.metrics.json" >/dev/null
+# Worker parallelism must not leak into the artifacts.
+forensics_sim --placement=domain --jobs=2 \
+    --trace-out="$SMOKE_DIR/domain.jobs2.trace.json" \
+    --metrics-out="$SMOKE_DIR/domain.jobs2.metrics.json"
+cmp "$SMOKE_DIR/domain.trace.json" "$SMOKE_DIR/domain.jobs2.trace.json"
+cmp "$SMOKE_DIR/domain.metrics.json" "$SMOKE_DIR/domain.jobs2.metrics.json"
 
 echo "== [5/5] TSan: exec_test + obs_test (${TSAN_DIR}) =="
 cmake -B "$TSAN_DIR" -S . -DLAAR_SANITIZE=thread >/dev/null
