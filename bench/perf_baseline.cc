@@ -2,12 +2,12 @@
 //
 // Runs a fixed set of stages through the DES hot path and records, per
 // stage, events executed, wall-clock seconds, and events/sec, plus the
-// process peak RSS — the committed baseline (`BENCH_5.json`) documents the
+// process peak RSS — the committed baseline (`BENCH_8.json`) documents the
 // engine-overhaul speedup and anchors the CI regression guard.
 //
 // Usage:
-//   perf_baseline --bench-out=BENCH_5.json [--repeat=N]
-//   perf_baseline --check=BENCH_5.json [--tolerance=0.30]
+//   perf_baseline --bench-out=BENCH_8.json [--repeat=N]
+//   perf_baseline --check=BENCH_8.json [--tolerance=0.30]
 //
 // `--check` compares each stage's events/sec against the baseline file and
 // exits non-zero when any stage is slower by more than `--tolerance`
@@ -202,6 +202,49 @@ StageResult RunDomainOutage(int repeat) {
   return result;
 }
 
+/// Sharded-engine scaling on the web-scale profile: one generated
+/// application (2048 PEs / 256 hosts, appgen::WebScaleProfile), windowed
+/// with a 5 ms conservative window, run at 1/2/4/8 shards. The four runs
+/// are byte-identical by contract (determinism_test), so `events` is equal
+/// across them and the events/sec ratios are pure wall-clock scaling.
+/// Single pass per shard count — the run is large enough to be
+/// self-averaging, and `--repeat` would quadruple an already-long stage.
+std::vector<StageResult> RunShardedScaling(double link_latency) {
+  appgen::GeneratorOptions options = appgen::WebScaleProfile();
+  auto make_app = [&options](uint64_t seed) {
+    for (;; ++seed) {
+      auto app = appgen::GenerateApplication(options, seed);
+      if (app.ok()) return std::move(*app);
+    }
+  };
+  const auto app = make_app(1);
+  const auto strategy = strategy::MakeStaticReplication(
+      app.descriptor.graph, app.descriptor.input_space, 2);
+  const auto trace = *dsps::InputTrace::Step(
+      0, app.descriptor.input_space.PeakConfig(), 3.0, 4.0);
+  std::vector<StageResult> results;
+  for (int shards : {1, 2, 4, 8}) {
+    StageResult result;
+    result.name = "sharded_scaling_s" + std::to_string(shards);
+    dsps::RuntimeOptions runtime;
+    runtime.record_latency = false;  // millions of sink samples otherwise
+    runtime.link_latency_seconds = link_latency;
+    runtime.shards = shards;
+    Stopwatch watch;
+    dsps::StreamSimulation simulation(app.descriptor, app.cluster, app.placement,
+                                      strategy, trace, runtime);
+    simulation.Run().CheckOK();
+    result.wall_seconds = watch.ElapsedSeconds();
+    result.events = simulation.metrics().engine_events;
+    results.push_back(std::move(result));
+  }
+  std::printf("sharded_scaling: speedup s2=%.2fx s4=%.2fx s8=%.2fx\n",
+              results[0].wall_seconds / results[1].wall_seconds,
+              results[0].wall_seconds / results[2].wall_seconds,
+              results[0].wall_seconds / results[3].wall_seconds);
+  return results;
+}
+
 long PeakRssKb() {
   struct rusage usage {};
   getrusage(RUSAGE_SELF, &usage);
@@ -263,6 +306,12 @@ int Main(int argc, char** argv) {
   stages.push_back(RunEndToEnd("traced_sim", /*traced=*/true, repeat));
   stages.push_back(RunMiniCorpus(repeat));
   stages.push_back(RunDomainOutage(repeat));
+  if (!flags.Has("skip-scaling")) {
+    for (StageResult& stage :
+         RunShardedScaling(flags.GetDouble("scaling-link", 0.005))) {
+      stages.push_back(std::move(stage));
+    }
+  }
 
   for (const StageResult& stage : stages) {
     std::printf("%-16s events=%-12llu wall=%7.3fs  %12.0f events/sec\n",

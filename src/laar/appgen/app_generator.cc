@@ -304,4 +304,25 @@ Result<GeneratedApplication> GenerateApplication(const GeneratorOptions& options
                 options.max_attempts));
 }
 
+GeneratorOptions WebScaleProfile() {
+  GeneratorOptions options;
+  options.num_pes = 2048;
+  options.num_sources = 8;
+  options.num_sinks = 4;
+  options.num_hosts = 256;
+  options.hosts_per_rack = 8;
+  options.racks_per_zone = 4;
+  options.domain_aware_placement = true;
+  // Effective branching = out_degree × selectivity ≈ 1.5 × 0.65 ≈ 0.98:
+  // per-edge rates stay near the source rate through the whole graph
+  // instead of growing geometrically with depth.
+  options.out_degree_min = 1.2;
+  options.out_degree_max = 1.8;
+  options.selectivity_min = 0.4;
+  options.selectivity_max = 0.9;
+  options.rate_min = 400.0;
+  options.rate_max = 800.0;
+  return options;
+}
+
 }  // namespace laar::appgen

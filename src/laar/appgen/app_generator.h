@@ -81,6 +81,19 @@ struct GeneratedApplication {
 Result<GeneratedApplication> GenerateApplication(const GeneratorOptions& options,
                                                  uint64_t seed);
 
+/// The "web-scale" profile: an application and cluster two orders of
+/// magnitude beyond the paper's testbed — 2048 PEs fed by 8 sources over
+/// 256 hosts (8 per rack, 4 racks per zone) with rack-spread placement.
+/// Source rates in the hundreds of tuples per second and near-unity
+/// effective branching (out-degree ~1.5 at mean selectivity ~0.65) keep
+/// per-edge rates flat through the graph, so the aggregate tuple-transfer
+/// rate scales with PE count into the millions per second without the
+/// exponential blow-up a selectivity above 1/out-degree would cause.
+/// This is the workload the sharded engine's scaling benchmarks run on
+/// (EXPERIMENTS.md); single-threaded runs of it are dominated by event-heap
+/// work, which is exactly what sharding parallelizes.
+GeneratorOptions WebScaleProfile();
+
 }  // namespace laar::appgen
 
 #endif  // LAAR_APPGEN_APP_GENERATOR_H_

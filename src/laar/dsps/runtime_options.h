@@ -104,6 +104,23 @@ struct RuntimeOptions {
   /// Labels attached to every telemetry series — how corpus workers keep
   /// their series disjoint (one writer per label set) in a shared registry.
   std::vector<std::pair<std::string, std::string>> telemetry_labels;
+
+  /// Minimum inter-host link latency in simulated seconds. Zero (the
+  /// default) keeps the historical synchronous-delivery engine: a tuple
+  /// crossing hosts arrives within the same event. A positive value
+  /// activates the conservative-window engine (DESIGN.md §10): every
+  /// cross-host tuple transfer takes between one and two link latencies
+  /// (deliveries are quantized to window boundaries), and the run may be
+  /// partitioned across `shards` threads. The window width equals this
+  /// latency — it is exactly the lookahead that makes per-host execution
+  /// independent within a window.
+  double link_latency_seconds = 0.0;
+
+  /// Number of event-engine shards (threads) the hosts are partitioned
+  /// over. Requires `link_latency_seconds > 0` when > 1. Any value yields
+  /// byte-identical metrics/trace/timeseries/health outputs for a fixed
+  /// `link_latency_seconds`; shards only change wall-clock time.
+  int shards = 1;
 };
 
 }  // namespace laar::dsps

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "laar/common/strings.h"
+#include "laar/exec/shard_runner.h"
 #include "laar/obs/latency_tracer.h"
 #include "laar/obs/metrics_registry.h"
 #include "laar/obs/trace_recorder.h"
@@ -142,6 +143,11 @@ struct StreamSimulation::HostState {
   std::vector<Replica*> busy;
   sim::SimTime last_advance = 0.0;
 
+  /// Windowed engine: sequence number of the next tuple this host puts on
+  /// the network; (src_host, net_seq) is the unique, partition-invariant
+  /// identity delivery order is keyed on.
+  uint64_t net_seq = 0;
+
   /// The host's single service event, kept alive across busy-set changes
   /// and moved in place with Simulator::Reschedule; `completion_target` is
   /// its payload (the replica whose completion the event realizes).
@@ -162,6 +168,81 @@ struct StreamSimulation::SourceState {
   uint64_t emitted = 0;
   uint64_t monitor_snapshot = 0;
   std::vector<Output> outputs;
+
+  /// Windowed engine: sources are pseudo-hosts `num_hosts + source_index`
+  /// on the network, with their own sequence counter and owning shard.
+  int32_t net_host = -1;
+  uint64_t net_seq = 0;
+  int shard = 0;
+};
+
+/// One tuple copy in flight between hosts in the windowed engine. Emitted
+/// into the source shard's outbox, it crosses the double buffer and is
+/// delivered on the destination shard at the second window barrier after
+/// emission — between one and two link latencies later.
+struct StreamSimulation::NetMessage {
+  model::HostId dst_host = model::kInvalidHost;
+  int32_t src_host = -1;  // emitting host, or a source's pseudo-host id
+  uint64_t src_seq = 0;   // emitting host's net_seq for this tuple
+  model::ComponentId to = model::kInvalidComponent;
+  int replica = 0;
+  int port = -1;
+  sim::SimTime birth = 0.0;
+};
+
+/// A tuple headed for a sink. Sinks are external, so arrivals are applied
+/// by the coordinator at window barriers, replayed in (src_host, src_seq)
+/// order — sink-latency accumulation is FP-order-sensitive, and this order
+/// is the partition-invariant one.
+struct StreamSimulation::SinkMessage {
+  int32_t src_host = -1;
+  uint64_t src_seq = 0;
+  sim::SimTime birth = 0.0;
+};
+
+/// One event-engine shard: a subset of hosts (`host % num_shards`) with its
+/// own pooled-slab simulator, plus everything those hosts write during a
+/// phase that the rest of the simulation may not touch concurrently —
+/// loss/emission accumulators (folded into `metrics_` when the run ends;
+/// every fold is exact, so fold order cannot matter), buffered tuple-plane
+/// trace events, and the network double buffers.
+///
+/// Synchronous mode keeps a single Shard as the accumulator target; its
+/// `sim` stays empty (the one global engine runs everything).
+struct StreamSimulation::Shard {
+  sim::Simulator sim;
+
+  uint64_t dropped_tuples = 0;
+  uint64_t shed_tuples = 0;
+  uint64_t crash_lost_tuples = 0;
+  uint64_t resync_lost_tuples = 0;
+  uint64_t orphaned_tuples = 0;
+  uint64_t max_queue_depth = 0;
+  obs::LossLedger losses;
+
+  // Source-side accumulators (windowed mode only; the synchronous engine's
+  // SourceEmit writes metrics_ directly, single-threaded).
+  uint64_t source_tuples = 0;
+  uint64_t inline_events = 0;  // emissions drained inline, no heap round-trip
+  std::vector<double> source_series;
+
+  // Tuple-plane trace events of the current window, merged at the barrier.
+  std::vector<obs::TraceEvent> trace_buffer;
+
+  // Network double buffer, indexed by destination shard. Messages emitted
+  // during window n sit in `outbox`; barrier B(n+1) moves them to
+  // `outbox_staging`; barrier B(n+2) appends them to the destination
+  // shard's `inbox`, drained at that shard's next phase start.
+  std::vector<std::vector<NetMessage>> outbox;
+  std::vector<std::vector<NetMessage>> outbox_staging;
+  std::vector<NetMessage> inbox;
+  bool drain_pending = false;
+
+  std::vector<SinkMessage> sink_outbox;
+  std::vector<SinkMessage> sink_staging;
+
+  // HostCompletionEvent working set, reused across events.
+  std::vector<Replica*> finished_scratch;
 };
 
 /// Handles into the telemetry registry plus the previous snapshot, so each
@@ -205,6 +286,18 @@ Status StreamSimulation::Build() {
   LAAR_RETURN_IF_ERROR(cluster_.Validate());
   LAAR_RETURN_IF_ERROR(placement_.Validate(cluster_, /*require_anti_affinity=*/false));
   if (trace_.segments().empty()) return Status::FailedPrecondition("empty input trace");
+  if (options_.shards < 1) {
+    return Status::InvalidArgument("shards must be >= 1");
+  }
+  if (options_.shards > 1 && options_.link_latency_seconds <= 0.0) {
+    return Status::InvalidArgument(
+        "shards > 1 requires link_latency_seconds > 0 (the conservative window)");
+  }
+  windowed_ = options_.link_latency_seconds > 0.0;
+  if (windowed_ && options_.latency_tracer != nullptr) {
+    return Status::InvalidArgument(
+        "the latency tracer is not supported by the windowed engine");
+  }
 
   LAAR_ASSIGN_OR_RETURN(rates_, model::ExpectedRates::Compute(app_.graph, app_.input_space));
   LAAR_ASSIGN_OR_RETURN(config_index_, configindex::ConfigIndex::Build(app_.input_space));
@@ -234,6 +327,27 @@ Status StreamSimulation::Build() {
     state->id = host.id;
     state->capacity = host.capacity_cycles_per_sec;
     hosts_.push_back(std::move(state));
+  }
+
+  // Shards: hosts are partitioned round-robin (`host % num_shards`). The
+  // synchronous engine keeps one shard purely as the accumulator target.
+  num_shards_ = 1;
+  if (windowed_) {
+    num_shards_ = static_cast<int>(
+        std::min<size_t>(static_cast<size_t>(options_.shards), hosts_.size()));
+    if (num_shards_ < 1) num_shards_ = 1;
+  }
+  shard_of_host_.assign(hosts_.size(), 0);
+  for (size_t h = 0; h < hosts_.size(); ++h) {
+    shard_of_host_[h] = static_cast<int>(h % static_cast<size_t>(num_shards_));
+  }
+  shards_.clear();
+  for (int s = 0; s < num_shards_; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->outbox.resize(static_cast<size_t>(num_shards_));
+    shard->outbox_staging.resize(static_cast<size_t>(num_shards_));
+    shard->source_series.assign(metrics_.source_series.size(), 0.0);
+    shards_.push_back(std::move(shard));
   }
 
   // PEs with their replicas and ports.
@@ -314,6 +428,9 @@ Status StreamSimulation::Build() {
     state->id = source;
     LAAR_ASSIGN_OR_RETURN(state->source_index, app_.input_space.SourceIndexOf(source));
     state->outputs = outputs_of(source);
+    state->net_host = static_cast<int32_t>(hosts_.size() + state->source_index);
+    state->shard =
+        static_cast<int>(state->source_index % static_cast<size_t>(num_shards_));
     sources_.push_back(std::move(state));
   }
 
@@ -354,7 +471,10 @@ Status StreamSimulation::Build() {
     telemetry->prev_host_cycles.assign(hosts_.size(), 0.0);
     telemetry_ = std::move(telemetry);
   }
-  simulator_.set_trace_recorder(options_.trace_recorder);
+  // Windowed mode leaves the recorder detached from every engine: backlog
+  // sampling is keyed to one engine's event count, which is exactly what a
+  // partition changes. All other trace paths are partition-invariant.
+  if (!windowed_) simulator_.set_trace_recorder(options_.trace_recorder);
   built_ = true;
   return Status::OK();
 }
@@ -421,7 +541,12 @@ Status StreamSimulation::Run() {
     const double rate =
         app_.input_space.RateOf(state->source_index, trace_.ConfigAt(0.0));
     if (rate > 0.0) {
-      simulator_.ScheduleAt(1.0 / rate, [this, state] { SourceEmit(state); });
+      if (windowed_) {
+        shards_[static_cast<size_t>(state->shard)]->sim.ScheduleAt(
+            1.0 / rate, [this, state] { WindowedSourceEmit(state); });
+      } else {
+        simulator_.ScheduleAt(1.0 / rate, [this, state] { SourceEmit(state); });
+      }
     }
   }
 
@@ -435,11 +560,35 @@ Status StreamSimulation::Run() {
     simulator_.ScheduleAt(telemetry_->period, [this] { TelemetryTick(); });
   }
 
-  simulator_.RunUntil(trace_.TotalDuration());
+  if (windowed_) {
+    RunWindowedLoop();
+  } else {
+    simulator_.RunUntil(trace_.TotalDuration());
+  }
 
   // Flush processor-sharing accounting up to the horizon.
   for (auto& host : hosts_) AdvanceHost(host.get());
+
+  // Fold the per-shard accumulators into the run totals. Every merge is
+  // exact — unsigned adds, integer-valued double adds, maxima, ledger
+  // tallies — so shard order cannot leak into the results.
   metrics_.engine_events = simulator_.events_processed();
+  for (auto& shard : shards_) {
+    metrics_.engine_events += shard->sim.events_processed() + shard->inline_events;
+    metrics_.source_tuples += shard->source_tuples;
+    metrics_.dropped_tuples += shard->dropped_tuples;
+    metrics_.shed_tuples += shard->shed_tuples;
+    metrics_.crash_lost_tuples += shard->crash_lost_tuples;
+    metrics_.resync_lost_tuples += shard->resync_lost_tuples;
+    metrics_.orphaned_tuples += shard->orphaned_tuples;
+    metrics_.max_queue_depth = std::max(metrics_.max_queue_depth, shard->max_queue_depth);
+    for (size_t i = 0; i < shard->source_series.size(); ++i) {
+      metrics_.source_series[i] += shard->source_series[i];
+    }
+    for (const obs::LossLedger::Row& row : shard->losses.Rows()) {
+      metrics_.losses.Record(row.pe, row.cause, row.count);
+    }
+  }
   // Loss provenance must reconcile on every run: the ledger and the scalar
   // counters are maintained independently at each loss site, so agreement
   // is a real invariant, not a tautology.
@@ -447,11 +596,230 @@ Status StreamSimulation::Run() {
 }
 
 // ---------------------------------------------------------------------------
+// The windowed / sharded engine (DESIGN.md §10)
+// ---------------------------------------------------------------------------
+
+sim::Simulator& StreamSimulation::SimOfHost(model::HostId host) {
+  if (!windowed_) return simulator_;
+  return shards_[static_cast<size_t>(shard_of_host_[static_cast<size_t>(host)])]->sim;
+}
+
+StreamSimulation::Shard& StreamSimulation::AccOfHost(model::HostId host) {
+  return *shards_[static_cast<size_t>(shard_of_host_[static_cast<size_t>(host)])];
+}
+
+void StreamSimulation::TupleInstant(Shard& acc, obs::EventName name, double time,
+                                    int32_t pe, int32_t replica, int32_t host,
+                                    int32_t port, double value) {
+  if (!windowed_) {
+    options_.trace_recorder->Instant(name, time, pe, replica, host, port, value);
+    return;
+  }
+  obs::TraceEvent event;
+  event.name = name;
+  event.time = time;
+  event.pe = pe;
+  event.replica = replica;
+  event.host = host;
+  event.port = port;
+  event.value = value;
+  acc.trace_buffer.push_back(event);
+}
+
+void StreamSimulation::TupleSpan(Shard& acc, obs::EventName name, double begin,
+                                 double duration, int32_t pe, int32_t replica,
+                                 int32_t host, int32_t port) {
+  if (!windowed_) {
+    options_.trace_recorder->Span(name, begin, duration, pe, replica, host, port);
+    return;
+  }
+  obs::TraceEvent event;
+  event.name = name;
+  event.time = begin;
+  event.duration = duration;
+  event.pe = pe;
+  event.replica = replica;
+  event.host = host;
+  event.port = port;
+  acc.trace_buffer.push_back(event);
+}
+
+void StreamSimulation::RunWindowedLoop() {
+  const sim::SimTime horizon = trace_.TotalDuration();
+  const double window = options_.link_latency_seconds;
+  exec::ShardRunner runner(num_shards_);
+  auto run_phase = [&](sim::SimTime stop, bool inclusive) {
+    phase_end_ = stop;
+    runner.RunPhase([this, stop, inclusive](int s) {
+      Shard* shard = shards_[static_cast<size_t>(s)].get();
+      if (shard->drain_pending) DrainInbox(shard);
+      if (inclusive) {
+        shard->sim.RunUntil(stop);
+      } else {
+        shard->sim.RunBefore(stop);
+      }
+    });
+  };
+
+  // Stop points are the union of window barriers (multiples of the window
+  // width) and control-event times; between stops, hosts are independent —
+  // the only cross-host edge is the network, and its earliest effect is
+  // always at least one full window away. At each stop, control actions run
+  // on the coordinator while every shard is parked (control-before-local at
+  // equal times), then barrier stops rotate the network buffers.
+  uint64_t barrier_index = 1;
+  sim::SimTime current = 0.0;
+  while (current < horizon) {
+    // Barriers are computed as window * index, not accumulated, so FP error
+    // does not drift with the barrier count.
+    sim::SimTime next_barrier = window * static_cast<double>(barrier_index);
+    while (next_barrier <= current) {
+      ++barrier_index;
+      next_barrier = window * static_cast<double>(barrier_index);
+    }
+    sim::SimTime stop = std::min(horizon, next_barrier);
+    sim::SimTime control_at = 0.0;
+    if (simulator_.NextEventTime(&control_at) && control_at < stop) stop = control_at;
+    if (stop > current) run_phase(stop, /*inclusive=*/false);
+    // Control events only ever schedule other control events, so RunUntil
+    // leaves the control heap strictly beyond `stop` — the loop always
+    // makes progress.
+    simulator_.RunUntil(stop);
+    if (stop == next_barrier) RotateAndDeliver(stop);
+    current = stop;
+  }
+  // Events at exactly the horizon belong to the run (RunBefore excluded
+  // them), as do deliveries staged for a barrier coinciding with it.
+  run_phase(horizon, /*inclusive=*/true);
+  MergeShardTraces();
+}
+
+void StreamSimulation::DrainInbox(Shard* shard) {
+  shard->drain_pending = false;
+  // (dst_host, src_host, src_seq) is unique per message and independent of
+  // the partition, so this sort fixes one delivery order for all shard
+  // counts. Deliveries to different hosts touch disjoint state; per
+  // (src_host, dst_host) pair the order is emission order.
+  std::sort(shard->inbox.begin(), shard->inbox.end(),
+            [](const NetMessage& a, const NetMessage& b) {
+              if (a.dst_host != b.dst_host) return a.dst_host < b.dst_host;
+              if (a.src_host != b.src_host) return a.src_host < b.src_host;
+              return a.src_seq < b.src_seq;
+            });
+  for (const NetMessage& msg : shard->inbox) {
+    Replica& target =
+        pes_[static_cast<size_t>(msg.to)]->replicas[static_cast<size_t>(msg.replica)];
+    DeliverToReplica(&target, msg.port, msg.birth, /*span=*/0);
+  }
+  shard->inbox.clear();
+}
+
+void StreamSimulation::RotateAndDeliver(sim::SimTime stop) {
+  // Staged sink arrivals land at this barrier. Replay order must be fixed
+  // across partitions because sink-latency accumulation is FP-order
+  // sensitive; (src_host, src_seq) is unique and partition-invariant.
+  sink_scratch_.clear();
+  for (auto& shard : shards_) {
+    sink_scratch_.insert(sink_scratch_.end(), shard->sink_staging.begin(),
+                         shard->sink_staging.end());
+    shard->sink_staging.clear();
+    std::swap(shard->sink_staging, shard->sink_outbox);
+  }
+  std::sort(sink_scratch_.begin(), sink_scratch_.end(),
+            [](const SinkMessage& a, const SinkMessage& b) {
+              if (a.src_host != b.src_host) return a.src_host < b.src_host;
+              return a.src_seq < b.src_seq;
+            });
+  for (const SinkMessage& msg : sink_scratch_) {
+    ++metrics_.sink_tuples;
+    metrics_.sink_series[BucketOf(stop)] += 1.0;
+    if (options_.record_latency) metrics_.sink_latency.Add(stop - msg.birth);
+  }
+  // Rotate the network double buffer: staged messages become the
+  // destination's inbox (delivered when its next phase starts), and this
+  // window's outbox becomes staged.
+  for (auto& src : shards_) {
+    for (size_t d = 0; d < src->outbox_staging.size(); ++d) {
+      std::vector<NetMessage>& staged = src->outbox_staging[d];
+      if (!staged.empty()) {
+        Shard* dst = shards_[d].get();
+        dst->inbox.insert(dst->inbox.end(), staged.begin(), staged.end());
+        dst->drain_pending = true;
+        staged.clear();
+      }
+      std::swap(staged, src->outbox[d]);
+    }
+  }
+  MergeShardTraces();
+}
+
+void StreamSimulation::MergeShardTraces() {
+  if (options_.trace_recorder == nullptr) return;
+  trace_scratch_.clear();
+  for (auto& shard : shards_) {
+    trace_scratch_.insert(trace_scratch_.end(), shard->trace_buffer.begin(),
+                          shard->trace_buffer.end());
+    shard->trace_buffer.clear();
+  }
+  // (time, host) totally orders the merge across partitions: equal-time
+  // events on different hosts sort by host, and equal (time, host) events
+  // all come from the one shard owning that host, where the stable sort
+  // preserves their execution order.
+  std::stable_sort(trace_scratch_.begin(), trace_scratch_.end(),
+                   [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.host < b.host;
+                   });
+  for (const obs::TraceEvent& event : trace_scratch_) {
+    options_.trace_recorder->Record(event);
+  }
+}
+
+void StreamSimulation::WindowedSourceEmit(SourceState* source) {
+  Shard& shard = *shards_[static_cast<size_t>(source->shard)];
+  const sim::SimTime horizon = trace_.TotalDuration();
+  sim::SimTime t = shard.sim.now();
+  // Emissions touch only per-source and per-shard state (counters, series,
+  // network outboxes), so the whole phase can drain inline regardless of
+  // what else is pending on this shard — unlike the synchronous engine's
+  // batched SourceEmit, whose heap peeking would make emission batching
+  // depend on which hosts share the engine.
+  for (;;) {
+    ++source->emitted;
+    ++shard.source_tuples;
+    shard.source_series[BucketOf(t)] += 1.0;
+    for (const Output& output : source->outputs) {
+      if (output.is_sink) {
+        shard.sink_outbox.push_back(SinkMessage{source->net_host, ++source->net_seq, t});
+      } else {
+        PeState* downstream = pes_[static_cast<size_t>(output.to)].get();
+        for (Replica& target : downstream->replicas) {
+          shard.outbox[static_cast<size_t>(shard_of_host_[static_cast<size_t>(target.host)])]
+              .push_back(NetMessage{target.host, source->net_host, ++source->net_seq,
+                                    output.to, target.index, output.port_index, t});
+        }
+      }
+    }
+    const double rate =
+        app_.input_space.RateOf(source->source_index, trace_.ConfigAt(t));
+    if (rate <= 0.0) return;
+    const sim::SimTime next = t + 1.0 / rate;
+    if (next > horizon) return;
+    if (next >= phase_end_) {
+      shard.sim.ScheduleAt(next, [this, source] { WindowedSourceEmit(source); });
+      return;
+    }
+    ++shard.inline_events;
+    t = next;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Processor sharing
 // ---------------------------------------------------------------------------
 
 void StreamSimulation::AdvanceHost(HostState* host) {
-  const sim::SimTime now = simulator_.now();
+  const sim::SimTime now = SimOfHost(host->id).now();
   const double dt = now - host->last_advance;
   host->last_advance = now;
   if (dt <= 0.0 || host->busy.empty()) return;
@@ -459,14 +827,15 @@ void StreamSimulation::AdvanceHost(HostState* host) {
   const double work = share * dt;
   for (Replica* replica : host->busy) {
     replica->remaining_cycles -= work;
-    RecordReplicaCycles(replica, work);
+    RecordReplicaCycles(replica, work, now);
   }
 }
 
 void StreamSimulation::RescheduleHost(HostState* host) {
+  sim::Simulator& sim = SimOfHost(host->id);
   if (host->busy.empty()) {
     if (host->completion_event != sim::kInvalidEvent) {
-      simulator_.Cancel(host->completion_event);
+      sim.Cancel(host->completion_event);
       host->completion_event = sim::kInvalidEvent;
       host->completion_target = nullptr;
     }
@@ -482,11 +851,11 @@ void StreamSimulation::RescheduleHost(HostState* host) {
   // change. A reschedule re-draws the tie-break sequence exactly like the
   // cancel + schedule it replaces, so firing order is unchanged.
   host->completion_target = next;
-  const sim::SimTime when = simulator_.now() + delay;
+  const sim::SimTime when = sim.now() + delay;
   if (host->completion_event == sim::kInvalidEvent ||
-      !simulator_.Reschedule(host->completion_event, when)) {
+      !sim.Reschedule(host->completion_event, when)) {
     host->completion_event =
-        simulator_.ScheduleAt(when, [this, host] { HostCompletionEvent(host); });
+        sim.ScheduleAt(when, [this, host] { HostCompletionEvent(host); });
   }
 }
 
@@ -496,21 +865,22 @@ void StreamSimulation::HostCompletionEvent(HostState* host) {
   host->completion_target = nullptr;
   AdvanceHost(host);
   const double slack = host->capacity * kCompletionSlackSeconds;
-  // Partition busy in place; the finished set lives in a member scratch
+  // Partition busy in place; the finished set lives in a per-shard scratch
   // vector reused across events. Callees only ever append to host->busy
   // (AddBusy) and never re-enter this handler, so both loops are safe.
-  finished_scratch_.clear();
+  std::vector<Replica*>& finished = AccOfHost(host->id).finished_scratch;
+  finished.clear();
   size_t kept = 0;
   for (Replica* replica : host->busy) {
     if (replica == target || replica->remaining_cycles <= slack) {
-      finished_scratch_.push_back(replica);
+      finished.push_back(replica);
     } else {
       host->busy[kept++] = replica;
     }
   }
   host->busy.resize(kept);
   RescheduleHost(host);
-  for (Replica* replica : finished_scratch_) {
+  for (Replica* replica : finished) {
     replica->processing = false;
     replica->remaining_cycles = 0.0;
     FinishTuple(replica);
@@ -539,26 +909,27 @@ void StreamSimulation::RemoveBusy(Replica* replica) {
 
 void StreamSimulation::DeliverToReplica(Replica* replica, int port_index,
                                         sim::SimTime birth, uint32_t span) {
+  Shard& acc = AccOfHost(replica->host);
+  const sim::SimTime now = SimOfHost(replica->host).now();
   ReplicaMetrics& rm =
       metrics_.replicas[static_cast<size_t>(replica->pe_id)][static_cast<size_t>(replica->index)];
   if (!replica->alive || !replica->active || replica->resyncing) {
     ++rm.tuples_ignored;
     if (!replica->alive) {
       // A crashed replica cannot buffer its input: the copy is gone.
-      ++metrics_.crash_lost_tuples;
-      metrics_.losses.Record(replica->pe_id, obs::LossCause::kCrashLoss);
+      ++acc.crash_lost_tuples;
+      acc.losses.Record(replica->pe_id, obs::LossCause::kCrashLoss);
       if (Tracing(obs::Category::kDrops)) {
-        options_.trace_recorder->Instant(obs::EventName::kTupleCrashLoss,
-                                         simulator_.now(), replica->pe_id,
-                                         replica->index, replica->host, port_index);
+        TupleInstant(acc, obs::EventName::kTupleCrashLoss, now, replica->pe_id,
+                     replica->index, replica->host, port_index);
       }
     } else if (replica->resyncing) {
       // Alive and activated but still restoring state (§5.3 resync
       // latency): input during the gap is lost by this copy. Ledger-only —
       // resync gaps also occur in failure-free reconfiguration runs, so a
       // trace event here would perturb failure-free traces.
-      ++metrics_.resync_lost_tuples;
-      metrics_.losses.Record(replica->pe_id, obs::LossCause::kResyncGap);
+      ++acc.resync_lost_tuples;
+      acc.losses.Record(replica->pe_id, obs::LossCause::kResyncGap);
     }
     // else: deactivated by the strategy — an intended discard, not a loss.
     return;
@@ -571,26 +942,25 @@ void StreamSimulation::DeliverToReplica(Replica* replica, int port_index,
     // accumulator realizes the fraction without randomness.
     const double occupancy =
         static_cast<double>(port.queued) / static_cast<double>(port.capacity);
-    const double span = 1.0 - options_.shed_threshold;
+    const double ramp = 1.0 - options_.shed_threshold;
     const double fraction =
-        span <= 0.0 ? (occupancy >= options_.shed_threshold ? 1.0 : 0.0)
-                    : (occupancy - options_.shed_threshold) / span;
+        ramp <= 0.0 ? (occupancy >= options_.shed_threshold ? 1.0 : 0.0)
+                    : (occupancy - options_.shed_threshold) / ramp;
     if (fraction > 0.0) {
       port.shed_credit += std::min(fraction, 1.0);
       if (port.shed_credit >= 1.0) {
         port.shed_credit -= 1.0;
         ++rm.tuples_dropped;
-        ++metrics_.dropped_tuples;
-        ++metrics_.shed_tuples;
-        metrics_.losses.Record(replica->pe_id, obs::LossCause::kLoadShed);
+        ++acc.dropped_tuples;
+        ++acc.shed_tuples;
+        acc.losses.Record(replica->pe_id, obs::LossCause::kLoadShed);
         if (Tracing(obs::Category::kDrops)) {
-          options_.trace_recorder->Instant(obs::EventName::kTupleShed, simulator_.now(),
-                                           replica->pe_id, replica->index, replica->host,
-                                           port_index);
+          TupleInstant(acc, obs::EventName::kTupleShed, now, replica->pe_id,
+                       replica->index, replica->host, port_index);
         }
         if (span != 0) {
-          options_.latency_tracer->RecordHop(span, obs::HopKind::kShed, simulator_.now(),
-                                             0.0, replica->pe_id, replica->index,
+          options_.latency_tracer->RecordHop(span, obs::HopKind::kShed, now, 0.0,
+                                             replica->pe_id, replica->index,
                                              replica->host, port_index);
         }
         return;
@@ -601,37 +971,35 @@ void StreamSimulation::DeliverToReplica(Replica* replica, int port_index,
   }
   if (port.queued >= port.capacity) {
     ++rm.tuples_dropped;
-    ++metrics_.dropped_tuples;
-    metrics_.losses.Record(replica->pe_id, obs::LossCause::kQueueOverflow);
+    ++acc.dropped_tuples;
+    acc.losses.Record(replica->pe_id, obs::LossCause::kQueueOverflow);
     if (Tracing(obs::Category::kDrops)) {
-      options_.trace_recorder->Instant(obs::EventName::kTupleDrop, simulator_.now(),
-                                       replica->pe_id, replica->index, replica->host,
-                                       port_index);
+      TupleInstant(acc, obs::EventName::kTupleDrop, now, replica->pe_id, replica->index,
+                   replica->host, port_index);
     }
     if (span != 0) {
-      options_.latency_tracer->RecordHop(span, obs::HopKind::kDrop, simulator_.now(), 0.0,
+      options_.latency_tracer->RecordHop(span, obs::HopKind::kDrop, now, 0.0,
                                          replica->pe_id, replica->index, replica->host,
                                          port_index);
     }
     return;
   }
   ++port.queued;
-  if (port.queued > metrics_.max_queue_depth) metrics_.max_queue_depth = port.queued;
+  if (port.queued > acc.max_queue_depth) acc.max_queue_depth = port.queued;
   if (!port.above_watermark && port.queued >= port.watermark) {
     port.above_watermark = true;
     if (Tracing(obs::Category::kQueues)) {
-      options_.trace_recorder->Instant(obs::EventName::kQueueHighWatermark,
-                                       simulator_.now(), replica->pe_id, replica->index,
-                                       replica->host, port_index,
-                                       static_cast<double>(port.queued));
+      TupleInstant(acc, obs::EventName::kQueueHighWatermark, now, replica->pe_id,
+                   replica->index, replica->host, port_index,
+                   static_cast<double>(port.queued));
     }
   }
   if (span != 0) {
-    options_.latency_tracer->RecordHop(span, obs::HopKind::kEnqueue, simulator_.now(),
-                                       0.0, replica->pe_id, replica->index, replica->host,
+    options_.latency_tracer->RecordHop(span, obs::HopKind::kEnqueue, now, 0.0,
+                                       replica->pe_id, replica->index, replica->host,
                                        port_index);
   }
-  replica->fifo.push_back(QueuedTuple{port_index, birth, simulator_.now(), span});
+  replica->fifo.push_back(QueuedTuple{port_index, birth, now, span});
   TryStartProcessing(replica);
 }
 
@@ -647,16 +1015,16 @@ void StreamSimulation::TryStartProcessing(Replica* replica) {
   if (port.above_watermark && port.queued * 2 <= port.watermark) {
     port.above_watermark = false;
   }
+  const sim::SimTime now = SimOfHost(replica->host).now();
   replica->processing = true;
   replica->processing_port = tuple.port;
   replica->processing_birth = tuple.birth;
-  replica->processing_start = simulator_.now();
+  replica->processing_start = now;
   replica->processing_span = tuple.span;
   if (tuple.span != 0) {
-    options_.latency_tracer->RecordHop(tuple.span, obs::HopKind::kDequeue,
-                                       simulator_.now(), simulator_.now() - tuple.enqueued,
-                                       replica->pe_id, replica->index, replica->host,
-                                       tuple.port);
+    options_.latency_tracer->RecordHop(tuple.span, obs::HopKind::kDequeue, now,
+                                       now - tuple.enqueued, replica->pe_id,
+                                       replica->index, replica->host, tuple.port);
   }
   replica->remaining_cycles = port.cpu_cost;
   if (port.cpu_cost <= 0.0) {
@@ -670,6 +1038,8 @@ void StreamSimulation::TryStartProcessing(Replica* replica) {
 }
 
 void StreamSimulation::FinishTuple(Replica* replica) {
+  Shard& acc = AccOfHost(replica->host);
+  const sim::SimTime now = SimOfHost(replica->host).now();
   ReplicaMetrics& rm =
       metrics_.replicas[static_cast<size_t>(replica->pe_id)][static_cast<size_t>(replica->index)];
   ++rm.tuples_processed;
@@ -679,16 +1049,15 @@ void StreamSimulation::FinishTuple(Replica* replica) {
     ++metrics_.pe_processed[static_cast<size_t>(replica->pe_id)];
   }
   if (Tracing(obs::Category::kSpans)) {
-    options_.trace_recorder->Span(obs::EventName::kProcessSpan, replica->processing_start,
-                                  simulator_.now() - replica->processing_start,
-                                  replica->pe_id, replica->index, replica->host,
-                                  replica->processing_port);
+    TupleSpan(acc, obs::EventName::kProcessSpan, replica->processing_start,
+              now - replica->processing_start, replica->pe_id, replica->index,
+              replica->host, replica->processing_port);
   }
   const uint32_t span = replica->processing_span;
   replica->processing_span = 0;
   if (span != 0) {
-    options_.latency_tracer->RecordHop(span, obs::HopKind::kProcess, simulator_.now(),
-                                       simulator_.now() - replica->processing_start,
+    options_.latency_tracer->RecordHop(span, obs::HopKind::kProcess, now,
+                                       now - replica->processing_start,
                                        replica->pe_id, replica->index, replica->host,
                                        replica->processing_port);
   }
@@ -717,20 +1086,18 @@ void StreamSimulation::FinishTuple(Replica* replica) {
         return seated.alive && seated.active && !seated.resyncing;
       }();
       if (!primary_serviceable) {
-        metrics_.orphaned_tuples += static_cast<uint64_t>(emit);
-        metrics_.losses.Record(replica->pe_id, obs::LossCause::kOrphanedOutput,
-                               static_cast<uint64_t>(emit));
+        acc.orphaned_tuples += static_cast<uint64_t>(emit);
+        acc.losses.Record(replica->pe_id, obs::LossCause::kOrphanedOutput,
+                          static_cast<uint64_t>(emit));
         if (Tracing(obs::Category::kDrops)) {
-          options_.trace_recorder->Instant(obs::EventName::kTupleOrphan,
-                                           simulator_.now(), replica->pe_id,
-                                           replica->index, replica->host,
-                                           /*port=*/-1, static_cast<double>(emit));
+          TupleInstant(acc, obs::EventName::kTupleOrphan, now, replica->pe_id,
+                       replica->index, replica->host,
+                       /*port=*/-1, static_cast<double>(emit));
         }
       }
       if (span != 0) {
-        options_.latency_tracer->RecordHop(span, obs::HopKind::kSuppress,
-                                           simulator_.now(), 0.0, replica->pe_id,
-                                           replica->index, replica->host,
+        options_.latency_tracer->RecordHop(span, obs::HopKind::kSuppress, now, 0.0,
+                                           replica->pe_id, replica->index, replica->host,
                                            /*port=*/-1);
       }
     }
@@ -740,37 +1107,55 @@ void StreamSimulation::FinishTuple(Replica* replica) {
 void StreamSimulation::EmitFrom(Replica* replica, int count, sim::SimTime birth,
                                 uint32_t span) {
   PeState* pe = pes_[static_cast<size_t>(replica->pe_id)].get();
+  Shard& acc = AccOfHost(replica->host);
+  const sim::SimTime now = SimOfHost(replica->host).now();
+  HostState* host = hosts_[static_cast<size_t>(replica->host)].get();
   for (const Output& output : pe->outputs) {
     for (int i = 0; i < count; ++i) {
       if (output.is_sink) {
+        if (windowed_) {
+          // Sinks are off-host: the arrival is applied by the coordinator
+          // at the delivery barrier, one to two link latencies from now.
+          acc.sink_outbox.push_back(SinkMessage{replica->host, ++host->net_seq, birth});
+          continue;
+        }
         ++metrics_.sink_tuples;
-        metrics_.sink_series[BucketOf(simulator_.now())] += 1.0;
+        metrics_.sink_series[BucketOf(now)] += 1.0;
         if (options_.record_latency) {
-          metrics_.sink_latency.Add(simulator_.now() - birth);
+          metrics_.sink_latency.Add(now - birth);
         }
         if (span != 0) {
           // Arrival on the parent span: the tracer derives the end-to-end
           // latency from the root span's emission time.
-          options_.latency_tracer->RecordHop(span, obs::HopKind::kSink, simulator_.now(),
-                                             0.0, output.to, replica->index,
-                                             replica->host, /*port=*/-1);
+          options_.latency_tracer->RecordHop(span, obs::HopKind::kSink, now, 0.0,
+                                             output.to, replica->index, replica->host,
+                                             /*port=*/-1);
         }
       } else {
         // Each delivered tuple is a new logical tuple: fork one child span
         // per (output, copy) so downstream hops keep their own path.
         uint32_t child = 0;
         if (span != 0) {
-          child = options_.latency_tracer->Fork(span, replica->pe_id, simulator_.now());
+          child = options_.latency_tracer->Fork(span, replica->pe_id, now);
           if (child != 0) {
-            options_.latency_tracer->RecordHop(child, obs::HopKind::kEmit,
-                                               simulator_.now(), 0.0, replica->pe_id,
-                                               replica->index, replica->host,
-                                               output.port_index);
+            options_.latency_tracer->RecordHop(child, obs::HopKind::kEmit, now, 0.0,
+                                               replica->pe_id, replica->index,
+                                               replica->host, output.port_index);
           }
         }
         PeState* downstream = pes_[static_cast<size_t>(output.to)].get();
         for (Replica& target : downstream->replicas) {
-          DeliverToReplica(&target, output.port_index, birth, child);
+          if (windowed_ && target.host != replica->host) {
+            // Every cross-host transfer rides the network, same-shard or
+            // not — partitioning must not change which edges have latency.
+            acc.outbox[static_cast<size_t>(
+                           shard_of_host_[static_cast<size_t>(target.host)])]
+                .push_back(NetMessage{target.host, replica->host, ++host->net_seq,
+                                      output.to, target.index, output.port_index,
+                                      birth});
+          } else {
+            DeliverToReplica(&target, output.port_index, birth, child);
+          }
         }
       }
     }
@@ -899,17 +1284,28 @@ void StreamSimulation::TelemetryTick() {
   const sim::SimTime now = simulator_.now();
   const double dt = now - t->prev_time;
   if (dt > 0.0) {
+    // Running totals live partly in per-shard accumulators until the
+    // end-of-run fold; the tick sums them (shards are parked at stop
+    // points, so the reads are safe and partition-invariant).
+    uint64_t source_total = metrics_.source_tuples;
+    uint64_t dropped_total = metrics_.dropped_tuples;
+    size_t pending_total = simulator_.pending_events();
+    for (const auto& shard : shards_) {
+      source_total += shard->source_tuples;
+      dropped_total += shard->dropped_tuples;
+      pending_total += shard->sim.pending_events();
+    }
     auto rate = [dt](uint64_t current, uint64_t previous) {
       return static_cast<double>(current - previous) / dt;
     };
     if (t->source_rate != nullptr) {
-      t->source_rate->Append(now, rate(metrics_.source_tuples, t->prev_source));
+      t->source_rate->Append(now, rate(source_total, t->prev_source));
     }
     if (t->output_rate != nullptr) {
       t->output_rate->Append(now, rate(metrics_.sink_tuples, t->prev_sink));
     }
     if (t->drop_rate != nullptr) {
-      t->drop_rate->Append(now, rate(metrics_.dropped_tuples, t->prev_dropped));
+      t->drop_rate->Append(now, rate(dropped_total, t->prev_dropped));
     }
     for (size_t h = 0; h < hosts_.size(); ++h) {
       if (t->host_util[h] == nullptr) continue;
@@ -938,12 +1334,12 @@ void StreamSimulation::TelemetryTick() {
       t->queue_depth[c]->Append(now, static_cast<double>(queued));
     }
     if (t->pending_events != nullptr) {
-      t->pending_events->Append(now, static_cast<double>(simulator_.pending_events()));
+      t->pending_events->Append(now, static_cast<double>(pending_total));
     }
     t->prev_time = now;
-    t->prev_source = metrics_.source_tuples;
+    t->prev_source = source_total;
     t->prev_sink = metrics_.sink_tuples;
-    t->prev_dropped = metrics_.dropped_tuples;
+    t->prev_dropped = dropped_total;
   }
   if (now + t->period <= trace_.TotalDuration()) {
     simulator_.ScheduleAfter(t->period, [this] { TelemetryTick(); });
@@ -1120,14 +1516,14 @@ bool StreamSimulation::LatencyTracing() const {
   return options_.latency_tracer != nullptr && options_.latency_tracer->enabled();
 }
 
-void StreamSimulation::RecordReplicaCycles(Replica* replica, double cycles) {
+void StreamSimulation::RecordReplicaCycles(Replica* replica, double cycles,
+                                           sim::SimTime now) {
   metrics_.replicas[static_cast<size_t>(replica->pe_id)][static_cast<size_t>(replica->index)]
       .cpu_cycles += cycles;
   metrics_.host_cycles[static_cast<size_t>(replica->host)] += cycles;
   if (options_.record_replica_series) {
     metrics_.replica_series[static_cast<size_t>(replica->pe_id)]
-                           [static_cast<size_t>(replica->index)][BucketOf(simulator_.now())] +=
-        cycles;
+                           [static_cast<size_t>(replica->index)][BucketOf(now)] += cycles;
   }
 }
 

@@ -41,6 +41,17 @@ namespace laar::dsps {
 ///
 /// Time, placement, strategy, and trace fully determine a run: the engine
 /// contains no randomness.
+///
+/// Two delivery engines share these mechanics (selected by
+/// `RuntimeOptions::link_latency_seconds`, see DESIGN.md §10):
+///  - the historical synchronous engine (latency 0): one event heap, tuples
+///    cross hosts within the event that emitted them;
+///  - the conservative-window engine (latency L > 0): hosts are partitioned
+///    over `shards` event engines that advance in lockstep windows of width
+///    L; every cross-host tuple travels through a double-buffered network
+///    and arrives at the first window barrier at least L after emission.
+///    For a fixed L, every shard count produces byte-identical
+///    metrics/trace/timeseries outputs — shards only buy wall-clock speed.
 class StreamSimulation {
  public:
   /// All referenced objects must outlive the simulation.
@@ -81,6 +92,9 @@ class StreamSimulation {
   struct HostState;
   struct SourceState;
   struct TelemetryState;
+  struct NetMessage;
+  struct SinkMessage;
+  struct Shard;
 
   // --- wiring ---
   Status Build();
@@ -118,9 +132,43 @@ class StreamSimulation {
   void CrashHost(model::HostId host, sim::SimTime duration);
   void RecoverHost(model::HostId host, uint64_t crash_epoch);
 
+  // --- windowed / sharded engine (DESIGN.md §10) ---
+  /// The coordinator loop: alternates shard phases (conservative windows,
+  /// possibly split at control-event times) with control actions and window
+  /// barriers on the coordinator thread.
+  void RunWindowedLoop();
+  /// Windowed-mode source driver: emits every tuple of the current phase
+  /// inline (emissions touch only per-source and per-shard state, so they
+  /// commute with the rest of the phase), then parks one scheduled event at
+  /// the first emission beyond the phase.
+  void WindowedSourceEmit(SourceState* source);
+  /// Delivers the shard's staged cross-host tuples in canonical
+  /// (dst_host, src_host, src_seq) order; runs at phase start, after the
+  /// barrier's control actions.
+  void DrainInbox(Shard* shard);
+  /// Window barrier: replays staged sink arrivals, rotates the network
+  /// double buffers (outbox -> staging -> inbox), and merges shard traces.
+  void RotateAndDeliver(sim::SimTime stop);
+  /// Moves buffered tuple-plane trace events into the global recorder in
+  /// (time, host) order — the partition-invariant total order.
+  void MergeShardTraces();
+  /// The event engine a host's tuple-plane events run on: the host's shard
+  /// in windowed mode, the single engine otherwise.
+  sim::Simulator& SimOfHost(model::HostId host);
+  /// The accumulator shard of a host (shards_[0] in synchronous mode).
+  Shard& AccOfHost(model::HostId host);
+  /// Tuple-plane trace emission: direct to the recorder in synchronous
+  /// mode, buffered per shard (merged at barriers) in windowed mode. Call
+  /// sites check `Tracing` first, exactly like direct recorder calls.
+  void TupleInstant(Shard& acc, obs::EventName name, double time, int32_t pe,
+                    int32_t replica, int32_t host, int32_t port = -1,
+                    double value = 0.0);
+  void TupleSpan(Shard& acc, obs::EventName name, double begin, double duration,
+                 int32_t pe, int32_t replica, int32_t host, int32_t port);
+
   // --- bookkeeping ---
   size_t BucketOf(sim::SimTime t) const;
-  void RecordReplicaCycles(Replica* replica, double cycles);
+  void RecordReplicaCycles(Replica* replica, double cycles, sim::SimTime now);
 
   /// True when a recorder is attached and wants `category` — the guard every
   /// emission site checks before building an event.
@@ -144,9 +192,19 @@ class StreamSimulation {
 
   std::vector<std::unique_ptr<PeState>> pes_;      // [component], null unless PE
   std::vector<std::unique_ptr<HostState>> hosts_;  // [host]
-  std::vector<Replica*> finished_scratch_;  // HostCompletionEvent working set, reused
-                                            // across events (steady-state alloc-free)
   std::vector<std::unique_ptr<SourceState>> sources_;
+
+  /// Sharded-engine state. Synchronous mode keeps exactly one Shard whose
+  /// engine stays empty: loss accumulators route through it unconditionally,
+  /// so the hot paths carry no mode branches.
+  bool windowed_ = false;
+  int num_shards_ = 1;
+  sim::SimTime phase_end_ = 0.0;  ///< end of the running phase (shards read it)
+  std::vector<int> shard_of_host_;                // [host] -> shard index
+  std::vector<std::unique_ptr<Shard>> shards_;    // [shard]
+  std::vector<SinkMessage> sink_scratch_;         // barrier working sets,
+  std::vector<obs::TraceEvent> trace_scratch_;    //   reused across barriers
+
   std::unique_ptr<TelemetryState> telemetry_;  // null unless options_.telemetry
   model::ConfigId applied_config_ = 0;
   bool ran_ = false;

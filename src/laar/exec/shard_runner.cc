@@ -1,0 +1,58 @@
+#include "laar/exec/shard_runner.h"
+
+namespace laar::exec {
+
+ShardRunner::ShardRunner(int shards) : shards_(shards < 1 ? 1 : shards) {
+  if (shards_ == 1) return;
+  workers_.reserve(static_cast<size_t>(shards_));
+  for (int shard = 0; shard < shards_; ++shard) {
+    workers_.emplace_back([this, shard] { WorkerLoop(shard); });
+  }
+}
+
+ShardRunner::~ShardRunner() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  phase_start_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ShardRunner::RunPhase(const std::function<void(int)>& fn) {
+  if (workers_.empty()) {
+    fn(0);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  fn_ = &fn;
+  done_count_ = 0;
+  ++generation_;
+  phase_start_.notify_all();
+  phase_done_.wait(lock, [this] { return done_count_ == shards_; });
+  fn_ = nullptr;
+}
+
+void ShardRunner::WorkerLoop(int shard) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      phase_start_.wait(lock, [this, seen_generation] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+      fn = fn_;
+    }
+    (*fn)(shard);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (++done_count_ == shards_) phase_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace laar::exec

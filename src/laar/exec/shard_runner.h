@@ -1,0 +1,57 @@
+#ifndef LAAR_EXEC_SHARD_RUNNER_H_
+#define LAAR_EXEC_SHARD_RUNNER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace laar::exec {
+
+/// A fixed crew of worker threads for phase-synchronous execution: every
+/// `RunPhase(fn)` call runs `fn(0) ... fn(shards-1)` concurrently, one call
+/// per worker, and returns once all of them finished. The workers persist
+/// across phases, so a simulation with tens of thousands of conservative
+/// windows pays thread creation once, not per window.
+///
+/// With `shards == 1` no thread is spawned and `RunPhase` runs `fn(0)`
+/// inline — the single-shard configuration stays genuinely single-threaded,
+/// which is what makes it the byte-identity reference for sharded runs.
+///
+/// `RunPhase` provides full synchronization: everything the workers wrote
+/// during a phase is visible to the caller after `RunPhase` returns, and
+/// everything the caller wrote before `RunPhase` is visible to the workers.
+class ShardRunner {
+ public:
+  explicit ShardRunner(int shards);
+  ~ShardRunner();
+
+  ShardRunner(const ShardRunner&) = delete;
+  ShardRunner& operator=(const ShardRunner&) = delete;
+
+  int shards() const { return shards_; }
+
+  /// Runs `fn(shard)` on every shard and blocks until all calls return.
+  /// `fn` must not call `RunPhase` reentrantly.
+  void RunPhase(const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop(int shard);
+
+  const int shards_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable phase_start_;
+  std::condition_variable phase_done_;
+  const std::function<void(int)>* fn_ = nullptr;  // valid while a phase runs
+  uint64_t generation_ = 0;  ///< bumped once per phase; workers wait on it
+  int done_count_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace laar::exec
+
+#endif  // LAAR_EXEC_SHARD_RUNNER_H_

@@ -14,14 +14,17 @@ namespace laar::obs {
 namespace {
 
 /// True for flags that do not alter the simulated workload: output paths,
-/// the parallelism knob, and trace-ring shape (the ring only bounds what
+/// the parallelism knobs, and trace-ring shape (the ring only bounds what
 /// the recorder keeps). "--metrics-out=x" and "--trace-out" both match;
-/// so does "--jobs" with or without a value.
+/// so does "--jobs" with or without a value. "--shards" qualifies because
+/// the sharded engine is byte-identical across shard counts (DESIGN.md
+/// §10) — unlike "--link-latency", which changes delivery semantics and
+/// therefore stays in the stamp.
 bool IsNonWorkloadFlag(const std::string& arg) {
   if (arg.rfind("--", 0) != 0) return false;
   const size_t eq = arg.find('=');
   const std::string name = arg.substr(2, eq == std::string::npos ? eq : eq - 2);
-  return name == "jobs" || name == "trace-categories" ||
+  return name == "jobs" || name == "shards" || name == "trace-categories" ||
          name == "trace-capacity" || EndsWith(name, "-out");
 }
 

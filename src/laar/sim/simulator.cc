@@ -176,4 +176,11 @@ void Simulator::RunUntil(SimTime end_time) {
   if (now_ < end_time) now_ = end_time;
 }
 
+void Simulator::RunBefore(SimTime end_time) {
+  while (!heap_.empty() && heap_.front().when < end_time) {
+    Step();
+  }
+  if (now_ < end_time) now_ = end_time;
+}
+
 }  // namespace laar::sim

@@ -175,6 +175,12 @@ class Simulator {
   /// `end_time` (even if the queue still has later events).
   void RunUntil(SimTime end_time);
 
+  /// Runs events with timestamp strictly < `end_time`, then sets `now()` to
+  /// `end_time`. The half-open variant the sharded engine's conservative
+  /// windows use: events at exactly a stop point belong to the next phase
+  /// (after barrier deliveries and control actions at that time).
+  void RunBefore(SimTime end_time);
+
   /// Executes exactly one event if available; returns false on empty queue.
   bool Step();
 

@@ -30,6 +30,7 @@
 #include "laar/obs/trace_recorder.h"
 #include "laar/placement/placement_algorithms.h"
 #include "laar/runtime/experiment.h"
+#include "laar/strategy/baselines.h"
 
 namespace laar {
 namespace {
@@ -171,6 +172,122 @@ TEST(DeterminismTest, ObservableOutputsMatchPreOverhaulGoldens) {
     EXPECT_EQ(got.health, golden.expected.health) << "seed " << golden.seed;
     EXPECT_EQ(got.worst_case_metrics, golden.expected.worst_case_metrics)
         << "seed " << golden.seed;
+  }
+}
+
+/// One windowed-engine run (conservative windows, DESIGN.md §10) under
+/// static replication with host crashes, every observer attached, at the
+/// given shard count. The goldens were captured from the single-shard
+/// configuration, which spawns no worker thread; multi-shard runs are held
+/// to the same bytes, so a scheduling-order leak anywhere in the sharded
+/// engine fails this test rather than silently skewing results.
+RunHashes RunWindowedSeed(uint64_t seed, int shards) {
+  appgen::GeneratorOptions generator;
+  generator.num_pes = 12;
+  generator.num_hosts = 6;
+  generator.hosts_per_rack = 2;
+  generator.racks_per_zone = 3;
+  generator.domain_aware_placement = true;
+  auto app = appgen::GenerateApplication(generator, seed);
+  EXPECT_TRUE(app.ok()) << app.status().ToString();
+  strategy::ActivationStrategy sr = strategy::MakeStaticReplication(
+      app->descriptor.graph, app->descriptor.input_space, 2);
+  auto trace = runtime::MakeExperimentTrace(app->descriptor.input_space, 40.0,
+                                            1.0 / 3.0, 2);
+  EXPECT_TRUE(trace.ok());
+
+  RunHashes hashes;
+  {
+    obs::TraceRecorder recorder;
+    obs::MetricsRegistry registry;
+    dsps::RuntimeOptions options;
+    options.trace_recorder = &recorder;
+    options.telemetry = &registry;
+    options.link_latency_seconds = 0.05;
+    options.shards = shards;
+    dsps::StreamSimulation simulation(app->descriptor, app->cluster, app->placement,
+                                      sr, *trace, options);
+    EXPECT_TRUE(simulation.ScheduleHostCrash(1, 15.0, 8.0).ok());
+    EXPECT_TRUE(simulation.ScheduleHostCrash(4, 40.0, 5.0).ok());
+    simulation.Run().CheckOK();
+    dsps::PublishTo(&registry, simulation.metrics());
+    hashes.metrics = Fnv1a(registry.ToJson().Dump());
+    hashes.trace = Fnv1a(obs::ToChromeTraceJson(recorder, nullptr).Dump());
+    hashes.timeseries = Fnv1a(obs::TimeSeriesCsv(registry));
+    std::vector<obs::AlertRule> rules;
+    rules.push_back(obs::ParseAlertRule("drops: ts_drop_rate > 0 warn").value());
+    rules.push_back(
+        obs::ParseAlertRule("saturation: ts_host_cpu_util > 0.99 for 5 warn").value());
+    hashes.health = Fnv1a(obs::EvaluateHealth(registry, rules).ToJson().Dump());
+  }
+  {
+    // Pessimistic worst case on the windowed engine: permanent replica
+    // failures interact with the crash schedule and failover timers.
+    obs::MetricsRegistry registry;
+    dsps::RuntimeOptions options;
+    options.telemetry = &registry;
+    options.link_latency_seconds = 0.05;
+    options.shards = shards;
+    dsps::StreamSimulation simulation(app->descriptor, app->cluster, app->placement,
+                                      sr, *trace, options);
+    const auto survivors = runtime::ChooseWorstCaseSurvivors(
+        app->descriptor.graph, app->descriptor.input_space, sr);
+    for (model::ComponentId pe : app->descriptor.graph.Pes()) {
+      for (int r = 0; r < sr.replication_factor(); ++r) {
+        if (r != survivors[static_cast<size_t>(pe)]) {
+          simulation.InjectPermanentReplicaFailure(pe, r).CheckOK();
+        }
+      }
+    }
+    simulation.Run().CheckOK();
+    dsps::PublishTo(&registry, simulation.metrics());
+    hashes.worst_case_metrics = Fnv1a(registry.ToJson().Dump());
+  }
+  return hashes;
+}
+
+// Captured from the single-shard windowed engine (LAAR_PRINT_HASHES=1).
+const GoldenEntry kWindowedGolden[] = {
+    {6,
+     {0x26e358776fac7e9dULL, 0x4c82928d8885e4dfULL, 0xb1d09f7a86fe30c3ULL, 0x14cd5df718e4d9c3ULL,
+      0x41d6e3b89a2cf7afULL}},
+    {11,
+     {0xc91cc6bcfc275f28ULL, 0xffa4d6ec0e3195a4ULL, 0xe39f8562c5d6dc75ULL, 0xd88c4b89f4600b3aULL,
+      0xc8b704b4a2506001ULL}},
+};
+
+/// The sharded engine's headline guarantee: `--shards=1/2/4` produce
+/// byte-identical artifacts, and those bytes match the committed goldens —
+/// so both cross-shard divergence and cross-version drift are caught.
+TEST(DeterminismTest, WindowedOutputsMatchGoldensAtEveryShardCount) {
+  const bool print = std::getenv("LAAR_PRINT_HASHES") != nullptr;
+  for (const GoldenEntry& golden : kWindowedGolden) {
+    for (int shards : {1, 2, 4}) {
+      const RunHashes got = RunWindowedSeed(golden.seed, shards);
+      if (print) {
+        if (shards == 1) {
+          std::printf("    {%llu, {0x%016llxULL, 0x%016llxULL, 0x%016llxULL, "
+                      "0x%016llxULL, 0x%016llxULL}},\n",
+                      static_cast<unsigned long long>(golden.seed),
+                      static_cast<unsigned long long>(got.metrics),
+                      static_cast<unsigned long long>(got.trace),
+                      static_cast<unsigned long long>(got.timeseries),
+                      static_cast<unsigned long long>(got.health),
+                      static_cast<unsigned long long>(got.worst_case_metrics));
+        }
+        continue;
+      }
+      EXPECT_EQ(got.metrics, golden.expected.metrics)
+          << "seed " << golden.seed << " shards " << shards;
+      EXPECT_EQ(got.trace, golden.expected.trace)
+          << "seed " << golden.seed << " shards " << shards;
+      EXPECT_EQ(got.timeseries, golden.expected.timeseries)
+          << "seed " << golden.seed << " shards " << shards;
+      EXPECT_EQ(got.health, golden.expected.health)
+          << "seed " << golden.seed << " shards " << shards;
+      EXPECT_EQ(got.worst_case_metrics, golden.expected.worst_case_metrics)
+          << "seed " << golden.seed << " shards " << shards;
+    }
   }
 }
 

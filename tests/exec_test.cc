@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "laar/exec/parallel.h"
+#include "laar/exec/shard_runner.h"
 #include "laar/exec/thread_pool.h"
 
 namespace laar {
@@ -265,6 +266,54 @@ TEST(CollectUsableSeedsTest, SharesCallerPool) {
   ThreadPool pool(3);
   const auto kept = CollectUsableSeeds<int>(8, 0, 3, 100, SquareUsableProbe, {}, &pool);
   EXPECT_EQ(kept.size(), 8u);
+}
+
+TEST(ShardRunnerTest, EveryShardRunsOncePerPhase) {
+  exec::ShardRunner runner(4);
+  EXPECT_EQ(runner.shards(), 4);
+  std::vector<int> calls(4, 0);
+  for (int phase = 0; phase < 50; ++phase) {
+    runner.RunPhase([&calls](int shard) { calls[static_cast<size_t>(shard)]++; });
+  }
+  for (int shard = 0; shard < 4; ++shard) EXPECT_EQ(calls[static_cast<size_t>(shard)], 50);
+}
+
+TEST(ShardRunnerTest, RunPhaseIsABarrier) {
+  // Writes from phase n must be visible to phase n+1 on every shard, with
+  // no synchronization beyond RunPhase itself.
+  exec::ShardRunner runner(3);
+  std::vector<uint64_t> counters(3, 0);
+  for (int phase = 0; phase < 100; ++phase) {
+    uint64_t total = 0;
+    for (uint64_t c : counters) total += c;  // caller reads between phases
+    const uint64_t expected = static_cast<uint64_t>(phase) * 3;
+    EXPECT_EQ(total, expected);
+    runner.RunPhase([&counters](int shard) { counters[static_cast<size_t>(shard)]++; });
+  }
+}
+
+TEST(ShardRunnerTest, SingleShardRunsInlineOnCallerThread) {
+  exec::ShardRunner runner(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  runner.RunPhase([&ran_on](int shard) {
+    EXPECT_EQ(shard, 0);
+    ran_on = std::this_thread::get_id();
+  });
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ShardRunnerTest, ClampsShardCountToAtLeastOne) {
+  exec::ShardRunner runner(0);
+  EXPECT_EQ(runner.shards(), 1);
+  int calls = 0;
+  runner.RunPhase([&calls](int) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ShardRunnerTest, DestructorJoinsIdleWorkers) {
+  { exec::ShardRunner runner(8); }  // must not hang or leak threads
+  SUCCEED();
 }
 
 }  // namespace

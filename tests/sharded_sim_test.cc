@@ -1,0 +1,228 @@
+// The conservative-window engine's central contract (DESIGN.md §10): for a
+// fixed link latency, the shard count is unobservable — every exported
+// artifact (metrics-registry JSON, Chrome trace, telemetry CSV, health
+// report) is byte-identical whether the run used 1, 2, or 4 shards. The
+// single-shard run is genuinely single-threaded (no worker is spawned), so
+// it doubles as the determinism reference the multi-shard runs are held to.
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "laar/appgen/app_generator.h"
+#include "laar/dsps/sim_metrics.h"
+#include "laar/dsps/stream_simulation.h"
+#include "laar/dsps/trace.h"
+#include "laar/json/json.h"
+#include "laar/model/descriptor.h"
+#include "laar/model/failure_topology.h"
+#include "laar/model/placement.h"
+#include "laar/obs/chrome_trace.h"
+#include "laar/obs/health.h"
+#include "laar/obs/latency_tracer.h"
+#include "laar/obs/metrics_registry.h"
+#include "laar/obs/timeseries.h"
+#include "laar/obs/trace_recorder.h"
+#include "laar/runtime/experiment.h"
+#include "laar/strategy/activation_strategy.h"
+#include "laar/strategy/baselines.h"
+
+namespace laar::dsps {
+namespace {
+
+constexpr double kHz = 1e9;
+constexpr double kLink = 0.05;  // conservative window width (seconds)
+
+uint64_t Fnv1a(const std::string& text) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct RunHashes {
+  uint64_t metrics = 0;
+  uint64_t trace = 0;
+  uint64_t timeseries = 0;
+  uint64_t health = 0;
+};
+
+enum class Outage { kNone, kHostCrash, kRackOutage };
+
+/// One windowed run of a generated application under static replication,
+/// with every observer attached, at the given shard count. Everything
+/// except `shards` is held fixed, so differing hashes can only come from
+/// the partitioning.
+RunHashes RunSharded(uint64_t seed, int shards, Outage outage) {
+  appgen::GeneratorOptions generator;
+  generator.num_pes = 12;
+  generator.num_hosts = 6;
+  generator.hosts_per_rack = 2;
+  generator.racks_per_zone = 3;
+  generator.domain_aware_placement = true;
+  auto app = appgen::GenerateApplication(generator, seed);
+  EXPECT_TRUE(app.ok()) << app.status().ToString();
+
+  strategy::ActivationStrategy sr = strategy::MakeStaticReplication(
+      app->descriptor.graph, app->descriptor.input_space, 2);
+  auto trace = runtime::MakeExperimentTrace(app->descriptor.input_space, 40.0,
+                                            1.0 / 3.0, 2);
+  EXPECT_TRUE(trace.ok());
+
+  obs::TraceRecorder recorder;
+  obs::MetricsRegistry registry;
+  RuntimeOptions options;
+  options.trace_recorder = &recorder;
+  options.telemetry = &registry;
+  options.link_latency_seconds = kLink;
+  options.shards = shards;
+  StreamSimulation simulation(app->descriptor, app->cluster, app->placement, sr,
+                              *trace, options);
+  switch (outage) {
+    case Outage::kNone:
+      break;
+    case Outage::kHostCrash:
+      EXPECT_TRUE(simulation.ScheduleHostCrash(1, 20.0, 10.0).ok());
+      EXPECT_TRUE(simulation.ScheduleHostCrash(4, 45.0, 5.0).ok());
+      break;
+    case Outage::kRackOutage:
+      // Every host of rack 0 down together: the correlated-failure shape
+      // the domain-aware placement exists to survive.
+      for (model::HostId host : app->cluster.topology().HostsInDomain(
+               model::DomainLevel::kRack, 0)) {
+        EXPECT_TRUE(simulation.ScheduleHostCrash(host, 25.0, 12.0).ok());
+      }
+      break;
+  }
+  EXPECT_TRUE(simulation.Run().ok());
+  dsps::PublishTo(&registry, simulation.metrics());
+
+  RunHashes hashes;
+  hashes.metrics = Fnv1a(registry.ToJson().Dump());
+  hashes.trace = Fnv1a(obs::ToChromeTraceJson(recorder, nullptr).Dump());
+  hashes.timeseries = Fnv1a(obs::TimeSeriesCsv(registry));
+  std::vector<obs::AlertRule> rules;
+  rules.push_back(obs::ParseAlertRule("drops: ts_drop_rate > 0 warn").value());
+  rules.push_back(
+      obs::ParseAlertRule("saturation: ts_host_cpu_util > 0.99 for 5 warn").value());
+  hashes.health = Fnv1a(obs::EvaluateHealth(registry, rules).ToJson().Dump());
+  return hashes;
+}
+
+void ExpectShardCountInvariant(uint64_t seed, Outage outage) {
+  const RunHashes one = RunSharded(seed, 1, outage);
+  const RunHashes two = RunSharded(seed, 2, outage);
+  const RunHashes four = RunSharded(seed, 4, outage);
+  EXPECT_EQ(one.metrics, two.metrics) << "seed " << seed;
+  EXPECT_EQ(one.trace, two.trace) << "seed " << seed;
+  EXPECT_EQ(one.timeseries, two.timeseries) << "seed " << seed;
+  EXPECT_EQ(one.health, two.health) << "seed " << seed;
+  EXPECT_EQ(one.metrics, four.metrics) << "seed " << seed;
+  EXPECT_EQ(one.trace, four.trace) << "seed " << seed;
+  EXPECT_EQ(one.timeseries, four.timeseries) << "seed " << seed;
+  EXPECT_EQ(one.health, four.health) << "seed " << seed;
+}
+
+TEST(ShardedSimTest, ShardCountIsUnobservable) {
+  ExpectShardCountInvariant(6, Outage::kNone);
+}
+
+TEST(ShardedSimTest, ShardCountIsUnobservableUnderHostCrashes) {
+  ExpectShardCountInvariant(8, Outage::kHostCrash);
+}
+
+TEST(ShardedSimTest, ShardCountIsUnobservableUnderRackOutage) {
+  ExpectShardCountInvariant(11, Outage::kRackOutage);
+}
+
+/// A hand-built pipeline on the windowed engine: tuples still flow end to
+/// end, nothing is lost, and every sink arrival carries at least one link
+/// latency per cross-host hop (deliveries are quantized to barriers, so
+/// each hop costs between one and two windows).
+TEST(ShardedSimTest, WindowedPipelineDeliversWithLinkLatency) {
+  model::ApplicationDescriptor app;
+  model::ComponentId source = app.graph.AddSource("s");
+  model::ComponentId pe0 = app.graph.AddPe("p0");
+  model::ComponentId pe1 = app.graph.AddPe("p1");
+  model::ComponentId sink = app.graph.AddSink("k");
+  ASSERT_TRUE(app.graph.AddEdge(source, pe0, 1.0, 0.01 * kHz).ok());
+  ASSERT_TRUE(app.graph.AddEdge(pe0, pe1, 1.0, 0.01 * kHz).ok());
+  ASSERT_TRUE(app.graph.AddEdge(pe1, sink, 1.0, 0.0).ok());
+  model::SourceRateSet r;
+  r.source = source;
+  r.rates = {4.0, 8.0};
+  r.labels = {"Low", "High"};
+  r.probabilities = {0.8, 0.2};
+  ASSERT_TRUE(app.input_space.AddSource(r).ok());
+  ASSERT_TRUE(app.Validate().ok());
+  model::Cluster cluster = model::Cluster::Homogeneous(2, kHz);
+  model::ReplicaPlacement placement(app.graph.num_components(), 2);
+  ASSERT_TRUE(placement.Assign(pe0, 0, 0).ok());
+  ASSERT_TRUE(placement.Assign(pe0, 1, 1).ok());
+  ASSERT_TRUE(placement.Assign(pe1, 0, 1).ok());
+  ASSERT_TRUE(placement.Assign(pe1, 1, 0).ok());
+  strategy::ActivationStrategy sr =
+      strategy::MakeStaticReplication(app.graph, app.input_space, 2);
+
+  auto trace = InputTrace::Step(0, 1, 50.0, 100.0);
+  ASSERT_TRUE(trace.ok());
+  RuntimeOptions options;
+  options.link_latency_seconds = kLink;
+  options.shards = 2;
+  StreamSimulation simulation(app, cluster, placement, sr, *trace, options);
+  ASSERT_TRUE(simulation.Run().ok());
+  const SimulationMetrics& m = simulation.metrics();
+  // 50 s at 4 t/s + 50 s at 8 t/s; the tail of the pipeline may still be
+  // in flight at the horizon (three hops of up to two windows each).
+  EXPECT_NEAR(static_cast<double>(m.source_tuples), 600.0, 2.0);
+  EXPECT_EQ(m.dropped_tuples, 0u);
+  EXPECT_GE(m.sink_tuples, m.source_tuples - 8);
+  // source -> pe0 -> pe1 are two network hops of (L, 2L] each, plus
+  // processing; the sink hop is quantized to the next barrier too.
+  EXPECT_GE(m.sink_latency.min(), 2 * kLink);
+  EXPECT_LE(m.sink_latency.max(), 6 * kLink + 2 * 0.01 + 0.01);
+}
+
+TEST(ShardedSimTest, MultipleShardsRequireLinkLatency) {
+  appgen::GeneratorOptions generator;
+  generator.num_pes = 6;
+  generator.num_hosts = 3;
+  auto app = appgen::GenerateApplication(generator, 6);
+  ASSERT_TRUE(app.ok());
+  strategy::ActivationStrategy sr = strategy::MakeStaticReplication(
+      app->descriptor.graph, app->descriptor.input_space, 2);
+  auto trace = InputTrace::Step(0, 1, 5.0, 10.0);
+  ASSERT_TRUE(trace.ok());
+  RuntimeOptions options;
+  options.shards = 2;  // but link_latency_seconds left at 0
+  StreamSimulation simulation(app->descriptor, app->cluster, app->placement, sr,
+                              *trace, options);
+  EXPECT_FALSE(simulation.Run().ok());
+}
+
+TEST(ShardedSimTest, WindowedEngineRejectsLatencyTracer) {
+  appgen::GeneratorOptions generator;
+  generator.num_pes = 6;
+  generator.num_hosts = 3;
+  auto app = appgen::GenerateApplication(generator, 6);
+  ASSERT_TRUE(app.ok());
+  strategy::ActivationStrategy sr = strategy::MakeStaticReplication(
+      app->descriptor.graph, app->descriptor.input_space, 2);
+  auto trace = InputTrace::Step(0, 1, 5.0, 10.0);
+  ASSERT_TRUE(trace.ok());
+  obs::LatencyTracer::Options tracer_options;
+  tracer_options.sample_rate = 0.5;
+  obs::LatencyTracer tracer(tracer_options);
+  RuntimeOptions options;
+  options.link_latency_seconds = kLink;
+  options.latency_tracer = &tracer;
+  StreamSimulation simulation(app->descriptor, app->cluster, app->placement, sr,
+                              *trace, options);
+  EXPECT_FALSE(simulation.Run().ok());
+}
+
+}  // namespace
+}  // namespace laar::dsps

@@ -1,13 +1,20 @@
 // laar_generate — emit a synthetic application descriptor (§5.2 generator).
 //
 // Usage:
-//   laar_generate --out=app.json [--seed=N] [--pes=24] [--sources=1]
-//                 [--sinks=1] [--hosts=12] [--capacity=1e9]
+//   laar_generate --out=app.json [--seed=N] [--profile=paper|web-scale]
+//                 [--pes=24] [--sources=1] [--sinks=1] [--hosts=12]
+//                 [--capacity=1e9]
 //
 // The descriptor is self-contained JSON consumable by laar_solve and
 // laar_simulate. The generated deployment is calibrated so that the
 // twofold-replicated application fits under "Low" input and overloads
 // under "High" — the regime LAAR is designed for.
+//
+// --profile selects the option preset: "paper" (the default) is the §5.2
+// testbed scale; "web-scale" is 2048 PEs / 8 sources / 256 hosts with a
+// rack/zone failure topology and rack-spread placement, the workload the
+// sharded-engine scaling benchmarks run (EXPERIMENTS.md). Explicit size
+// flags override the chosen profile's values.
 
 #include <cstdio>
 #include <string>
@@ -20,17 +27,26 @@ int main(int argc, char** argv) {
   const std::string path = flags.GetString("out", "");
   if (path.empty()) {
     std::fprintf(stderr,
-                 "usage: laar_generate --out=app.json [--seed=N] [--pes=N] [--sources=N] "
+                 "usage: laar_generate --out=app.json [--seed=N] "
+                 "[--profile=paper|web-scale] [--pes=N] [--sources=N] "
                  "[--sinks=N] [--hosts=N] [--capacity=CYCLES_PER_SEC]\n");
     return 2;
   }
 
+  const std::string profile = flags.GetString("profile", "paper");
   laar::appgen::GeneratorOptions options;
-  options.num_pes = flags.GetInt("pes", 24);
-  options.num_sources = flags.GetInt("sources", 1);
-  options.num_sinks = flags.GetInt("sinks", 1);
-  options.num_hosts = flags.GetInt("hosts", 12);
-  options.host_capacity = flags.GetDouble("capacity", 1e9);
+  if (profile == "web-scale") {
+    options = laar::appgen::WebScaleProfile();
+  } else if (profile != "paper") {
+    std::fprintf(stderr, "unknown --profile=%s (want paper or web-scale)\n",
+                 profile.c_str());
+    return 2;
+  }
+  options.num_pes = flags.GetInt("pes", options.num_pes);
+  options.num_sources = flags.GetInt("sources", options.num_sources);
+  options.num_sinks = flags.GetInt("sinks", options.num_sinks);
+  options.num_hosts = flags.GetInt("hosts", options.num_hosts);
+  options.host_capacity = flags.GetDouble("capacity", options.host_capacity);
   const uint64_t seed = flags.GetUint64("seed", 1);
 
   auto app = laar::appgen::GenerateApplication(options, seed);

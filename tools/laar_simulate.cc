@@ -10,7 +10,7 @@
 //                 [--hosts-per-rack=N] [--racks-per-zone=N]
 //                 [--fail-domain=rack:R|zone:Z] [--crash-schedule=H@T+D,...]
 //                 [--worst-case] [--placement=balanced|roundrobin|domain]
-//                 [--jobs=N]
+//                 [--jobs=N] [--shards=N] [--link-latency=S]
 //                 [--trace-out=run.json] [--trace-categories=drops,failures]
 //                 [--trace-capacity=N]
 //                 [--latency-sample-rate=0.01] [--latency-seed=1]
@@ -38,6 +38,16 @@
 // comma-separated subset of {drops, queues, activation, failures, config,
 // spans, engine, tuples, health}; --trace-capacity bounds the event ring
 // (default 262144).
+//
+// --link-latency=S switches tuple delivery to the conservative-window
+// engine (DESIGN.md §10): every cross-host transfer takes between one and
+// two link latencies, and --shards=N partitions the hosts over N event
+// engines that run on N threads. At a fixed --link-latency the shard count
+// never changes any output byte — it only changes wall-clock time — which
+// is why --shards > 1 demands an explicit --link-latency rather than
+// defaulting one (a default would silently switch engines between
+// --shards=1 and --shards=2). Incompatible with --latency-sample-rate (the
+// per-tuple causal tracer is a synchronous-engine feature).
 //
 // --latency-sample-rate traces that fraction of each source's tuples through
 // every queue, operator, and replica proxy, and prints a per-operator
@@ -90,6 +100,7 @@ int main(int argc, char** argv) {
                  "       [--hosts-per-rack=N] [--racks-per-zone=N]\n"
                  "       [--fail-domain=rack:R|zone:Z] [--crash-schedule=H@T+D,...]\n"
                  "       [--placement=balanced|roundrobin|domain]\n"
+                 "       [--jobs=N] [--shards=N] [--link-latency=S]\n"
                  "       [--trace-out=run.json] [--trace-categories=a,b,...]\n"
                  "       [--trace-capacity=N]\n"
                  "       [--latency-sample-rate=R] [--latency-seed=S]\n"
@@ -152,6 +163,20 @@ int main(int argc, char** argv) {
   }
 
   laar::dsps::RuntimeOptions runtime;
+  runtime.shards = flags.GetInt("shards", 1);
+  runtime.link_latency_seconds = flags.GetDouble("link-latency", 0.0);
+  if (runtime.shards > 1 && runtime.link_latency_seconds <= 0.0) {
+    // A default here would silently change delivery semantics between
+    // --shards=1 (synchronous engine) and --shards=2 (windowed engine),
+    // making the two runs incomparable. The latency is the physical
+    // parameter; the shard count is only a wall-clock knob under it.
+    std::fprintf(stderr,
+                 "--shards=%d requires an explicit --link-latency: the shard "
+                 "count is byte-identical only at a fixed link latency "
+                 "(try --link-latency=0.005)\n",
+                 runtime.shards);
+    return 2;
+  }
   const std::string trace_out = flags.GetString("trace-out", "");
   std::optional<laar::obs::TraceRecorder> recorder;
   if (!trace_out.empty()) {
@@ -184,6 +209,12 @@ int main(int argc, char** argv) {
   }
   std::optional<laar::obs::LatencyTracer> tracer;
   const double sample_rate = flags.GetDouble("latency-sample-rate", 0.0);
+  if (sample_rate > 0.0 && runtime.link_latency_seconds > 0.0) {
+    std::fprintf(stderr,
+                 "--latency-sample-rate is incompatible with --link-latency/"
+                 "--shards: the causal tracer requires the synchronous engine\n");
+    return 2;
+  }
   if (sample_rate > 0.0) {
     laar::obs::LatencyTracer::Options tracer_options;
     tracer_options.sample_rate = sample_rate;

@@ -5,8 +5,15 @@
 // Usage:
 //   laar_solve --app=app.json --out=strategy.json --ic=0.7
 //              [--hosts=12] [--capacity=1e9] [--time-limit=600]
-//              [--threads=1] [--placement=balanced|roundrobin]
+//              [--threads=1] [--placement=balanced|roundrobin|domain]
+//              [--hosts-per-rack=N] [--racks-per-zone=N]
 //              [--progress[=NODES]]
+//
+// --hosts-per-rack / --racks-per-zone give the cluster the same uniform
+// failure topology laar_simulate builds from these flags, and
+// --placement=domain spreads each PE's replicas across distinct racks —
+// solve with the identical flags you will simulate with, or the strategy
+// is computed for a different deployment than the one it runs on.
 //
 // --progress streams live search snapshots (nodes explored, incumbent cost,
 // per-rule prune counts) to stderr, roughly every NODES explored nodes
@@ -30,7 +37,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: laar_solve --app=app.json --out=strategy.json --ic=0.7\n"
                  "       [--hosts=N] [--capacity=CYCLES_PER_SEC] [--time-limit=SECONDS]\n"
-                 "       [--threads=N] [--placement=balanced|roundrobin]\n"
+                 "       [--threads=N] [--placement=balanced|roundrobin|domain]\n"
+                 "       [--hosts-per-rack=N] [--racks-per-zone=N]\n"
                  "       [--progress[=NODES]]\n");
     return 2;
   }
@@ -42,8 +50,14 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const laar::model::Cluster cluster = laar::model::Cluster::Homogeneous(
+  laar::model::Cluster cluster = laar::model::Cluster::Homogeneous(
       flags.GetInt("hosts", 12), flags.GetDouble("capacity", 1e9));
+  const int hosts_per_rack = flags.GetInt("hosts-per-rack", 0);
+  const int racks_per_zone = flags.GetInt("racks-per-zone", 0);
+  if (hosts_per_rack > 0 || racks_per_zone > 0) {
+    cluster.set_topology(laar::model::FailureTopology::Uniform(
+        cluster.num_hosts(), hosts_per_rack, racks_per_zone));
+  }
   auto rates = laar::model::ExpectedRates::Compute(app->graph, app->input_space);
   if (!rates.ok()) {
     std::fprintf(stderr, "rate analysis failed: %s\n", rates.status().ToString().c_str());
@@ -54,6 +68,10 @@ int main(int argc, char** argv) {
   auto placement =
       placement_kind == "roundrobin"
           ? laar::placement::PlaceRoundRobin(app->graph, cluster, 2)
+      : placement_kind == "domain"
+          ? laar::placement::PlaceDomainSpread(app->graph, app->input_space, *rates,
+                                               cluster, 2,
+                                               laar::model::DomainLevel::kRack)
           : laar::placement::PlaceBalanced(app->graph, app->input_space, *rates, cluster,
                                            2);
   if (!placement.ok()) {

@@ -9,6 +9,7 @@
 //   laar_trace timeseries --in=run.json [--bucket=S] [--out=series.csv]
 //   laar_trace explain --in=run.json [--out=forensics.json]
 //   laar_trace diff runA.json runB.json [--out=diff.json]
+//                   (--a=runA.json --b=runB.json also accepted)
 //
 // The subcommand word is optional for the first three (legacy flag-driven
 // invocations keep working: --validate, --filter imply their subcommands).
@@ -114,7 +115,8 @@ int main(int argc, char** argv) {
                  "       laar_trace timeseries --in=run.json [--bucket=S]\n"
                  "                  [--out=series.csv]\n"
                  "       laar_trace explain --in=run.json [--out=forensics.json]\n"
-                 "       laar_trace diff runA.json runB.json [--out=diff.json]\n");
+                 "       laar_trace diff runA.json runB.json [--out=diff.json]\n"
+                 "                  (or --a=runA.json --b=runB.json)\n");
     return 2;
   };
 

@@ -10,10 +10,11 @@
 #    simulate with a correlated rack outage and an explicit overlapping
 #    crash schedule), then the forensics loop on the outage run:
 #    validate + explain the trace, diff the two placements, and require
-#    the artifacts to be byte-identical across --jobs,
+#    the artifacts to be byte-identical across --jobs and across
+#    --shards=1/4 at a fixed --link-latency (the sharded-engine contract),
 # 5. rebuilds the concurrency-sensitive tests (thread pool, parallel
-#    corpus + observability publishing) under ThreadSanitizer and runs
-#    them.
+#    corpus + observability publishing, sharded DES engine) under
+#    ThreadSanitizer and runs them.
 #
 # Any failing step aborts the script with a non-zero exit.
 set -eu
@@ -72,9 +73,23 @@ forensics_sim --placement=domain --jobs=2 \
 cmp "$SMOKE_DIR/domain.trace.json" "$SMOKE_DIR/domain.jobs2.trace.json"
 cmp "$SMOKE_DIR/domain.metrics.json" "$SMOKE_DIR/domain.jobs2.metrics.json"
 
-echo "== [5/5] TSan: exec_test + obs_test (${TSAN_DIR}) =="
+# The sharded-engine contract end to end: at a fixed --link-latency, the
+# shard count must not change a single artifact byte.
+sharded_sim() {
+    forensics_sim --placement=domain --link-latency=0.005 "$@"
+}
+sharded_sim --shards=1 \
+    --trace-out="$SMOKE_DIR/domain.s1.trace.json" \
+    --metrics-out="$SMOKE_DIR/domain.s1.metrics.json"
+sharded_sim --shards=4 \
+    --trace-out="$SMOKE_DIR/domain.s4.trace.json" \
+    --metrics-out="$SMOKE_DIR/domain.s4.metrics.json"
+cmp "$SMOKE_DIR/domain.s1.trace.json" "$SMOKE_DIR/domain.s4.trace.json"
+cmp "$SMOKE_DIR/domain.s1.metrics.json" "$SMOKE_DIR/domain.s4.metrics.json"
+
+echo "== [5/5] TSan: exec_test + obs_test + sharded_sim_test (${TSAN_DIR}) =="
 cmake -B "$TSAN_DIR" -S . -DLAAR_SANITIZE=thread >/dev/null
-cmake --build "$TSAN_DIR" -j "$JOBS" --target exec_test obs_test
-ctest --test-dir "$TSAN_DIR" -R 'exec_test|obs_test' --output-on-failure
+cmake --build "$TSAN_DIR" -j "$JOBS" --target exec_test obs_test sharded_sim_test
+ctest --test-dir "$TSAN_DIR" -R 'exec_test|obs_test|sharded_sim_test' --output-on-failure
 
 echo "ok: all checks passed"
